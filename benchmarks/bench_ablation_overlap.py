@@ -1,0 +1,37 @@
+"""Ablation: decompose the hybrid-overlap win channel by channel.
+
+Not a paper figure — it quantifies the paper's §V-E argument by switching
+off one overlap channel at a time in the §IV-I implementation.
+"""
+
+from repro import RunConfig, YONA, run
+
+
+def _gf(**kw):
+    base = dict(machine=YONA, implementation="hybrid_overlap", cores=48,
+                threads_per_task=12, box_thickness=2)
+    base.update(kw)
+    return run(RunConfig(**base)).gflops
+
+
+def test_bench_ablation_overlap(benchmark, once, capsys):
+    def study():
+        return {
+            "full overlap": _gf(),
+            "no stream overlap": _gf(disable_stream_overlap=True),
+            "no MPI overlap": _gf(disable_mpi_overlap=True),
+            "neither": _gf(disable_stream_overlap=True, disable_mpi_overlap=True),
+        }
+
+    results = once(benchmark, study)
+    # The GPU-stream channel carries most of the win; switching it off
+    # must cost far more than switching off the MPI channel.
+    loss_stream = results["full overlap"] - results["no stream overlap"]
+    loss_mpi = results["full overlap"] - results["no MPI overlap"]
+    assert loss_stream > 3 * max(loss_mpi, 1.0)
+    assert results["neither"] <= min(results.values()) + 1e-9
+    with capsys.disabled():
+        print()
+        print("hybrid-overlap ablation (4 Yona nodes, 420^3):")
+        for name, gf in results.items():
+            print(f"  {name:20s} {gf:7.1f} GF")

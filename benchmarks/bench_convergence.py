@@ -1,0 +1,15 @@
+"""Numerical accuracy benchmark: order of convergence + stability (§II)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_convergence(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "convergence")
+    order = next(r[2] for r in result.rows if r[0] == "fitted order")
+    assert order > 1.7
+    stab = result.series["amplification"]
+    assert stab[1.0] <= 1.0 + 1e-9  # stable at the CFL limit
+    assert stab[1.25] > 1.0 + 1e-6  # unstable beyond it
+    with capsys.disabled():
+        print()
+        print(result.to_text())

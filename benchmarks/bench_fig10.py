@@ -1,0 +1,14 @@
+"""Fig. 10 (Yona all-implementation scaling) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig10(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig10")
+    s = result.series
+    top = max(s["hybrid_overlap"])
+    cpu_best = max(s[k][top] for k in ("bulk", "nonblocking", "thread_overlap"))
+    assert s["hybrid_overlap"][top] > 4 * cpu_best  # the paper's >4x claim
+    with capsys.disabled():
+        print()
+        print(result.to_text())

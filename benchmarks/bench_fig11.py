@@ -1,0 +1,12 @@
+"""Fig. 11 (Lens load-balance sweep) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig11(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig11")
+    rows = result.rows
+    assert rows[-1][3] < rows[0][3]  # best thickness decreases with cores
+    with capsys.disabled():
+        print()
+        print(result.to_text())

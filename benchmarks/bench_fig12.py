@@ -1,0 +1,13 @@
+"""Fig. 12 (Yona load-balance sweep) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig12(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig12")
+    top = max(result.rows, key=lambda r: r[0])
+    assert top[2] <= 2  # few tasks per node
+    assert top[3] <= 2  # a veneer of CPU points
+    with capsys.disabled():
+        print()
+        print(result.to_text())

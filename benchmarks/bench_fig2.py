@@ -1,0 +1,12 @@
+"""Fig. 2 (lines of code) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig2(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig2")
+    fortran = result.series["fortran"]
+    assert fortran["hybrid_overlap"] == 4 * fortran["single"]
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -1,0 +1,15 @@
+"""Fig. 3 (JaguarPF CPU scaling) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig3(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig3")
+    s = result.series
+    # bulk-synchronous wins at the top of the range (paper's crossover)
+    top = max(s["bulk"])
+    assert s["bulk"][top] > s["nonblocking"][top]
+    assert s["bulk"][top] > s["thread_overlap"][top]
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -1,0 +1,15 @@
+"""Fig. 6 (Hopper II threads-per-task) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig6(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig6")
+    # the best threads/task grows with core count
+    cores = sorted(next(iter(result.series.values())))
+    first = int(result.best_series_at(cores[0]).split()[0])
+    last = int(result.best_series_at(cores[-1]).split()[0])
+    assert last > first
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -1,0 +1,11 @@
+"""Fig. 7 (GPU block-size sweep) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig7(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig7")
+    assert "32x11" in result.notes  # the paper's optimum
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -1,0 +1,11 @@
+"""Fig. 8 (GPU block-size sweep) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig8(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig8")
+    assert "32x8" in result.notes  # the paper's optimum
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -1,0 +1,15 @@
+"""Fig. 9 (Lens all-implementation scaling) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig9(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "fig9")
+    s = result.series
+    for cores in s["hybrid_overlap"]:
+        others = [p[cores] for k, p in s.items()
+                  if k != "hybrid_overlap" and cores in p]
+        assert s["hybrid_overlap"][cores] >= max(others)
+    with capsys.disabled():
+        print()
+        print(result.to_text())

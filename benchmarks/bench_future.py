@@ -1,0 +1,20 @@
+"""§VI outlook benchmark: GPUs per node and PCIe speed sweeps."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_future(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "future")
+    s = result.series
+    # More GPUs per node keep helping (paper: fewer CPU cores per GPU).
+    gs = sorted(s["gpus_per_node"])
+    assert s["gpus_per_node"][gs[-1]] > s["gpus_per_node"][gs[0]]
+    # Faster PCIe helps the serialized GPU+MPI code substantially...
+    fs = sorted(s["pcie_gpu_bulk"])
+    assert s["pcie_gpu_bulk"][fs[-1]] > 1.1 * s["pcie_gpu_bulk"][fs[0]]
+    # ...but the hybrid stays ahead at every link speed.
+    for f in fs:
+        assert s["pcie_hybrid"][f] > s["pcie_gpu_streams"][f]
+    with capsys.disabled():
+        print()
+        print(result.to_text())

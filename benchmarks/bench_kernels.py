@@ -1,0 +1,45 @@
+"""Microbenchmarks of the functional NumPy kernels.
+
+These are the only pieces whose *Python* wall-clock matters (the machine
+performance in the figures is simulated). The stencil sweep should run at
+tens of millions of points per second through NumPy's vectorized paths.
+"""
+
+import numpy as np
+
+from repro.stencil.coefficients import tensor_product_coefficients
+from repro.stencil.grid import allocate_field
+from repro.stencil.kernels import (
+    advance,
+    apply_stencil,
+    fill_periodic_halo,
+    interior,
+)
+
+N = 64
+COEFFS = tensor_product_coefficients((1.0, 0.9, 0.8), 1.0)
+
+
+def _field():
+    rng = np.random.default_rng(0)
+    u = allocate_field((N, N, N))
+    interior(u)[...] = rng.random((N, N, N))
+    return u
+
+
+def test_bench_apply_stencil(benchmark):
+    u = _field()
+    fill_periodic_halo(u)
+    out = np.zeros_like(u)
+    benchmark(apply_stencil, u, COEFFS, out)
+
+
+def test_bench_halo_fill(benchmark):
+    u = _field()
+    benchmark(fill_periodic_halo, u)
+
+
+def test_bench_full_step(benchmark):
+    u = _field()
+    scratch = np.zeros_like(u)
+    benchmark(advance, u, COEFFS, 1, scratch)

@@ -1,0 +1,18 @@
+"""Exchange-protocol race benchmark (extension; see experiments.protocols)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_protocols(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "protocols")
+    s = result.series
+    # Direct-26 removes the dependent phases and wins in the mid-range...
+    j6, j26 = s["JaguarPF serialized-6"], s["JaguarPF direct-26"]
+    assert any(j26[c] > j6[c] for c in j26)
+    # ...but 26 latencies catch up where messages get tiny.
+    h6, h26 = s["Hopper II serialized-6"], s["Hopper II direct-26"]
+    top = max(h6)
+    assert h6[top] > h26[top]
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -1,0 +1,12 @@
+"""§V-E single-node Yona anchor benchmark (86/24/35/82 GF)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_sec5e(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "sec5e")
+    for _, paper, measured, ratio in result.rows:
+        assert 0.75 <= ratio <= 1.25
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -1,0 +1,15 @@
+"""Calibration-robustness benchmark: perturb constants, re-test claims."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_sensitivity(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "sensitivity")
+    score = result.series["robustness"]
+    # The reproduction must not hinge on fine-tuning: the overwhelming
+    # majority of +/-20% perturbations keep every headline claim.
+    for claim, frac in score.items():
+        assert frac >= 0.85, f"claim {claim} too sensitive ({frac:.0%})"
+    with capsys.disabled():
+        print()
+        print(result.to_text())

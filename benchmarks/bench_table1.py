@@ -1,0 +1,11 @@
+"""Table I regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "table1")
+    assert len(result.rows) == 27
+    with capsys.disabled():
+        print()
+        print(result.to_text())

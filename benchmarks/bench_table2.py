@@ -1,0 +1,11 @@
+"""Table II regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table2(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "table2")
+    assert result.columns[1:] == ["JaguarPF", "Hopper II", "Lens", "Yona"]
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -1,0 +1,13 @@
+"""Weak-scaling extension benchmark (no paper counterpart)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_weak(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "weak")
+    s = result.series
+    for cores in s["hybrid_overlap"]:
+        assert s["hybrid_overlap"][cores] > s["bulk"][cores]
+    with capsys.disabled():
+        print()
+        print(result.to_text())

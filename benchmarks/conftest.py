@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures and helpers.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+through the simulator and reports the harness runtime via pytest-benchmark.
+The regenerated data is also shape-checked, so the benchmark run doubles as
+an end-to-end validation of the reproduction — and prints the same
+rows/series the paper reports.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic regenerator exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Bring your own machine: evaluate the paper's designs on new hardware.
+
+The machine catalog is plain dataclasses, so a downstream user can describe
+a hypothetical (or future) system and re-ask the paper's question on it:
+*does overlap still pay when the hardware balance shifts?*
+
+Here we sketch a modern-style node — few fat GPUs behind a fast, low-latency
+link (the paper's §VI closing speculation) — and run the single-node ladder.
+On such a node, moving boundary work through the host stops being
+catastrophic, but the full-overlap hybrid still wins by hiding everything.
+"""
+
+from repro.core.config import RunConfig
+from repro.core.runner import run
+from repro.machines.spec import GpuSpec, InterconnectSpec, MachineSpec, NodeSpec
+from repro.perf.sweep import best_over_threads
+
+# A hypothetical 2015-ish node: 16 faster cores, an NVLink-class host link,
+# and a GPU with ~4x the C2050's stencil throughput.
+FUTURA = MachineSpec(
+    name="Futura",
+    compute_nodes=8,
+    node=NodeSpec(
+        sockets=2,
+        cores_per_socket=8,
+        clock_ghz=3.0,
+        memory_gb=128,
+        numa_domains_per_socket=1,
+        stencil_flop_efficiency=0.25,
+        numa_bandwidth_gbs=40.0,
+        memcpy_bandwidth_gbs=15.0,
+    ),
+    interconnect=InterconnectSpec(
+        name="EDR-class fabric",
+        mpi_name="hypothetical MPI",
+        latency_us=1.0,
+        bandwidth_gbs=12.0,
+        per_message_cpu_us=0.5,
+        overlap_fraction=0.9,
+        eager_threshold_bytes=8192,
+    ),
+    gpu=GpuSpec(
+        name="HypoGPU",
+        memory_gb=16,
+        sm_count=56,
+        warp_size=32,
+        max_threads_per_block=1024,
+        max_threads_per_sm=2048,
+        max_blocks_per_sm=16,
+        shared_mem_per_sm_kb=96.0,
+        dp_peak_gflops=2000.0,
+        mem_bandwidth_gbs=500.0,
+        pcie_bandwidth_gbs=40.0,  # NVLink-class
+        pcie_unpinned_gbs=10.0,
+        pcie_latency_us=2.0,
+        copy_engines=2,
+        stencil_gflops_best=350.0,
+        face_kernel_gflops=4.0,  # caches soften the strided faces
+        thin_slab_efficiency=0.25,
+        register_file_size=65536,
+        regs_per_thread=20,
+        by_sweet_spot=8.0,
+    ),
+    gpus_per_node=1,
+    thread_options=(1, 2, 4, 8, 16),
+    figure_core_counts=(16, 32, 64, 128),
+)
+
+
+def main():
+    print(f"=== single {FUTURA.name} node, 420^3 ===")
+    resident = run(
+        RunConfig(machine=FUTURA, implementation="gpu_resident",
+                  cores=16, threads_per_task=16)
+    ).gflops
+    print(f"{'gpu_resident':16s} {resident:7.1f} GF")
+    rows = {}
+    for key in ("bulk", "gpu_bulk", "gpu_streams", "hybrid_overlap"):
+        res = best_over_threads(FUTURA, key, 16)
+        rows[key] = res.gflops
+        print(f"{key:16s} {res.gflops:7.1f} GF")
+    print()
+    gap_then = 86.0 / 24.0  # Yona's resident/bulk ratio (paper §V-E)
+    gap_now = resident / rows["gpu_bulk"]
+    print(
+        f"resident/gpu_bulk gap: {gap_then:.1f}x on Yona -> {gap_now:.1f}x here —\n"
+        "a faster host link shrinks the §IV-F penalty, as §VI predicted,\n"
+        f"yet the hybrid ({rows['hybrid_overlap']:.0f} GF) still tracks the "
+        f"resident kernel ({resident:.0f} GF).\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Anatomy of the overlap win: reproduce the paper's §V-E argument.
+
+The paper's key insight is that the hybrid implementation's dramatic win is
+*not* load balancing — the CPU box is a mere veneer — but the decoupling of
+MPI communication from CPU-GPU communication. This example rebuilds that
+argument on one simulated Yona node:
+
+1. measure the four GPU implementations (resident / bulk / streams / hybrid);
+2. show the hybrid's best box is thin, and its CPU work share tiny;
+3. as an extension of §VI's closing observation, re-run the §IV-F/G codes
+   with a hypothetical faster CPU-GPU link to show how much of their loss
+   is the PCIe path.
+"""
+
+from dataclasses import replace
+
+from repro import RunConfig, YONA, run
+from repro.decomp.boxdecomp import BoxDecomposition
+from repro.perf.sweep import best_over_threads
+
+
+def single_node_ladder():
+    print("=== one Yona node, 420^3 (paper §V-E: 86 / 24 / 35 / 82 GF) ===")
+    resident = run(
+        RunConfig(machine=YONA, implementation="gpu_resident", cores=12,
+                  threads_per_task=12)
+    ).gflops
+    print(f"{'gpu_resident':16s} {resident:6.1f} GF   (everything stays on the GPU)")
+    for key, note in (
+        ("gpu_bulk", "CPU does MPI, all serialized"),
+        ("gpu_streams", "interior kernel overlaps MPI+PCIe"),
+        ("hybrid_overlap", "CPU veneer decouples MPI from PCIe"),
+    ):
+        res = best_over_threads(YONA, key, 12)
+        print(f"{key:16s} {res.gflops:6.1f} GF   ({note})")
+    print()
+
+
+def thin_box_analysis():
+    print("=== the winning box is a veneer, not a load balancer ===")
+    best = best_over_threads(YONA, "hybrid_overlap", 12, thicknesses=range(1, 13))
+    cfg = best.config
+    box = BoxDecomposition((420, 420, 420 // cfg.ntasks), cfg.box_thickness)
+    print(
+        f"best config: {cfg.ntasks} task(s), thickness {cfg.box_thickness} -> "
+        f"{best.gflops:.1f} GF"
+    )
+    print(
+        f"CPU share of the points: {box.cpu_fraction:.1%} — the 12 CPU cores "
+        "mostly stage communication, not computation.\n"
+    )
+
+
+def faster_pcie_what_if():
+    print("=== §VI what-if: a faster, lower-latency CPU-GPU link ===")
+    print("(gpu_bulk best GF as the synchronous-copy path speeds up)")
+    for factor in (1, 2, 4, 8):
+        gpu = replace(
+            YONA.gpu,
+            pcie_unpinned_gbs=YONA.gpu.pcie_unpinned_gbs * factor,
+            pcie_bandwidth_gbs=YONA.gpu.pcie_bandwidth_gbs * factor,
+            pcie_latency_us=YONA.gpu.pcie_latency_us / factor,
+        )
+        machine = replace(YONA, gpu=gpu)
+        res = best_over_threads(machine, "gpu_bulk", 12)
+        print(f"  {factor:2d}x PCIe -> {res.gflops:6.1f} GF")
+    print(
+        "\nEven an 8x link leaves gpu_bulk far below the resident 86 GF: the\n"
+        "one-point-thick boundary-face kernels, not the bus, dominate — the\n"
+        "cost the hybrid implementation removes by giving those points to\n"
+        "the CPUs.\n"
+    )
+
+
+def timeline():
+    print("=== one traced step of the full-overlap implementation ===")
+    r = run(RunConfig(machine=YONA, implementation="hybrid_overlap", cores=12,
+                      threads_per_task=12, box_thickness=2, trace=True))
+    tr = r.tracer
+    t0, _ = tr.span()
+    print(tr.timeline_text(width=100, window=(t0, t0 + r.seconds_per_step)))
+    hidden = tr.overlap_time("host", "gpu-kernel")
+    print(
+        f"\nGPU kernels busy {tr.busy_time('gpu-kernel') * 1e3:.1f} ms, host busy "
+        f"{tr.busy_time('host') * 1e3:.1f} ms, {hidden * 1e3:.1f} ms of host work "
+        "hidden under kernels — the overlap the paper is about.\n"
+    )
+
+
+if __name__ == "__main__":
+    single_node_ladder()
+    thin_box_analysis()
+    timeline()
+    faster_pcie_what_if()

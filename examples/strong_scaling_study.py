@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Strong-scaling study: the climate-motivated workload of the paper.
+
+The paper's intro motivates the test with climate/weather simulation, where
+the grid is fixed (physics parameterizations depend on it) and speed must
+come from more parallelism — a strong-scaling problem. This example sweeps
+the 420^3 advection step across core counts on two machines:
+
+* JaguarPF (CPU-only): does overlapping MPI with computation pay?
+* Yona (GPU cluster): how much does the full CPU+GPU overlap buy?
+
+Each data point is the best over the paper's tuning space, like Figs. 3/10.
+"""
+
+from repro.machines import JAGUARPF, YONA
+from repro.perf.sweep import best_over_threads
+
+
+def cpu_study():
+    print("=== JaguarPF: is MPI overlap worth it? (Fig. 3 regime) ===")
+    print(f"{'cores':>7s} {'bulk GF':>10s} {'nonblocking GF':>15s} {'winner':>12s}")
+    for cores in (192, 1536, 3072, 6144, 12288):
+        bulk = best_over_threads(JAGUARPF, "bulk", cores).gflops
+        nonb = best_over_threads(JAGUARPF, "nonblocking", cores).gflops
+        winner = "overlap" if nonb > bulk else "bulk-sync"
+        print(f"{cores:7d} {bulk:10.1f} {nonb:15.1f} {winner:>12s}")
+    print(
+        "\nAs the paper found: overlap helps (slightly) while subdomains are\n"
+        "large, then loses to its own partitioning overhead as the work per\n"
+        "core dwindles.\n"
+    )
+
+
+def gpu_study():
+    print("=== Yona: the payoff of full CPU+GPU overlap (Fig. 10 regime) ===")
+    print(f"{'cores':>7s} {'CPU-only':>10s} {'GPU+streams':>12s} {'hybrid':>10s} {'hybrid/CPU':>11s}")
+    for cores in YONA.figure_core_counts:
+        cpu = best_over_threads(YONA, "bulk", cores).gflops
+        gpu = best_over_threads(YONA, "gpu_streams", cores).gflops
+        hyb = best_over_threads(YONA, "hybrid_overlap", cores).gflops
+        print(f"{cores:7d} {cpu:10.1f} {gpu:12.1f} {hyb:10.1f} {hyb / cpu:10.1f}x")
+    print(
+        "\nThe hybrid implementation overlaps CPU compute, GPU compute, MPI\n"
+        "and PCIe traffic, and exceeds 4x the best CPU-only rate — more than\n"
+        "the sum of its parts (paper §V-D).\n"
+    )
+
+
+if __name__ == "__main__":
+    cpu_study()
+    gpu_study()

@@ -1,0 +1,35 @@
+"""repro — reproduction of White & Dongarra (IPPS 2011).
+
+*Overlapping Computation and Communication for Advection on Hybrid
+Parallel Computers*, rebuilt as a Python library on a simulated
+MPI + GPU substrate. See README.md for a tour and DESIGN.md for the
+substitution rationale and per-experiment index.
+
+Quick start::
+
+    from repro import RunConfig, run
+    from repro.machines import YONA
+
+    cfg = RunConfig(machine=YONA, implementation="hybrid_overlap",
+                    cores=12, threads_per_task=6, box_thickness=3)
+    print(run(cfg).summary())
+"""
+
+from repro.core import IMPLEMENTATIONS, RunConfig, RunResult, get_implementation, run
+from repro.machines import HOPPER, JAGUARPF, LENS, YONA, get_machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HOPPER",
+    "IMPLEMENTATIONS",
+    "JAGUARPF",
+    "LENS",
+    "RunConfig",
+    "RunResult",
+    "YONA",
+    "get_implementation",
+    "get_machine",
+    "run",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Auto-tuning over the paper's tuning space (extension of §VI).
+
+The paper closes by arguing for automatic tuning of (at least) OpenMP
+threads per MPI task, the CPU box thickness, and the GPU thread-block size,
+and notes these parameters interact. This package provides:
+
+* :class:`~repro.autotune.space.TuningSpace` — the discrete space for a
+  machine/implementation/core-count triple;
+* :func:`~repro.autotune.search.exhaustive_search` — ground truth;
+* :func:`~repro.autotune.search.greedy_search` — coordinate descent, the
+  cheap strategy an online tuner would use; tests measure how close it
+  lands to the exhaustive optimum.
+"""
+
+from repro.autotune.search import SearchResult, exhaustive_search, greedy_search
+from repro.autotune.space import TuningPoint, TuningSpace
+
+__all__ = [
+    "SearchResult",
+    "TuningPoint",
+    "TuningSpace",
+    "exhaustive_search",
+    "greedy_search",
+]

@@ -1,0 +1,93 @@
+"""Search strategies over the tuning space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.autotune.space import TuningPoint, TuningSpace
+from repro.core.runner import run
+from repro.machines.spec import MachineSpec
+
+__all__ = ["SearchResult", "exhaustive_search", "greedy_search"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a tuning search."""
+
+    best_point: TuningPoint
+    best_gflops: float
+    evaluations: int
+    #: every evaluated point -> GF (the tuner's trace)
+    trace: Dict[TuningPoint, float] = field(default_factory=dict)
+
+
+def _evaluate(
+    space: TuningSpace, point: TuningPoint, cache: Dict[TuningPoint, float]
+) -> Optional[float]:
+    if point in cache:
+        return cache[point]
+    try:
+        cfg = point.apply(space.machine, space.impl_key, space.cores)
+        gf = run(cfg).gflops
+    except ValueError:
+        gf = None
+    if gf is not None:
+        cache[point] = gf
+    return gf
+
+
+def exhaustive_search(
+    machine: MachineSpec, impl_key: str, cores: int
+) -> SearchResult:
+    """Evaluate every point; ground truth for the greedy strategy."""
+    space = TuningSpace(machine, impl_key, cores)
+    cache: Dict[TuningPoint, float] = {}
+    best_point, best_gf = None, float("-inf")
+    n = 0
+    for point in space.points():
+        gf = _evaluate(space, point, cache)
+        n += 1
+        if gf is not None and gf > best_gf:
+            best_point, best_gf = point, gf
+    if best_point is None:
+        raise ValueError(f"no valid tuning point for {impl_key} at {cores} cores")
+    return SearchResult(best_point, best_gf, n, cache)
+
+
+def greedy_search(
+    machine: MachineSpec, impl_key: str, cores: int, sweeps: int = 2
+) -> SearchResult:
+    """Coordinate descent: optimize one axis at a time, a few sweeps.
+
+    This is the strategy a practical auto-tuner would run online; tests
+    compare its result against :func:`exhaustive_search` (it typically
+    lands within a few percent at a fraction of the evaluations).
+    """
+    space = TuningSpace(machine, impl_key, cores)
+    cache: Dict[TuningPoint, float] = {}
+    current = space.default_point()
+    current_gf = _evaluate(space, current, cache)
+    n = 1
+    if current_gf is None:
+        # Find any valid starting point.
+        for point in space.points():
+            current_gf = _evaluate(space, point, cache)
+            n += 1
+            if current_gf is not None:
+                current = point
+                break
+        else:
+            raise ValueError(f"no valid tuning point for {impl_key} at {cores} cores")
+    for _ in range(sweeps):
+        for axis, values in space.axes():
+            for v in values:
+                candidate = replace(current, **{axis: v})
+                if candidate == current:
+                    continue
+                gf = _evaluate(space, candidate, cache)
+                n += 1
+                if gf is not None and gf > current_gf:
+                    current, current_gf = candidate, gf
+    return SearchResult(current, current_gf, n, cache)

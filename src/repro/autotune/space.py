@@ -1,0 +1,83 @@
+"""The discrete tuning space of the paper's performance parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import RunConfig
+from repro.core.registry import get_implementation
+from repro.machines.spec import MachineSpec
+from repro.perf.sweep import valid_thread_counts
+from repro.simgpu.blockmodel import admissible_blocks
+
+__all__ = ["TuningPoint", "TuningSpace"]
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One assignment of the tunable parameters."""
+
+    threads_per_task: int
+    box_thickness: int = 1
+    block: Optional[Tuple[int, int]] = None
+
+    def apply(self, machine: MachineSpec, impl_key: str, cores: int) -> RunConfig:
+        """Build the RunConfig for this point (may raise ValueError)."""
+        return RunConfig(
+            machine=machine,
+            implementation=impl_key,
+            cores=cores,
+            threads_per_task=self.threads_per_task,
+            box_thickness=self.box_thickness,
+            block=self.block,
+        )
+
+
+class TuningSpace:
+    """Enumerable tuning dimensions for one (machine, impl, cores) triple."""
+
+    def __init__(self, machine: MachineSpec, impl_key: str, cores: int):
+        self.machine = machine
+        self.impl_key = impl_key
+        self.cores = cores
+        impl = get_implementation(impl_key)
+        if impl.uses_mpi:
+            self.thread_axis: List[int] = valid_thread_counts(machine, cores)
+        else:
+            self.thread_axis = [cores]
+        self.thickness_axis: List[int] = (
+            [1, 2, 3, 4, 6, 8, 12, 16] if impl_key.startswith("hybrid") else [1]
+        )
+        if impl.uses_gpu and machine.gpu is not None:
+            # A coarse block grid keeps exhaustive search tractable; the
+            # dedicated block sweep (Figs. 7/8) covers the fine grid.
+            blocks = [
+                b for b in admissible_blocks(machine.gpu) if b[1] in (4, 8, 11, 16)
+            ]
+            self.block_axis: List[Optional[Tuple[int, int]]] = [None] + blocks
+        else:
+            self.block_axis = [None]
+
+    def axes(self):
+        """(name, values) pairs for coordinate-descent ordering."""
+        return [
+            ("threads_per_task", self.thread_axis),
+            ("box_thickness", self.thickness_axis),
+            ("block", self.block_axis),
+        ]
+
+    def points(self):
+        """All tuning points (exhaustive enumeration)."""
+        for t in self.thread_axis:
+            for thick in self.thickness_axis:
+                for blk in self.block_axis:
+                    yield TuningPoint(t, thick, blk)
+
+    def default_point(self) -> TuningPoint:
+        """A sensible starting point for greedy search."""
+        return TuningPoint(
+            threads_per_task=self.thread_axis[0],
+            box_thickness=self.thickness_axis[0],
+            block=None,
+        )

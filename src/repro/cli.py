@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+::
+
+    advection-repro list                       # implementations + machines
+    advection-repro run --machine yona --impl hybrid_overlap \\
+        --cores 12 --threads 6 --thickness 3
+    advection-repro experiment fig9            # regenerate one figure/table
+    advection-repro experiments                # list experiment ids
+    advection-repro tune --machine yona --impl hybrid_overlap --cores 48
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import RunConfig
+from repro.core.registry import IMPLEMENTATIONS
+from repro.core.runner import run as run_config
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.machines import MACHINES, get_machine
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="advection-repro",
+        description="Reproduction of White & Dongarra (IPPS 2011) on a simulated machine",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list implementations and machines")
+    sub.add_parser("experiments", help="list experiment ids")
+
+    runp = sub.add_parser("run", help="run one configuration")
+    runp.add_argument("--machine", required=True, help="jaguarpf|hopper|lens|yona")
+    runp.add_argument("--impl", required=True, choices=sorted(IMPLEMENTATIONS))
+    runp.add_argument("--cores", type=int, required=True)
+    runp.add_argument("--threads", type=int, default=1)
+    runp.add_argument("--thickness", type=int, default=1)
+    runp.add_argument("--steps", type=int, default=2)
+    runp.add_argument("--domain", type=int, default=420, help="grid points per dimension")
+    runp.add_argument("--network", choices=("mirror", "full"), default="mirror")
+    runp.add_argument(
+        "--functional", action="store_true",
+        help="allocate real fields and verify against the analytic solution "
+             "(small domains + full network only)",
+    )
+    runp.add_argument(
+        "--trace", action="store_true",
+        help="print an execution timeline of the representative rank",
+    )
+
+    expp = sub.add_parser("experiment", help="regenerate one table/figure")
+    expp.add_argument("id", choices=sorted(EXPERIMENTS))
+    expp.add_argument("--fast", action="store_true", help="trimmed sweep")
+    expp.add_argument("--plot", action="store_true",
+                      help="also render the series as an ASCII chart")
+    expp.add_argument("--json", metavar="PATH", default=None,
+                      help="write the full result as JSON")
+    expp.add_argument("--csv", metavar="PATH", default=None,
+                      help="write the series as long-form CSV")
+
+    valp = sub.add_parser("validate", help="run every correctness oracle")
+    valp.add_argument("--impl", default="all",
+                      choices=["all"] + sorted(IMPLEMENTATIONS))
+
+    tunep = sub.add_parser("tune", help="auto-tune one implementation")
+    tunep.add_argument("--machine", required=True)
+    tunep.add_argument("--impl", required=True, choices=sorted(IMPLEMENTATIONS))
+    tunep.add_argument("--cores", type=int, required=True)
+    tunep.add_argument("--strategy", choices=("greedy", "exhaustive"), default="greedy")
+    return p
+
+
+def _cmd_list() -> int:
+    print("implementations:")
+    for key, impl in IMPLEMENTATIONS.items():
+        print(f"  {key:16s} {impl.section:6s} {impl.title}")
+    print("machines:")
+    seen = set()
+    for m in MACHINES.values():
+        if m.name in seen:
+            continue
+        seen.add(m.name)
+        gpu = m.gpu.name if m.gpu else "-"
+        print(f"  {m.name:10s} nodes={m.compute_nodes:<6d} cores/node={m.node.cores:<3d} gpu={gpu}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    cfg = RunConfig(
+        machine=get_machine(args.machine),
+        implementation=args.impl,
+        cores=args.cores,
+        threads_per_task=args.threads,
+        box_thickness=args.thickness,
+        steps=args.steps,
+        domain=(args.domain,) * 3,
+        network="full" if args.functional else args.network,
+        functional=args.functional,
+        trace=args.trace,
+    )
+    result = run_config(cfg)
+    print(result.summary())
+    if result.tracer is not None:
+        t0, t1 = result.tracer.span()
+        window_end = min(t1, t0 + result.seconds_per_step)
+        print(result.tracer.timeline_text(width=100, window=(t0, window_end)))
+        busy_k = result.tracer.busy_time("gpu-kernel")
+        busy_h = result.tracer.busy_time("host")
+        if busy_k:
+            hidden = result.tracer.overlap_time("host", "gpu-kernel")
+            print(
+                f"  gpu-kernel busy {busy_k * 1e3:.2f} ms, host busy "
+                f"{busy_h * 1e3:.2f} ms, overlapped {hidden * 1e3:.2f} ms"
+            )
+    if result.norms is not None:
+        print("  norms vs analytic: " + "  ".join(f"{k}={v:.3e}" for k, v in result.norms.items()))
+    if result.phases:
+        total = sum(result.phases.values())
+        breakdown = "  ".join(f"{k}={v * 1e3:.2f}ms" for k, v in sorted(result.phases.items()))
+        print(f"  host-side phase breakdown ({total * 1e3:.2f} ms total): {breakdown}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = run_experiment(args.id, fast=args.fast)
+    print(result.to_text())
+    if getattr(args, "plot", False) and result.series:
+        from repro.report import ascii_plot
+
+        print()
+        print(ascii_plot(result.series, title=result.title))
+    if getattr(args, "json", None):
+        from repro.export import write_json
+
+        write_json(result, args.json)
+        print(f"wrote {args.json}")
+    if getattr(args, "csv", None):
+        from repro.export import write_csv
+
+        write_csv(result, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.validation import validate_implementation
+
+    keys = sorted(IMPLEMENTATIONS) if args.impl == "all" else [args.impl]
+    failed = 0
+    for key in keys:
+        report = validate_implementation(key)
+        print(report.to_text())
+        failed += 0 if report.passed else 1
+    return 1 if failed else 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.autotune import exhaustive_search, greedy_search
+
+    search = greedy_search if args.strategy == "greedy" else exhaustive_search
+    res = search(get_machine(args.machine), args.impl, args.cores)
+    print(
+        f"best: threads={res.best_point.threads_per_task} "
+        f"thickness={res.best_point.box_thickness} block={res.best_point.block} "
+        f"-> {res.best_gflops:.2f} GF ({res.evaluations} evaluations)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiments":
+        for eid, mod in EXPERIMENTS.items():
+            print(f"  {eid:8s} {mod}")
+        return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

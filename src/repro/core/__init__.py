@@ -1,0 +1,39 @@
+"""The paper's contribution: nine advection implementations (§IV-A..I).
+
+Each implementation is written once as a per-rank *program* — a DES
+coroutine that issues timed operations (compute sweeps, MPI calls, GPU
+kernels, PCIe copies) against the simulated machine, and, in functional
+mode, the matching NumPy operations. The same program therefore yields
+both a performance measurement (simulated seconds per step → GF via the
+paper's 53 flop/point metric) and a verifiable field.
+
+========================  ====================================  ==========
+key                       paper section                         hardware
+========================  ====================================  ==========
+``single``                IV-A  single task + OpenMP            CPU
+``bulk``                  IV-B  bulk-synchronous MPI            CPU
+``nonblocking``           IV-C  nonblocking-overlap MPI         CPU
+``thread_overlap``        IV-D  OpenMP comm thread overlap      CPU
+``gpu_resident``          IV-E  GPU resident                    GPU
+``gpu_bulk``              IV-F  GPU + bulk-synchronous MPI      GPU
+``gpu_streams``           IV-G  GPU + MPI overlap via streams   GPU
+``hybrid_bulk``           IV-H  CPU+GPU, bulk-synchronous MPI   CPU+GPU
+``hybrid_overlap``        IV-I  CPU+GPU full overlap            CPU+GPU
+========================  ====================================  ==========
+
+Use :func:`~repro.core.runner.run` with a
+:class:`~repro.core.config.RunConfig` to execute one configuration, or the
+sweep helpers in :mod:`repro.perf` for whole experiments.
+"""
+
+from repro.core.config import RunConfig, RunResult
+from repro.core.registry import IMPLEMENTATIONS, get_implementation
+from repro.core.runner import run
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "RunConfig",
+    "RunResult",
+    "get_implementation",
+    "run",
+]

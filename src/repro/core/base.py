@@ -1,0 +1,77 @@
+"""Base class for the nine implementations."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.core.config import RunConfig
+from repro.core.context import RankContext
+
+__all__ = ["Implementation"]
+
+
+def _empty():
+    """An empty generator (default hook body)."""
+    return
+    yield  # pragma: no cover
+
+
+class Implementation(abc.ABC):
+    """One of the paper's §IV implementations, as a per-rank program.
+
+    Subclasses provide the hooks below; every hook is a generator run inside
+    the rank's DES process:
+
+    * :meth:`setup` — untimed preparation before the timing barrier
+      (allocate device memory, initial H2D, prime pipeline buffers);
+    * :meth:`step` — one time step (the measured unit);
+    * :meth:`finish_timed` — work that belongs inside the measurement
+      (the paper synchronizes CPU and GPU immediately before timer calls);
+    * :meth:`drain` — post-measurement retrieval of functional state.
+    """
+
+    #: registry key, e.g. ``"bulk"``.
+    key: str = ""
+    #: human-readable title.
+    title: str = ""
+    #: paper section, e.g. ``"IV-B"``.
+    section: str = ""
+    #: Fortran lines of code reported/derived from the paper's Fig. 2.
+    fortran_loc: int = 0
+    uses_mpi: bool = False
+    uses_gpu: bool = False
+
+    def validate(self, cfg: RunConfig) -> None:
+        """Reject configurations this implementation cannot run."""
+        if self.uses_gpu and cfg.machine.gpu is None:
+            raise ValueError(f"{self.key} needs a GPU; {cfg.machine.name} has none")
+        if not self.uses_mpi and cfg.ntasks != 1:
+            raise ValueError(
+                f"{self.key} is single-task; got {cfg.ntasks} tasks "
+                f"({cfg.cores} cores / {cfg.threads_per_task} threads)"
+            )
+
+    def setup(self, ctx: RankContext) -> Iterator:
+        """Untimed preparation (default: nothing)."""
+        return _empty()
+
+    @abc.abstractmethod
+    def step(self, ctx: RankContext, index: int) -> Iterator:
+        """One measured time step."""
+
+    def finish_timed(self, ctx: RankContext) -> Iterator:
+        """Default: synchronize the GPU if this rank drives one."""
+        if ctx.gpu is not None:
+            def sync():
+                yield ctx.gpu.synchronize()
+
+            return sync()
+        return _empty()
+
+    def drain(self, ctx: RankContext) -> Iterator:
+        """Post-measurement functional-state retrieval (default: nothing)."""
+        return _empty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Implementation {self.key} ({self.section})>"

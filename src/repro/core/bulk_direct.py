@@ -1,0 +1,84 @@
+"""Extension: bulk-synchronous MPI with a direct 26-neighbor exchange.
+
+Not one of the paper's nine implementations. The paper adopts the
+"well-established strategy [that] reduces the number of neighbor exchanges
+from 26 to 6" (§IV-B) without measuring the alternative; this
+implementation *is* the alternative — every face, edge and corner in its
+own message, all posted at once, no dimension serialization — so the
+``protocols`` experiment can quantify the trade-off the paper took for
+granted: 26 latencies and per-message overheads against three dependent
+exchange phases.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Implementation
+from repro.core.context import RankContext
+from repro.decomp.halo26 import (
+    OFFSETS26,
+    offset_tag,
+    pack_region,
+    region_bytes,
+    total_exchange_bytes,
+    unpack_region,
+)
+
+__all__ = ["BulkDirectMPI"]
+
+
+class BulkDirectMPI(Implementation):
+    """Bulk-synchronous advection with 26 direct neighbor messages."""
+
+    key = "bulk_direct"
+    title = "Bulk-synchronous MPI, direct 26-neighbor exchange"
+    section = "ext"  # extension; no paper section
+    fortran_loc = 0  # not measured by the paper
+    uses_mpi = True
+    uses_gpu = False
+
+    def step(self, ctx: RankContext, index: int):
+        comm = ctx.comm
+        data = ctx.data
+        shape = ctx.sub.shape
+
+        def neighbor_of(d):
+            coords = tuple(c + dd for c, dd in zip(ctx.decomp.coords_of(ctx.sub.rank), d))
+            return ctx.decomp.rank_of(coords)
+
+        # Post every receive up front: my halo at d arrives from the
+        # d-neighbor, which sends toward -d.
+        recvs = {}
+        for d in OFFSETS26:
+            neg = tuple(-x for x in d)
+            recvs[d] = yield from comm.irecv(
+                neighbor_of(d), offset_tag(neg), region_bytes(shape, d)
+            )
+        # Pack everything (one threaded pass over ~the same bytes as the
+        # serialized protocol, moderately strided), then send all 26.
+        yield ctx.memcpy(total_exchange_bytes(shape), 0.7, phase="pack")
+        sends = []
+        for d in OFFSETS26:
+            payload = pack_region(data.u, d) if data.functional else None
+            sends.append(
+                (
+                    yield from comm.isend(
+                        neighbor_of(d), offset_tag(d), region_bytes(shape, d), payload
+                    )
+                )
+            )
+        # Complete receives, unpack, complete sends.
+        payloads = {}
+        for d in OFFSETS26:
+            payloads[d] = yield from comm.wait(recvs[d])
+        yield ctx.memcpy(total_exchange_bytes(shape), 0.7, phase="unpack")
+        if data.functional:
+            for d in OFFSETS26:
+                unpack_region(data.u, d, payloads[d])
+        for req in sends:
+            yield from comm.wait(req)
+
+        # Local computation is identical to the serialized bulk version.
+        yield ctx.compute(ctx.sub.points)
+        data.apply_all()
+        yield ctx.copy_state_cost(ctx.sub.points)
+        data.copy_state()

@@ -1,0 +1,181 @@
+"""Run configuration and result records."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.des.trace import Tracer
+from repro.machines.spec import MachineSpec
+from repro.stencil.coefficients import FLOPS_PER_POINT
+
+__all__ = ["RunConfig", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One benchmark configuration (a point in the paper's tuning space).
+
+    Parameters
+    ----------
+    machine:
+        Which of the Table II machines to simulate.
+    implementation:
+        Key from :data:`repro.core.registry.IMPLEMENTATIONS`.
+    cores:
+        Total CPU cores (the x axis of the scaling figures). Must fill whole
+        nodes beyond one node.
+    threads_per_task:
+        OpenMP threads per MPI task (the paper's primary tuning knob).
+    steps:
+        Time steps to run between the timing barriers.
+    domain:
+        Global grid (the paper uses 420^3).
+    velocity:
+        Constant uniform advection velocity; every component nonzero
+        exercises all 27 coefficients.
+    nu_fraction:
+        nu as a fraction of the maximum stable value (paper runs at 1.0).
+    block:
+        GPU thread-block (bx, by); ``None`` = best block for the device.
+    box_thickness:
+        CPU box wall thickness of Fig. 1 (hybrid implementations).
+    functional:
+        Allocate real fields and compute real numbers (small grids only).
+    network:
+        ``"mirror"`` (representative rank; fast, any scale) or ``"full"``
+        (every rank simulated; required for functional runs).
+    trace:
+        Record an execution timeline of the representative rank.
+    disable_stream_overlap / disable_mpi_overlap:
+        Ablation switches for the hybrid-overlap implementation, used to
+        decompose where its win comes from (see
+        ``benchmarks/bench_ablation_overlap.py``).
+    """
+
+    machine: MachineSpec
+    implementation: str
+    cores: int
+    threads_per_task: int = 1
+    steps: int = 2
+    domain: Tuple[int, int, int] = (420, 420, 420)
+    velocity: Tuple[float, float, float] = (1.0, 0.9, 0.8)
+    nu_fraction: float = 1.0
+    sigma: float = 0.08
+    block: Optional[Tuple[int, int]] = None
+    box_thickness: int = 1
+    functional: bool = False
+    network: str = "mirror"
+    #: record an execution timeline (see repro.des.trace); small overhead.
+    trace: bool = False
+    #: ablation switch: serialize the hybrid-overlap GPU streams against the
+    #: host (no kernel/copy hidden behind CPU work).
+    disable_stream_overlap: bool = False
+    #: ablation switch: complete each MPI dimension before computing the
+    #: walls it would have hidden (no MPI hidden behind CPU work).
+    disable_mpi_overlap: bool = False
+
+    def __post_init__(self):
+        node_cores = self.machine.node.cores
+        if self.threads_per_task < 1 or self.threads_per_task > node_cores:
+            raise ValueError(
+                f"{self.threads_per_task} threads/task impossible on "
+                f"{node_cores}-core {self.machine.name} nodes"
+            )
+        if node_cores % self.threads_per_task:
+            raise ValueError(
+                f"{self.threads_per_task} threads/task does not pack "
+                f"{node_cores}-core nodes"
+            )
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.cores > node_cores and self.cores % node_cores:
+            raise ValueError(
+                f"{self.cores} cores is not a whole number of "
+                f"{node_cores}-core nodes"
+            )
+        if self.cores % self.threads_per_task:
+            raise ValueError("cores must be divisible by threads_per_task")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.network not in ("mirror", "full"):
+            raise ValueError(f"unknown network backend {self.network!r}")
+        if self.functional and self.network != "full":
+            raise ValueError("functional runs require the full network backend")
+
+    # -- derived layout -------------------------------------------------------
+    @property
+    def ntasks(self) -> int:
+        """MPI tasks."""
+        return self.cores // self.threads_per_task
+
+    @property
+    def tasks_per_node(self) -> int:
+        """Tasks packed on one node (also tasks sharing one GPU)."""
+        return min(self.ntasks, self.machine.node.cores // self.threads_per_task)
+
+    @property
+    def nodes(self) -> int:
+        """Nodes used."""
+        return math.ceil(self.ntasks / self.tasks_per_node)
+
+    @property
+    def total_points(self) -> int:
+        """Global grid points."""
+        nx, ny, nz = self.domain
+        return nx * ny * nz
+
+    @property
+    def nu(self) -> float:
+        """The time-step/grid-spacing ratio actually used."""
+        from repro.stencil.coefficients import max_stable_nu
+
+        return self.nu_fraction * max_stable_nu(self.velocity)
+
+    def with_(self, **changes) -> "RunConfig":
+        """A copy with some fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run."""
+
+    config: RunConfig
+    elapsed_s: float  # simulated seconds between the timing barriers
+    #: per-category simulated-time breakdown of the representative rank
+    #: (compute / mpi / pcie / gpu_wait ...), advisory.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: assembled global field (functional runs only)
+    global_field: Optional[np.ndarray] = None
+    #: error norms vs the analytic solution (functional runs only)
+    norms: Optional[Dict[str, float]] = None
+    #: execution timeline of the representative rank (trace=True runs only)
+    tracer: Optional["Tracer"] = None
+    #: representative rank's MPI counters (messages/bytes sent/received)
+    comm_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def seconds_per_step(self) -> float:
+        """Simulated seconds per time step."""
+        return self.elapsed_s / self.config.steps
+
+    @property
+    def gflops(self) -> float:
+        """The paper's metric: analytic flops / measured seconds, in GF."""
+        work = self.config.total_points * FLOPS_PER_POINT * self.config.steps
+        return work / self.elapsed_s / 1e9
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        c = self.config
+        return (
+            f"{c.machine.name:10s} {c.implementation:15s} cores={c.cores:<6d} "
+            f"thr={c.threads_per_task:<2d} T={c.box_thickness:<2d} "
+            f"-> {self.gflops:8.2f} GF ({self.seconds_per_step * 1e3:.3f} ms/step)"
+        )

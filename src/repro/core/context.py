@@ -1,0 +1,285 @@
+"""Per-rank execution context: timed cost helpers over the machine models.
+
+The context is the single place where an implementation's program touches
+simulated time. CPU work comes back as timeout events to ``yield``; GPU
+work goes through the :class:`~repro.simgpu.device.Gpu` streams. In mirror
+mode, ``gpu_share`` (> 1 when several MPI tasks drive one GPU) scales both
+kernel durations and PCIe bytes, standing in for the contention that the
+full backend produces naturally when ranks share a device.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.config import RunConfig
+from repro.core.data import RankData
+from repro.decomp.partition import Decomposition, Subdomain
+from repro.des import Environment, Event
+from repro.machines.cpu_model import (
+    memcpy_time,
+    task_compute_time,
+)
+from repro.machines.calibration import BOUNDARY_LOOP_EFFICIENCY, COPY_BYTES_PER_POINT
+from repro.simgpu.blockmodel import stencil_kernel_time
+from repro.simgpu.device import Gpu, Stream
+from repro.simmpi.api import RankComm
+from repro.stencil.coefficients import FLOPS_PER_POINT
+
+__all__ = ["RankContext", "FACE_PACK_STRIDE_PENALTY"]
+
+#: Host-side pack/unpack stride penalty per face-normal dimension, for the
+#: paper's Fortran layout (x contiguous): x faces gather fully strided
+#: elements, y faces gather contiguous x runs, z faces are contiguous slabs.
+FACE_PACK_STRIDE_PENALTY = {0: 0.5, 1: 0.8, 2: 1.0}
+
+#: GPU boundary-face kernel rate multipliers per face-normal dimension for
+#: the §IV-F/G kernels (which fuse halo unpack and outgoing-buffer writes
+#: into the face computation, per the paper's own description): x faces are
+#: fully non-coalesced (the calibrated ``face_kernel_gflops``), y faces
+#: read contiguous x runs (4x better), z faces are coalesced planes but
+#: still pay the fused copies and per-face launches (8x better). The clean
+#: §IV-I block-boundary kernels instead run at the thin-slab rate.
+FACE_KERNEL_MULTIPLIER = {0: 1.0, 1: 4.0, 2: 8.0}
+
+
+class RankContext:
+    """Everything one rank's program needs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cfg: RunConfig,
+        sub: Subdomain,
+        decomp: Decomposition,
+        comm: Optional[RankComm],
+        data: RankData,
+        gpu: Optional[Gpu] = None,
+        gpu_share: int = 1,
+    ):
+        self.env = env
+        self.cfg = cfg
+        self.sub = sub
+        self.decomp = decomp
+        self.comm = comm
+        self.data = data
+        self.gpu = gpu
+        self.gpu_share = gpu_share
+        self.node = cfg.machine.node
+        self.threads = cfg.threads_per_task
+        self.phases: Dict[str, float] = defaultdict(float)
+        #: optional execution tracer (RunConfig.trace); shared with the GPU.
+        self.tracer = None
+        #: free-form per-implementation state (device arrays, streams, ...)
+        self.state: Dict[str, object] = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+    def _charge(self, phase: str, seconds: float) -> Event:
+        self.phases[phase] += seconds
+        if self.tracer is not None and seconds > 0:
+            self.tracer.record("host", phase, self.env.now, self.env.now + seconds)
+        return self.env.timeout(seconds)
+
+    # -- CPU costs ---------------------------------------------------------------
+    def compute(
+        self,
+        points: int,
+        *,
+        boundary: bool = False,
+        guided: bool = False,
+        efficiency: Optional[float] = None,
+        pieces: int = 1,
+        phase: str = "compute",
+    ) -> Event:
+        """Timed stencil sweep of ``points`` on this task's threads.
+
+        ``pieces`` > 1 charges the sweep as that many separate OpenMP
+        parallel regions (e.g. the six boundary-shell slab loops of the
+        overlap implementations each fork/join on their own).
+        """
+        eff = efficiency if efficiency is not None else (
+            self.node.boundary_loop_efficiency if boundary else 1.0
+        )
+        t = task_compute_time(
+            self.node, self.threads, points, efficiency=eff, guided=guided
+        )
+        if pieces > 1:
+            from repro.machines.cpu_model import omp_region_overhead
+
+            t += (pieces - 1) * omp_region_overhead(self.node, self.threads)
+        return self._charge(phase, t)
+
+    def compute_seconds(
+        self, points: int, *, threads: Optional[int] = None, guided: bool = False,
+        efficiency: float = 1.0,
+    ) -> float:
+        """Sweep duration as a number (for piecewise-rate overlap math)."""
+        if points <= 0:
+            return 0.0
+        return task_compute_time(
+            self.node,
+            threads if threads is not None else self.threads,
+            points,
+            efficiency=efficiency,
+            guided=guided,
+        )
+
+    def copy_state_cost(self, points: int) -> Event:
+        """Timed Step-3 state copy."""
+        t = task_compute_time(
+            self.node,
+            self.threads,
+            points,
+            bytes_per_point=COPY_BYTES_PER_POINT,
+            flops_per_point=0.25,
+        )
+        return self._charge("copy", t)
+
+    def memcpy(
+        self,
+        nbytes: int,
+        stride_penalty: float = 1.0,
+        phase: str = "pack",
+        threads: Optional[int] = None,
+    ) -> Event:
+        """Timed on-node copy (halo pack/unpack, buffer staging)."""
+        return self._charge(
+            phase,
+            memcpy_time(
+                self.node,
+                nbytes,
+                threads if threads is not None else self.threads,
+                stride_penalty,
+            ),
+        )
+
+    def host_delay(self, seconds: float, phase: str = "host") -> Event:
+        """Arbitrary host-side delay (e.g. kernel-launch overhead)."""
+        return self._charge(phase, seconds)
+
+    # -- GPU costs -----------------------------------------------------------------
+    def _require_gpu(self) -> Gpu:
+        if self.gpu is None:
+            raise RuntimeError(f"{self.cfg.implementation}: no GPU in this context")
+        return self.gpu
+
+    @property
+    def gpu_block(self) -> Tuple[int, int]:
+        """The thread block this run uses (config override or device best)."""
+        gpu = self._require_gpu()
+        if self.cfg.block is not None:
+            return self.cfg.block
+        from repro.simgpu.blockmodel import best_block
+
+        return best_block(gpu.spec, self.sub.shape)
+
+    def launch_cost(self, n_ops: int = 1) -> Event:
+        """Host time to issue ``n_ops`` device operations."""
+        gpu = self._require_gpu()
+        return self._charge("launch", n_ops * gpu.host_launch_cost_s)
+
+    def stencil_kernel(
+        self,
+        stream: Stream,
+        points: int,
+        shape: Optional[Sequence[int]] = None,
+        action: Optional[Callable[[], None]] = None,
+        name: str = "stencil",
+    ) -> Event:
+        """Issue the tiled stencil kernel over ``points`` (uniform, fast)."""
+        gpu = self._require_gpu()
+        t = stencil_kernel_time(
+            gpu.spec, points, self.cfg.block, tuple(shape or self.sub.shape)
+        )
+        return gpu.launch_kernel(stream, t * self.gpu_share, action, name)
+
+    def face_kernel(
+        self,
+        stream: Stream,
+        points: int,
+        normal_dim: int,
+        action: Optional[Callable[[], None]] = None,
+        name: str = "face",
+    ) -> Event:
+        """Issue a §IV-F/G boundary-face kernel (slow; see multipliers)."""
+        gpu = self._require_gpu()
+        rate = gpu.spec.face_kernel_gflops * FACE_KERNEL_MULTIPLIER[normal_dim] * 1e9
+        t = points * FLOPS_PER_POINT / rate
+        return gpu.launch_kernel(stream, t * self.gpu_share, action, name)
+
+    def thin_kernel(
+        self,
+        stream: Stream,
+        points: int,
+        action: Optional[Callable[[], None]] = None,
+        name: str = "thin",
+    ) -> Event:
+        """Issue a thin uniform slab kernel (coalesced, limited parallelism)."""
+        gpu = self._require_gpu()
+        rate = gpu.spec.stencil_gflops_best * gpu.spec.thin_slab_efficiency * 1e9
+        t = points * FLOPS_PER_POINT / rate
+        return gpu.launch_kernel(stream, t * self.gpu_share, action, name)
+
+    def device_copy_kernel(
+        self,
+        stream: Stream,
+        nbytes: int,
+        normal_dim: int,
+        action: Optional[Callable[[], None]] = None,
+        name: str = "devcopy",
+    ) -> Event:
+        """Device-side face buffer pack/unpack (strided for x/y normals)."""
+        gpu = self._require_gpu()
+        if normal_dim == 2:
+            rate = gpu.spec.mem_bandwidth_gbs * 1e9 * 0.5
+        else:
+            rate = gpu.spec.strided_copy_gbs * 1e9
+        t = 2 * nbytes / rate  # read + write
+        return gpu.launch_kernel(stream, t * self.gpu_share, action, name)
+
+    def h2d(self, stream: Stream, nbytes: int, action=None, name: str = "h2d") -> Event:
+        """Async pinned host-to-device copy."""
+        gpu = self._require_gpu()
+        return gpu.memcpy_h2d(stream, nbytes * self.gpu_share, action, name)
+
+    def d2h(self, stream: Stream, nbytes: int, action=None, name: str = "d2h") -> Event:
+        """Async pinned device-to-host copy."""
+        gpu = self._require_gpu()
+        return gpu.memcpy_d2h(stream, nbytes * self.gpu_share, action, name)
+
+    def pcie_sync(self, nbytes: int, phase: str = "pcie") -> Event:
+        """Blocking unpinned copy (the §IV-F path): host stalls for it.
+
+        The driver services synchronous pageable copies one at a time, so
+        concurrent tasks sharing the GPU queue on its ``sync_copy_lock``
+        (the mirror backend's ``gpu_share`` models the same queueing for
+        phantom node peers).
+        """
+        gpu = self._require_gpu()
+        t = gpu.spec.pcie_latency_s + (
+            nbytes * self.gpu_share / (gpu.spec.pcie_unpinned_gbs * 1e9)
+        )
+        self.phases[phase] += t
+        env = self.env
+
+        def mover():
+            lock = gpu.sync_copy_lock.request()
+            yield lock
+            try:
+                yield env.timeout(t)
+            finally:
+                gpu.sync_copy_lock.release(lock)
+
+        return env.process(mover(), name="pcie-sync")
+
+    # -- topology helpers --------------------------------------------------------
+    def neighbor(self, dim: int, side: int) -> int:
+        """Face-neighbor rank."""
+        return self.decomp.neighbor(self.sub.rank, dim, side)
+
+    def face_bytes(self, dim: int) -> int:
+        """Bytes of one halo face message in ``dim``."""
+        from repro.decomp.halo import face_message_bytes
+
+        return face_message_bytes(self.sub.shape, dim)

@@ -1,0 +1,80 @@
+"""The serialized halo-exchange protocol shared by the MPI implementations.
+
+Implements §IV-B's sequence, per dimension: the master thread issues
+nonblocking receives; all threads pack the two send buffers; the master
+sends and completes the receives; all threads unpack into the halos.
+Dimensions run strictly in x, y, z order so corner data propagates through
+faces (x corners travel via y neighbors, x and y via z).
+
+:func:`post_dim` / :func:`complete_dim` expose the two halves so the
+nonblocking-overlap implementation (§IV-C) can compute between them;
+:func:`bulk_exchange` runs them back-to-back (§IV-B, §IV-H).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.context import FACE_PACK_STRIDE_PENALTY, RankContext
+from repro.simmpi.api import Request, halo_tag
+
+__all__ = ["post_dim", "complete_dim", "bulk_exchange"]
+
+
+def post_dim(ctx: RankContext, dim: int, pack_threads: int | None = None):
+    """Generator: irecvs, pack, isends for one dimension.
+
+    Returns ``(recvs, sends)`` where ``recvs`` maps halo side -> Request.
+    ``pack_threads`` overrides the thread count doing the packing (the
+    OpenMP-overlap implementation packs with the master thread only).
+    """
+    comm = ctx.comm
+    nbytes = ctx.face_bytes(dim)
+    # Master thread first issues nonblocking receive calls (§IV-B). My halo
+    # on `side` is filled by the (dim, side) neighbor's send toward -side.
+    recvs: Dict[int, Request] = {}
+    for side in (-1, 1):
+        recvs[side] = yield from comm.irecv(
+            ctx.neighbor(dim, side), halo_tag(dim, -side), nbytes
+        )
+    # All threads copy into send buffers.
+    yield ctx.memcpy(
+        2 * nbytes, FACE_PACK_STRIDE_PENALTY[dim], phase="pack", threads=pack_threads
+    )
+    sends: List[Request] = []
+    for side in (-1, 1):
+        payload = ctx.data.pack(dim, side)
+        sends.append(
+            (yield from comm.isend(ctx.neighbor(dim, side), halo_tag(dim, side), nbytes, payload))
+        )
+    return recvs, sends
+
+
+def complete_dim(
+    ctx: RankContext,
+    dim: int,
+    recvs: Dict[int, Request],
+    sends: List[Request],
+    unpack_threads: int | None = None,
+):
+    """Generator: complete one dimension's receives and unpack the halos."""
+    comm = ctx.comm
+    nbytes = ctx.face_bytes(dim)
+    payloads = {}
+    for side in (-1, 1):
+        payloads[side] = yield from comm.wait(recvs[side])
+    yield ctx.memcpy(
+        2 * nbytes, FACE_PACK_STRIDE_PENALTY[dim], phase="unpack", threads=unpack_threads
+    )
+    if ctx.data.functional:
+        for side in (-1, 1):
+            ctx.data.unpack(dim, side, payloads[side])
+    for req in sends:
+        yield from comm.wait(req)
+
+
+def bulk_exchange(ctx: RankContext, threads: int | None = None):
+    """Generator: the full bulk-synchronous serialized exchange (§IV-B)."""
+    for dim in range(3):
+        recvs, sends = yield from post_dim(ctx, dim, pack_threads=threads)
+        yield from complete_dim(ctx, dim, recvs, sends, unpack_threads=threads)

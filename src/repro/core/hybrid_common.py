@@ -1,0 +1,40 @@
+"""Shared setup/teardown of the Fig. 1 hybrid implementations."""
+
+from __future__ import annotations
+
+from repro.core.base import Implementation
+from repro.core.context import RankContext
+from repro.core.gpu_common import copy_box_dev_to_host, copy_box_host_to_dev
+from repro.decomp.boxdecomp import BoxDecomposition
+
+__all__ = ["hybrid_setup", "hybrid_drain"]
+
+
+def hybrid_setup(impl: Implementation, ctx: RankContext):
+    """Common §IV-H/I setup: box decomposition, device block, buffers."""
+    gpu = ctx.gpu
+    st = ctx.state
+    box = BoxDecomposition(ctx.sub.shape, ctx.cfg.box_thickness)
+    st["box"] = box
+    st["s1"] = gpu.stream("block")
+    st["s2"] = gpu.stream("edges")
+    shape = [s + 2 for s in box.block_shape]
+    st["u"] = gpu.memory.allocate(f"blk{ctx.sub.rank}", shape, ctx.cfg.functional)
+    st["unew"] = gpu.memory.allocate(f"blknew{ctx.sub.rank}", shape, ctx.cfg.functional)
+    if ctx.cfg.functional:
+        # Initial H2D of the block (outside the measurement).
+        copy_box_host_to_dev(
+            ctx.data.u, st["u"].data, box, (box.block_lo, box.block_hi)
+        )
+        yield ctx.h2d(st["s1"], st["u"].nbytes)
+    yield ctx.gpu.synchronize()
+
+
+def hybrid_drain(impl: Implementation, ctx: RankContext):
+    """Common drain: pull the final block state back to the host field."""
+    if ctx.cfg.functional:
+        st = ctx.state
+        box = st["box"]
+        yield ctx.gpu.synchronize()
+        yield ctx.d2h(st["s1"], st["u"].nbytes)
+        copy_box_dev_to_host(st["u"].data, ctx.data.u, box, (box.block_lo, box.block_hi))

@@ -1,0 +1,167 @@
+"""§IV-I: CPU+GPU partitioned for overlap with nonblocking MPI and
+asynchronous CPU-GPU communication — the paper's best implementation."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.base import Implementation
+from repro.core.context import RankContext
+from repro.core.exchange import complete_dim, post_dim
+from repro.core.gpu_common import (
+    box_points,
+    copy_box_host_to_dev,
+    host_to_dev,
+    inner_boundary_slabs,
+    inner_halo_slabs,
+    slab_normal_split,
+)
+from repro.core.hybrid_common import hybrid_drain, hybrid_setup
+from repro.decomp.boxdecomp import BoxDecomposition
+from repro.machines.calibration import WALL_COMPUTE_EFFICIENCY
+from repro.stencil.kernels import apply_stencil_block
+
+__all__ = ["HybridOverlapMPI"]
+
+
+class HybridOverlapMPI(Implementation):
+    """Everything overlaps: CPU compute, GPU compute, MPI, and PCIe.
+
+    Per step (paper §IV-I):
+
+    1. issue the kernel for the GPU *block interior* to stream 1 — it needs
+       no halo, so it starts immediately and runs under everything else;
+    2. issue to stream 2: async H2D of the inner-halo layer, the block
+       *boundary* kernels, and async D2H of the new inner-boundary layer
+       (double-buffered on the host, applied at the end of the step);
+    3. per dimension, overlap the MPI exchange with the CPU wall-interior
+       points of that same dimension;
+    4. compute the outer boundary points after all communication;
+    5. synchronize the streams, flip the device arrays, copy the wall state.
+
+    The CPU veneer (often thickness 1, Figs. 11/12) decouples the MPI
+    communication from the CPU-GPU communication: the GPU runs one large
+    uniform kernel per step with no face kernels and no exposed PCIe, which
+    is why this implementation nearly matches the GPU-resident rate (82 vs
+    86 GF on one Yona node, §V-E).
+    """
+
+    key = "hybrid_overlap"
+    title = "CPU+GPU full overlap"
+    section = "IV-I"
+    fortran_loc = 860  # stated exactly: 4x the 215-line single-task code
+    uses_mpi = True
+    uses_gpu = True
+
+    def setup(self, ctx: RankContext):
+        yield from hybrid_setup(self, ctx)
+        ctx.state["d2h_staging"] = []  # (slab, array) pairs, applied at step end
+
+    def step(self, ctx: RankContext, index: int):
+        st = ctx.state
+        box: BoxDecomposition = st["box"]
+        data = ctx.data
+        s1, s2 = st["s1"], st["s2"]
+        u_dev, unew_dev = st["u"], st["unew"]
+        coeffs = data.coeffs
+        h2d_bytes, d2h_bytes = box.inner_exchange_bytes()
+        off = host_to_dev(box)
+
+        # 1) Block-interior kernel to stream 1 (no halo dependency).
+        bx, by, bz = box.block_shape
+        interior_pts = max(0, bx - 2) * max(0, by - 2) * max(0, bz - 2)
+
+        def block_interior_action():
+            if u_dev.functional:
+                apply_stencil_block(
+                    u_dev.data, coeffs, unew_dev.data, (1, 1, 1), (bx - 1, by - 1, bz - 1)
+                )
+
+        yield ctx.launch_cost(1)
+        interior_ev = ctx.stencil_kernel(s1, interior_pts, shape=box.block_shape,
+                                         action=block_interior_action)
+        if ctx.cfg.disable_stream_overlap and not interior_ev.processed:
+            yield interior_ev  # ablation: host blocks on every device phase
+
+        # 2) Stream 2: async inner exchange around the block-boundary kernel.
+        in_slabs = inner_halo_slabs(box)
+        out_slabs = inner_boundary_slabs(box)
+        yield ctx.memcpy(h2d_bytes, 0.7, phase="stage")  # pack pinned buffer
+        yield ctx.launch_cost(3)
+
+        def h2d_action():
+            if u_dev.functional:
+                for _, slab in in_slabs:
+                    copy_box_host_to_dev(data.u, u_dev.data, box, slab)
+
+        ctx.h2d(s2, h2d_bytes, action=h2d_action)
+
+        shell_pts = sum(box_points(b) for _, b in out_slabs)
+
+        def boundary_action():
+            if u_dev.functional:
+                for _, (lo, hi) in out_slabs:
+                    # apply_stencil_block wants block-interior coordinates.
+                    dlo = tuple(l - b for l, b in zip(lo, box.block_lo))
+                    dhi = tuple(h - b for h, b in zip(hi, box.block_lo))
+                    apply_stencil_block(u_dev.data, coeffs, unew_dev.data, dlo, dhi)
+
+        ctx.thin_kernel(s2, shell_pts, action=boundary_action)
+
+        staging: List = st["d2h_staging"]
+
+        def d2h_action():
+            if unew_dev.functional:
+                staging.clear()
+                for _, (lo, hi) in out_slabs:
+                    dsl = tuple(
+                        slice(l - o, h - o) for l, h, o in zip(lo, hi, off)
+                    )
+                    staging.append(((lo, hi), unew_dev.data[dsl].copy()))
+
+        d2h_ev = ctx.d2h(s2, d2h_bytes, action=d2h_action)
+        if ctx.cfg.disable_stream_overlap and not d2h_ev.processed:
+            yield d2h_ev  # ablation: wait out the whole inner exchange
+
+        # 3) MPI per dimension, overlapped with that dimension's wall
+        #    interiors (they read no outer halo).
+        for dim in range(3):
+            recvs, sends = yield from post_dim(ctx, dim)
+            pts = sum(
+                box.wall_interior_points_for(w) for w in box.walls_for_dim(dim)
+            )
+            if ctx.cfg.disable_mpi_overlap:
+                # Ablation: finish the exchange first, compute after it.
+                yield from complete_dim(ctx, dim, recvs, sends)
+            yield ctx.compute(pts, efficiency=WALL_COMPUTE_EFFICIENCY)
+            if data.functional:
+                for w in box.walls_for_dim(dim):
+                    data.apply_block(*box.wall_interior_box(w))
+            if not ctx.cfg.disable_mpi_overlap:
+                yield from complete_dim(ctx, dim, recvs, sends)
+
+        # 4) Outer boundary points (the task-surface shell; all CPU).
+        outer_pts = box.wall_outer_boundary_points()
+        yield ctx.compute(outer_pts, boundary=True, pieces=6)
+        if data.functional:
+            for lo, hi in data.boundary_slabs():
+                data.apply_block(lo, hi)
+
+        # 5) Synchronize; apply the double-buffered inner boundary; flip;
+        #    copy the wall state.
+        yield ctx.gpu.synchronize([s1, s2])
+        yield ctx.memcpy(d2h_bytes, 0.7, phase="stage")
+        if data.functional:
+            for (lo, hi), arr in staging:
+                hsl = tuple(slice(1 + l, 1 + h) for l, h in zip(lo, hi))
+                data.u[hsl] = arr
+        st["u"], st["unew"] = st["unew"], st["u"]
+        yield ctx.copy_state_cost(box.cpu_points)
+        if data.functional:
+            for wall in box.walls():
+                data.copy_region(wall.lo, wall.hi)
+
+    def drain(self, ctx: RankContext):
+        yield from hybrid_drain(self, ctx)

@@ -1,0 +1,54 @@
+"""§IV-C: MPI overlap via nonblocking communication."""
+
+from __future__ import annotations
+
+from repro.core.base import Implementation
+from repro.core.context import RankContext
+from repro.core.exchange import complete_dim, post_dim
+
+__all__ = ["NonblockingOverlapMPI"]
+
+
+class NonblockingOverlapMPI(Implementation):
+    """Interleave interior computation with the three exchange phases.
+
+    The local interior is split into the points that touch halo (the
+    *boundary*, computed last) and the interior core, which is cut into
+    thirds along z; the first third executes between nonblocking initiation
+    of the x communication and its completion, the second within y, the
+    third within z (paper §IV-C).
+
+    The overlap is bought with overhead the paper's results expose: the
+    boundary shell is swept by short strided loops (lower efficiency), and
+    each step runs four partial sweeps instead of one fused one. As the
+    per-task subdomain shrinks with core count, the boundary fraction grows
+    and the penalty overtakes the hidden communication — which is exactly
+    the crossover of Figs. 3 and 4.
+    """
+
+    key = "nonblocking"
+    title = "MPI + nonblocking overlap"
+    section = "IV-C"
+    fortran_loc = 372  # 215 + 73% ("with the nonblocking overlap adding the most")
+    uses_mpi = True
+    uses_gpu = False
+
+    def step(self, ctx: RankContext, index: int):
+        data = ctx.data
+        thirds = data.core_thirds()
+        for dim in range(3):
+            recvs, sends = yield from post_dim(ctx, dim)
+            lo, hi = thirds[dim]
+            pts = (
+                max(0, hi[0] - lo[0]) * max(0, hi[1] - lo[1]) * max(0, hi[2] - lo[2])
+            )
+            yield ctx.compute(pts)
+            data.apply_block(lo, hi)
+            yield from complete_dim(ctx, dim, recvs, sends)
+        # Boundary points after all communication (strided shell loops).
+        yield ctx.compute(data.boundary_points(), boundary=True, pieces=6)
+        if data.functional:
+            for lo, hi in data.boundary_slabs():
+                data.apply_block(lo, hi)
+        yield ctx.copy_state_cost(ctx.sub.points)
+        data.copy_state()

@@ -1,0 +1,55 @@
+"""Implementation registry."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.base import Implementation
+from repro.core.bulk_direct import BulkDirectMPI
+from repro.core.bulk_mpi import BulkSyncMPI
+from repro.core.gpu_bulk_mpi import GpuBulkMPI
+from repro.core.gpu_resident import GpuResident
+from repro.core.gpu_streams_mpi import GpuStreamsMPI
+from repro.core.hybrid_bulk import HybridBulkMPI
+from repro.core.hybrid_overlap import HybridOverlapMPI
+from repro.core.nonblocking_mpi import NonblockingOverlapMPI
+from repro.core.single_task import SingleTask
+from repro.core.thread_overlap_mpi import ThreadOverlapMPI
+
+__all__ = ["IMPLEMENTATIONS", "get_implementation", "CPU_KEYS", "GPU_KEYS", "PAPER_KEYS", "EXTENSION_KEYS"]
+
+#: key -> singleton instance: the paper's nine (§IV order), then extensions.
+IMPLEMENTATIONS: Dict[str, Implementation] = {
+    impl.key: impl
+    for impl in (
+        SingleTask(),
+        BulkSyncMPI(),
+        NonblockingOverlapMPI(),
+        ThreadOverlapMPI(),
+        GpuResident(),
+        GpuBulkMPI(),
+        GpuStreamsMPI(),
+        HybridBulkMPI(),
+        HybridOverlapMPI(),
+        BulkDirectMPI(),
+    )
+}
+
+#: The paper's §IV implementations, in order.
+PAPER_KEYS = (
+    "single", "bulk", "nonblocking", "thread_overlap", "gpu_resident",
+    "gpu_bulk", "gpu_streams", "hybrid_bulk", "hybrid_overlap",
+)
+#: Extensions beyond the paper (DESIGN.md §7).
+EXTENSION_KEYS = ("bulk_direct",)
+#: CPU-only implementation keys (plotted on all four machines).
+CPU_KEYS = ("single", "bulk", "nonblocking", "thread_overlap", "bulk_direct")
+#: GPU implementation keys (plotted on Lens and Yona only).
+GPU_KEYS = ("gpu_resident", "gpu_bulk", "gpu_streams", "hybrid_bulk", "hybrid_overlap")
+
+
+def get_implementation(key: str) -> Implementation:
+    """Look up an implementation by registry key."""
+    if key not in IMPLEMENTATIONS:
+        raise KeyError(f"unknown implementation {key!r}; known: {sorted(IMPLEMENTATIONS)}")
+    return IMPLEMENTATIONS[key]

@@ -1,0 +1,172 @@
+"""Execute one :class:`~repro.core.config.RunConfig` on the simulator.
+
+The runner builds the DES environment, the decomposition, the network
+backend (full or mirror), optional GPUs, and one rank process per task
+(one representative process in mirror mode). The measurement follows the
+paper's protocol: GPU sync and an MPI barrier immediately before reading
+the start and end times; setup (initial H2D, pipeline priming) and drain
+(final D2H for verification) are outside the measured window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.base import Implementation
+from repro.core.config import RunConfig, RunResult
+from repro.core.context import RankContext
+from repro.core.data import RankData
+from repro.core.registry import get_implementation
+from repro.decomp.partition import Decomposition
+from repro.des.trace import Tracer
+from repro.des import Environment
+from repro.simgpu.device import Gpu
+from repro.simmpi.mirror import MirrorComm, MirrorProfile
+from repro.simmpi.world import World
+from repro.stencil.analytic import analytic_solution, error_norms
+from repro.stencil.grid import Grid3D
+
+__all__ = ["run"]
+
+
+def _rank_main(impl: Implementation, ctx: RankContext, record: Dict[str, float]):
+    yield from impl.setup(ctx)
+    if ctx.gpu is not None:
+        yield ctx.gpu.synchronize()
+    if ctx.comm is not None:
+        yield from ctx.comm.barrier()
+    record["t0"] = ctx.env.now
+    for i in range(ctx.cfg.steps):
+        yield from impl.step(ctx, i)
+    yield from impl.finish_timed(ctx)
+    if ctx.comm is not None:
+        yield from ctx.comm.barrier()
+    record["t1"] = ctx.env.now
+    yield from impl.drain(ctx)
+
+
+def _build_full(env: Environment, cfg: RunConfig, impl: Implementation,
+                decomp: Decomposition) -> List[RankContext]:
+    machine = cfg.machine
+    world: Optional[World] = None
+    if impl.uses_mpi:
+        world = World(
+            env, cfg.ntasks, machine.interconnect, machine.node, cfg.tasks_per_node
+        )
+    gpus: Dict[int, Gpu] = {}
+    contexts = []
+    tasks_per_gpu = _tasks_per_gpu(cfg)
+    for rank in range(cfg.ntasks):
+        sub = decomp.subdomain(rank)
+        comm = world.comm(rank) if world is not None else None
+        gpu = None
+        if impl.uses_gpu:
+            gpu_id = rank // tasks_per_gpu
+            if gpu_id not in gpus:
+                gpus[gpu_id] = Gpu(env, machine.gpu, name=f"gpu{gpu_id}")
+            gpu = gpus[gpu_id]
+        contexts.append(
+            RankContext(env, cfg, sub, decomp, comm, RankData(cfg, sub), gpu, 1)
+        )
+    return contexts
+
+
+def _tasks_per_gpu(cfg: RunConfig) -> int:
+    """Tasks sharing one GPU (the machine may host several per node)."""
+    gpus_per_node = max(1, cfg.machine.gpus_per_node)
+    import math
+
+    return max(1, math.ceil(cfg.tasks_per_node / gpus_per_node))
+
+
+def _build_mirror(env: Environment, cfg: RunConfig, impl: Implementation,
+                  decomp: Decomposition) -> List[RankContext]:
+    machine = cfg.machine
+    comm = None
+    rep_rank = 0
+    if impl.uses_mpi:
+        profile = MirrorProfile.for_decomposition(machine, decomp, cfg.tasks_per_node)
+        comm = MirrorComm(env, profile)
+        rep_rank = profile.representative_rank
+    sub = decomp.subdomain(rep_rank)
+    gpu = None
+    gpu_share = 1
+    if impl.uses_gpu:
+        gpu = Gpu(env, machine.gpu, name="gpu")
+        # Tasks sharing a GPU serialize on it; the representative's kernels
+        # and transfers are stretched by that contention.
+        gpu_share = _tasks_per_gpu(cfg)
+    return [RankContext(env, cfg, sub, decomp, comm, RankData(cfg, sub), gpu, gpu_share)]
+
+
+def _gather_field(cfg: RunConfig, contexts: List[RankContext]) -> np.ndarray:
+    out = np.zeros(cfg.domain)
+    for ctx in contexts:
+        view = ctx.data.interior_view()
+        sl = tuple(
+            slice(o, o + s) for o, s in zip(ctx.sub.offset, ctx.sub.shape)
+        )
+        out[sl] = view
+    return out
+
+
+def run(cfg: RunConfig) -> RunResult:
+    """Run one configuration; returns timing (and fields when functional)."""
+    impl = get_implementation(cfg.implementation)
+    impl.validate(cfg)
+    env = Environment()
+    decomp = Decomposition(cfg.ntasks, cfg.domain)
+
+    if cfg.network == "full":
+        contexts = _build_full(env, cfg, impl, decomp)
+    else:
+        contexts = _build_mirror(env, cfg, impl, decomp)
+
+    tracer = None
+    if cfg.trace:
+        tracer = Tracer()
+        contexts[0].tracer = tracer
+        if contexts[0].gpu is not None:
+            contexts[0].gpu.tracer = tracer
+
+    records: List[Dict[str, float]] = [dict() for _ in contexts]
+    for ctx, rec in zip(contexts, records):
+        env.process(_rank_main(impl, ctx, rec), name=f"rank{ctx.sub.rank}")
+    env.run()
+
+    for rec in records:
+        if "t1" not in rec:
+            raise RuntimeError(
+                f"{cfg.implementation}: a rank never finished (deadlock in the program)"
+            )
+    t0 = min(r["t0"] for r in records)
+    t1 = max(r["t1"] for r in records)
+    elapsed = t1 - t0
+    if elapsed <= 0:
+        raise RuntimeError(f"{cfg.implementation}: non-positive elapsed time")
+
+    comm0 = contexts[0].comm
+    comm_stats = {}
+    if comm0 is not None:
+        comm_stats = {
+            "messages_sent": comm0.messages_sent,
+            "bytes_sent": comm0.bytes_sent,
+            "messages_received": comm0.messages_received,
+            "bytes_received": comm0.bytes_received,
+        }
+    result = RunResult(
+        config=cfg, elapsed_s=elapsed, phases=dict(contexts[0].phases),
+        tracer=tracer, comm_stats=comm_stats,
+    )
+    if cfg.functional:
+        field = _gather_field(cfg, contexts)
+        grid = Grid3D(cfg.domain)
+        dt = cfg.nu * grid.min_spacing
+        exact = analytic_solution(
+            grid, cfg.velocity, time=cfg.steps * dt, sigma=cfg.sigma
+        )
+        result.global_field = field
+        result.norms = error_norms(field, exact)
+    return result

@@ -1,0 +1,42 @@
+"""§IV-A: single task with OpenMP threads (the baseline)."""
+
+from __future__ import annotations
+
+from repro.core.base import Implementation
+from repro.core.context import FACE_PACK_STRIDE_PENALTY, RankContext
+
+__all__ = ["SingleTask"]
+
+
+class SingleTask(Implementation):
+    """One process, OpenMP-threaded loops, periodic copies in memory.
+
+    Each time step (paper §IV-A):
+
+    1. copy periodic boundaries (doubly nested loops, outer parallelized);
+    2. compute the new state via Equation 2 (triply nested, collapse(2));
+    3. copy the new state to the current state.
+    """
+
+    key = "single"
+    title = "Single task"
+    section = "IV-A"
+    fortran_loc = 215  # stated exactly in the paper
+    uses_mpi = False
+    uses_gpu = False
+
+    def step(self, ctx: RankContext, index: int):
+        data = ctx.data
+        # Step 1: periodic halo copies, dimension by dimension so the
+        # corner values propagate exactly like the MPI exchange does.
+        for dim in range(3):
+            yield ctx.memcpy(
+                2 * ctx.face_bytes(dim), FACE_PACK_STRIDE_PENALTY[dim], phase="halo"
+            )
+            data.fill_halo_local([dim])
+        # Step 2: Equation 2 over the whole interior.
+        yield ctx.compute(ctx.sub.points)
+        data.apply_all()
+        # Step 3: copy new state over current state.
+        yield ctx.copy_state_cost(ctx.sub.points)
+        data.copy_state()

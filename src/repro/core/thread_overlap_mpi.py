@@ -1,0 +1,72 @@
+"""§IV-D: MPI overlap via an asynchronous OpenMP thread."""
+
+from __future__ import annotations
+
+from repro.core.base import Implementation
+from repro.core.context import RankContext
+from repro.core.exchange import bulk_exchange
+from repro.machines.calibration import COMM_THREAD_INTERFERENCE
+
+__all__ = ["ThreadOverlapMPI"]
+
+
+class ThreadOverlapMPI(Implementation):
+    """The master thread communicates while the others compute.
+
+    The interior core runs under ``schedule(guided)`` so the master can join
+    once communication finishes; an OpenMP barrier then gates the boundary
+    computation (paper §IV-D). The model charges:
+
+    * the full serialized exchange on the master's timeline, with
+      single-thread packing (the master is alone in the communication);
+    * the interior core at a piecewise rate — ``threads - 1`` workers while
+      the master communicates, all ``threads`` afterwards — with the
+      schedule(guided) overhead applied throughout;
+    * the boundary shell afterwards, on all threads.
+
+    The guided-schedule tax on the bulk of the work is why this
+    implementation "consistently lags" in the paper's Figs. 3 and 4.
+    """
+
+    key = "thread_overlap"
+    title = "MPI + OpenMP-thread overlap"
+    section = "IV-D"
+    fortran_loc = 344  # 215 + ~60% (within the paper's 57-73% band)
+    uses_mpi = True
+    uses_gpu = False
+
+    def step(self, ctx: RankContext, index: int):
+        data = ctx.data
+        core = data.core_points()
+        env = ctx.env
+
+        # Master thread performs the whole exchange (single-thread packing).
+        t_comm_start = env.now
+        yield from bulk_exchange(ctx, threads=1)
+        tau = env.now - t_comm_start
+
+        # Interior core at the piecewise rate.
+        workers = ctx.threads - 1
+        if workers > 0:
+            # Workers lose memory bandwidth to the master's MPI-internal
+            # copies while communication is in flight.
+            t_workers = ctx.compute_seconds(
+                core, threads=workers, guided=True,
+                efficiency=COMM_THREAD_INTERFERENCE,
+            )
+            done_fraction = min(1.0, tau / t_workers) if t_workers > 0 else 1.0
+        else:
+            done_fraction = 0.0  # a single thread cannot overlap anything
+        remaining = 1.0 - done_fraction
+        if remaining > 0:
+            t_all = ctx.compute_seconds(core, guided=True)
+            yield ctx.host_delay(remaining * t_all, phase="compute")
+        data.apply_block(*data.core_box())
+
+        # OpenMP barrier, then boundary points on all threads.
+        yield ctx.compute(data.boundary_points(), boundary=True, pieces=6)
+        if data.functional:
+            for lo, hi in data.boundary_slabs():
+                data.apply_block(lo, hi)
+        yield ctx.copy_state_cost(ctx.sub.points)
+        data.copy_state()

@@ -1,0 +1,41 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free coroutine discrete-event engine in the style of
+SimPy, sized for what the simulated MPI (:mod:`repro.simmpi`) and simulated
+GPU (:mod:`repro.simgpu`) substrates need:
+
+* :class:`Environment` — the simulation clock and event queue.
+* :class:`Event`, :class:`Timeout`, :class:`Process` — awaitable primitives.
+  Simulated activities are plain Python generators that ``yield`` events.
+* :class:`AllOf` / :class:`AnyOf` — barrier / race composition.
+* :class:`~repro.des.resources.Resource` — counted exclusive resources
+  (e.g. GPU copy engines).
+* :class:`~repro.des.resources.SharedBandwidth` — processor-sharing
+  bandwidth (e.g. a NIC or PCIe link shared by concurrent transfers).
+
+Time is a ``float`` in seconds of *virtual* (simulated) machine time; it has
+no relation to wall-clock time of the simulation itself.
+"""
+
+from repro.des.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.des.resources import Resource, SharedBandwidth
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "Resource",
+    "SharedBandwidth",
+    "SimulationError",
+    "Timeout",
+]

@@ -1,0 +1,389 @@
+"""Core event loop: events, timeouts, processes, and condition events.
+
+The engine is deterministic: events scheduled for the same simulated time
+fire in scheduling order (FIFO), which makes simulation results exactly
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double-trigger, bad yield...)."""
+
+
+# Event lifecycle states.
+_PENDING = 0  # created, not yet triggered
+_TRIGGERED = 1  # value decided, callbacks scheduled to run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* by :meth:`succeed` or :meth:`fail`; at that point
+    its value (or exception) is frozen and its callbacks are scheduled to run
+    at the current simulated time.
+    """
+
+    __slots__ = ("env", "callbacks", "_state", "_ok", "_value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._state = _PENDING
+        self._ok = True
+        self._value: Any = None
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event's outcome has been decided."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception for failed events)."""
+        if self._state == _PENDING:
+            raise SimulationError("event value read before it was triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._state = _TRIGGERED
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exception``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = _TRIGGERED
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self)
+        return self
+
+    # -- engine internals ---------------------------------------------------
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at t={self.env.now:g}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` simulated seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self._state = _TRIGGERED
+        self._value = value
+        env._enqueue(self, delay)
+
+
+class Process(Event):
+    """A running activity driven by a generator.
+
+    The generator yields :class:`Event` instances; the process suspends until
+    each yielded event is processed and resumes with the event's value (or
+    has the exception thrown in, for failed events). The process — itself an
+    event — succeeds with the generator's return value, so processes can wait
+    on each other.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current time via an immediately-triggered event.
+        bootstrap = Event(env)
+        bootstrap._state = _TRIGGERED
+        bootstrap.callbacks.append(self._resume)
+        env._enqueue(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        try:
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
+            else:
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # A crashed process fails its own event so waiters see the error;
+            # with no waiters attached, Environment.run re-raises instead of
+            # letting the crash vanish silently.
+            has_waiters = bool(self.callbacks)
+            self.fail(exc)
+            if not has_waiters:
+                self.env._record_crash(self, exc)
+            return
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, expected Event"
+            )
+            self.fail(err)
+            self.env._record_crash(self, err)
+            return
+        if target.env is not self.env:
+            err = SimulationError("process yielded an event from a different Environment")
+            self.fail(err)
+            self.env._record_crash(self, err)
+            return
+        self._waiting_on = target
+        if target._state == _PROCESSED:
+            # Already fully processed: resume on a fresh immediate event that
+            # carries the same outcome.
+            relay = Event(self.env)
+            relay._state = _TRIGGERED
+            relay._ok = target._ok
+            relay._value = target._value
+            relay.callbacks.append(self._resume)
+            self.env._enqueue(relay)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composition over a fixed set of events."""
+
+    __slots__ = ("_events", "_pending_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different Environments")
+        self._pending_count = 0
+        for ev in self._events:
+            if ev._state == _PROCESSED:
+                self._observe(ev)
+            else:
+                self._pending_count += 1
+                ev.callbacks.append(self._observe)
+        self._check_immediate()
+
+    def _check_immediate(self) -> None:
+        raise NotImplementedError
+
+    def _observe(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when every constituent event has succeeded.
+
+    Value is the list of constituent values, in constructor order. Fails as
+    soon as any constituent fails.
+    """
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        self._remaining = 0  # set before super() since _observe may fire
+        events = list(events)
+        self._remaining = len(events)
+        super().__init__(env, events)
+
+    def _check_immediate(self) -> None:
+        if self._remaining == 0 and self._state == _PENDING:
+            self.succeed([ev._value for ev in self._events])
+
+    def _observe(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(_Condition):
+    """Succeeds with the value of the first constituent event to succeed.
+
+    Fails only if *all* constituents fail (with the last failure).
+    """
+
+    __slots__ = ("_failures",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        events = list(events)
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        self._failures = 0
+        super().__init__(env, events)
+
+    def _check_immediate(self) -> None:
+        pass  # handled via _observe on already-processed events
+
+    def _observe(self, ev: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if ev._ok:
+            self.succeed(ev._value)
+        else:
+            self._failures += 1
+            if self._failures == len(self._events):
+                self.fail(ev._value)
+
+
+class Environment:
+    """Simulation clock, event queue, and process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = 0  # FIFO tie-break for same-time events
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a process driving ``generator``; returns its Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that succeeds when all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that succeeds when the first of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._counter, event))
+        self._counter += 1
+
+    def _record_crash(self, process: Process, exc: BaseException) -> None:
+        self._crashed.append((process, exc))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a ``float`` — run until simulated time reaches it;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (raising its exception if it failed).
+
+        If a process crashes and nothing was waiting on it, the first such
+        crash is re-raised here so errors are never silently swallowed.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError("until is in the past")
+
+        while self._queue:
+            if self._queue[0][0] > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+            if self._crashed:
+                proc, exc = self._crashed[0]
+                if stop_event is None or not stop_event.triggered:
+                    raise exc
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+
+        if stop_event is not None and not stop_event.processed:
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired "
+                "(deadlock: some process is waiting on an event nobody triggers)"
+            )
+        if self._crashed:
+            raise self._crashed[0][1]
+        return None

@@ -1,0 +1,15 @@
+"""One module per table and figure of the paper's evaluation.
+
+Every experiment exposes ``run(fast=False) -> ExperimentResult``; the
+result carries the regenerated rows/series plus the paper's corresponding
+claim, and ``to_text()`` prints the same kind of table the paper plots.
+``fast=True`` trims the sweep (fewer core counts / thread options) for the
+test suite; the benchmark harness runs the full versions.
+
+Use :data:`EXPERIMENTS` to enumerate them or
+:func:`run_experiment` to run one by id (e.g. ``"fig9"``).
+"""
+
+from repro.experiments.common import EXPERIMENTS, ExperimentResult, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

@@ -1,0 +1,76 @@
+"""Shared builder for the CPU-GPU load-balance figures (11, 12)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import RunConfig
+from repro.core.runner import run as run_config
+from repro.experiments.common import ExperimentResult
+from repro.machines.spec import MachineSpec
+from repro.perf.sweep import valid_thread_counts
+
+__all__ = ["balance_experiment", "DEFAULT_THICKNESSES"]
+
+DEFAULT_THICKNESSES: Sequence[int] = (1, 2, 3, 4, 6, 8, 10, 12, 16)
+
+
+def balance_experiment(
+    machine: MachineSpec,
+    exp_id: str,
+    paper_claim: str,
+    fast: bool = False,
+) -> ExperimentResult:
+    """Hybrid-overlap GF for (threads/task x box thickness) combinations.
+
+    Like the paper's Figs. 11/12, only combinations that are best for at
+    least one core count are reported as series; the rows carry the full
+    sweep's best per core count.
+    """
+    core_counts = machine.figure_core_counts
+    thicknesses = (1, 3, 8) if fast else DEFAULT_THICKNESSES
+    if fast:
+        core_counts = core_counts[:: max(1, len(core_counts) // 3)]
+    all_points = {}  # (threads, T) -> {cores: gf}
+    for cores in core_counts:
+        for t in valid_thread_counts(machine, cores):
+            for thick in thicknesses:
+                try:
+                    cfg = RunConfig(
+                        machine=machine, implementation="hybrid_overlap",
+                        cores=cores, threads_per_task=t, box_thickness=thick,
+                    )
+                except ValueError:
+                    continue
+                try:
+                    gf = run_config(cfg).gflops
+                except ValueError:
+                    continue
+                all_points.setdefault((t, thick), {})[cores] = gf
+    # Combinations that win at least one core count (the paper's selection).
+    winners = set()
+    best_rows = []
+    for cores in core_counts:
+        best_combo, best_gf = None, float("-inf")
+        for combo, pts in all_points.items():
+            if cores in pts and pts[cores] > best_gf:
+                best_combo, best_gf = combo, pts[cores]
+        if best_combo is not None:
+            winners.add(best_combo)
+            tasks_per_node = machine.node.cores // best_combo[0]
+            best_rows.append(
+                [cores, best_combo[0], tasks_per_node, best_combo[1], best_gf]
+            )
+    series = {
+        f"thr={t},T={thick}": pts
+        for (t, thick), pts in sorted(all_points.items())
+        if (t, thick) in winners
+    }
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"{machine.name} CPU-GPU overlap by threads/task and box thickness",
+        paper_claim=paper_claim,
+        columns=["cores", "best threads", "tasks/node", "best thickness", "GF"],
+        rows=best_rows,
+        series=series,
+    )

@@ -1,0 +1,46 @@
+"""Shared builder for the GPU block-size figures (7, 8)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.machines.spec import MachineSpec
+from repro.simgpu.blockmodel import (
+    X_CANDIDATES,
+    best_block,
+    kernel_rate_gflops,
+)
+
+__all__ = ["blocks_experiment"]
+
+
+def blocks_experiment(
+    machine: MachineSpec,
+    exp_id: str,
+    paper_claim: str,
+    fast: bool = False,
+) -> ExperimentResult:
+    """GPU-resident GF over the paper's 2-D block sweep (§V-C)."""
+    gpu = machine.gpu
+    series = {}
+    rows = []
+    y_step = 2 if fast else 1
+    for bx in X_CANDIDATES:
+        pts = {}
+        for by in range(1, gpu.max_threads_per_block // bx + 1, y_step):
+            try:
+                pts[by] = kernel_rate_gflops(gpu, (bx, by))
+            except ValueError:
+                continue
+        series[f"x={bx}"] = pts
+        for by, gf in pts.items():
+            rows.append([bx, by, gf])
+    bb = best_block(gpu)
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"GPU-resident performance vs block size on {machine.name} ({gpu.name})",
+        paper_claim=paper_claim,
+        columns=["block x", "block y", "GF"],
+        rows=rows,
+        series=series,
+        notes=f"best block: {bb[0]}x{bb[1]} at {kernel_rate_gflops(gpu, bb):.1f} GF",
+    )

@@ -1,0 +1,89 @@
+"""Shared experiment plumbing: result container and registry."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table or figure."""
+
+    exp_id: str  # e.g. "fig9"
+    title: str
+    paper_claim: str  # what the paper reports, quoted/paraphrased
+    columns: List[str]
+    rows: List[List[Any]]
+    #: series name -> {x: y} for figure-style results
+    series: Dict[str, Dict[Any, float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        """Plain-text table of the regenerated data."""
+        widths = [
+            max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows)) if self.rows else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.exp_id}: {self.title}"]
+        lines.append("  paper: " + self.paper_claim)
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in self.rows:
+            lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+        if self.notes:
+            lines.append("note: " + self.notes)
+        return "\n".join(lines)
+
+    def best_series_at(self, x: Any) -> str:
+        """Name of the highest series at abscissa ``x``."""
+        best_name, best_val = None, float("-inf")
+        for name, pts in self.series.items():
+            if x in pts and pts[x] > best_val:
+                best_name, best_val = name, pts[x]
+        if best_name is None:
+            raise KeyError(f"no series has a point at {x!r}")
+        return best_name
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+#: experiment id -> (module, description)
+EXPERIMENTS: Dict[str, str] = {
+    "table1": "repro.experiments.table1_coefficients",
+    "table2": "repro.experiments.table2_machines",
+    "fig2": "repro.experiments.fig2_loc",
+    "fig3": "repro.experiments.fig3_jaguarpf",
+    "fig4": "repro.experiments.fig4_hopper",
+    "fig5": "repro.experiments.fig5_jaguarpf_threads",
+    "fig6": "repro.experiments.fig6_hopper_threads",
+    "fig7": "repro.experiments.fig7_lens_blocks",
+    "fig8": "repro.experiments.fig8_yona_blocks",
+    "fig9": "repro.experiments.fig9_lens_scaling",
+    "fig10": "repro.experiments.fig10_yona_scaling",
+    "fig11": "repro.experiments.fig11_lens_balance",
+    "fig12": "repro.experiments.fig12_yona_balance",
+    "sec5e": "repro.experiments.sec5e_single_node",
+    "weak": "repro.experiments.weak_scaling",
+    "future": "repro.experiments.future_machines",
+    "convergence": "repro.experiments.convergence",
+    "sensitivity": "repro.experiments.sensitivity",
+    "text5b": "repro.experiments.text5b_threads",
+    "protocols": "repro.experiments.protocols",
+}
+
+
+def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
+    mod = importlib.import_module(EXPERIMENTS[exp_id])
+    return mod.run(fast=fast)

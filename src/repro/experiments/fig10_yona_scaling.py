@@ -1,0 +1,34 @@
+"""Fig. 10: best performance of each Yona implementation vs cores."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.scaling import scaling_experiment
+from repro.machines import YONA
+
+#: All parallel implementations; the GPU ones use one GPU per 12 cores.
+IMPLS = (
+    "single",
+    "bulk",
+    "nonblocking",
+    "thread_overlap",
+    "gpu_bulk",
+    "gpu_streams",
+    "hybrid_bulk",
+    "hybrid_overlap",
+)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 10."""
+    return scaling_experiment(
+        YONA,
+        IMPLS,
+        "fig10",
+        paper_claim=(
+            "The GPUs are a larger fraction of Yona's power than Lens's; the "
+            "best CPU-GPU implementation exceeds four times the best "
+            "CPU-only implementation."
+        ),
+        fast=fast,
+    )

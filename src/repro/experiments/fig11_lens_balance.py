@@ -1,0 +1,20 @@
+"""Fig. 11: Lens CPU-GPU overlap by threads/task and box thickness."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.balance import balance_experiment
+from repro.machines import LENS
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 11."""
+    return balance_experiment(
+        LENS,
+        "fig11",
+        paper_claim=(
+            "Best performance comes from few tasks per node, and the best "
+            "box thickness decreases with increasing core count."
+        ),
+        fast=fast,
+    )

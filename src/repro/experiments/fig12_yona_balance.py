@@ -1,0 +1,21 @@
+"""Fig. 12: Yona CPU-GPU overlap by threads/task and box thickness."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.balance import balance_experiment
+from repro.machines import YONA
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 12."""
+    return balance_experiment(
+        YONA,
+        "fig12",
+        paper_claim=(
+            "Best performance from few tasks per node, often just one; the "
+            "best thickness is often just 1 — a veneer — showing the win is "
+            "decoupling MPI from CPU-GPU communication, not load balancing."
+        ),
+        fast=fast,
+    )

@@ -1,0 +1,21 @@
+"""Fig. 5: JaguarPF bulk-synchronous performance by threads per task."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.threads import threads_experiment
+from repro.machines import JAGUARPF
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 5."""
+    return threads_experiment(
+        JAGUARPF,
+        "fig5",
+        paper_claim=(
+            "Each of 1, 2, 3, 6 and 12 threads per task is best for at least "
+            "one core count; the best number generally increases with the "
+            "total number of cores."
+        ),
+        fast=fast,
+    )

@@ -1,0 +1,21 @@
+"""Fig. 6: Hopper II bulk-synchronous performance by threads per task."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.threads import threads_experiment
+from repro.machines import HOPPER
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 6."""
+    return threads_experiment(
+        HOPPER,
+        "fig6",
+        paper_claim=(
+            "Results vary more than on JaguarPF, but larger thread counts "
+            "are best at the highest core counts; only 24 threads per task "
+            "is never optimal."
+        ),
+        fast=fast,
+    )

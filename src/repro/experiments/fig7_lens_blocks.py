@@ -1,0 +1,20 @@
+"""Fig. 7: GPU-resident performance vs block size on Lens (C1060)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.blocks import blocks_experiment
+from repro.machines import LENS
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 7."""
+    return blocks_experiment(
+        LENS,
+        "fig7",
+        paper_claim=(
+            "x = 32 (the warp size) tends to be best; the top performance "
+            "comes from a 32x11 block."
+        ),
+        fast=fast,
+    )

@@ -1,0 +1,20 @@
+"""Fig. 8: GPU-resident performance vs block size on Yona (C2050)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.blocks import blocks_experiment
+from repro.machines import YONA
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 8."""
+    return blocks_experiment(
+        YONA,
+        "fig8",
+        paper_claim=(
+            "Best performance again at x = 32, with a slightly smaller "
+            "y = 8; the best GPU-resident rate on Yona is 86 GF."
+        ),
+        fast=fast,
+    )

@@ -1,0 +1,35 @@
+"""Fig. 9: best performance of each Lens implementation vs cores."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.scaling import scaling_experiment
+from repro.machines import LENS
+
+#: All parallel implementations; the GPU ones use one GPU per 16 cores.
+IMPLS = (
+    "single",
+    "bulk",
+    "nonblocking",
+    "thread_overlap",
+    "gpu_bulk",
+    "gpu_streams",
+    "hybrid_bulk",
+    "hybrid_overlap",
+)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 9."""
+    return scaling_experiment(
+        LENS,
+        IMPLS,
+        "fig9",
+        paper_claim=(
+            "CPU-only implementations benefit little from overlap; GPU "
+            "implementations benefit greatly, particularly full overlap; the "
+            "best CPU-GPU performance exceeds the sum of the best CPU-only "
+            "plus the best GPU-computation performance."
+        ),
+        fast=fast,
+    )

@@ -1,0 +1,73 @@
+"""Extension: the paper's §VI architecture outlook, quantified.
+
+The conclusions make two forward-looking observations:
+
+1. "a computer tuned for our test might have a smaller number of CPU cores
+   per GPU, or conversely a larger number of GPUs" — we sweep Yona-like
+   nodes with 1, 2, 3 and 4 GPUs per node;
+2. "an architecture with faster, lower-latency CPU-GPU communication could
+   have a performance profile significantly different" — we sweep the PCIe
+   link speed and watch the §IV-F/G implementations close the gap to the
+   hybrid.
+
+Both sweeps run single-node so the interconnect does not confound the
+node-architecture question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import ExperimentResult
+from repro.machines import YONA
+from repro.perf.sweep import best_over_threads
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Run both §VI sweeps."""
+    rows = []
+    series = {"gpus_per_node": {}, "pcie_gpu_bulk": {}, "pcie_gpu_streams": {},
+              "pcie_hybrid": {}}
+
+    gpu_counts = (1, 2) if fast else (1, 2, 3, 4)
+    for g in gpu_counts:
+        machine = replace(YONA, gpus_per_node=g)
+        best = best_over_threads(machine, "hybrid_overlap", 12)
+        series["gpus_per_node"][g] = best.gflops
+        rows.append(["gpus/node", g, best.gflops,
+                     f"thr={best.config.threads_per_task}, T={best.config.box_thickness}"])
+
+    factors = (1, 4) if fast else (1, 2, 4, 8)
+    for f in factors:
+        gpu = replace(
+            YONA.gpu,
+            pcie_bandwidth_gbs=YONA.gpu.pcie_bandwidth_gbs * f,
+            pcie_unpinned_gbs=YONA.gpu.pcie_unpinned_gbs * f,
+            pcie_latency_us=YONA.gpu.pcie_latency_us / f,
+        )
+        machine = replace(YONA, gpu=gpu)
+        for key, series_name in (
+            ("gpu_bulk", "pcie_gpu_bulk"),
+            ("gpu_streams", "pcie_gpu_streams"),
+            ("hybrid_overlap", "pcie_hybrid"),
+        ):
+            best = best_over_threads(machine, key, 12)
+            series[series_name][f] = best.gflops
+            rows.append([f"pcie x{f}", key, best.gflops, ""])
+
+    return ExperimentResult(
+        exp_id="future",
+        title="§VI outlook: more GPUs per node, faster CPU-GPU links (Yona, 1 node)",
+        paper_claim=(
+            "A machine tuned for this test might have more GPUs per node; a "
+            "faster CPU-GPU link would change the profile significantly."
+        ),
+        columns=["sweep", "value", "best GF", "config"],
+        rows=rows,
+        series=series,
+        notes=(
+            "Faster PCIe lifts gpu_bulk/gpu_streams but they stay face-kernel "
+            "bound; extra GPUs scale the hybrid until the CPU veneer runs out "
+            "of cores to feed them."
+        ),
+    )

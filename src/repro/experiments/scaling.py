@@ -1,0 +1,52 @@
+"""Shared builder for the best-performance-vs-cores figures (3, 4, 9, 10)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.registry import get_implementation
+from repro.experiments.common import ExperimentResult
+from repro.machines.spec import MachineSpec
+from repro.perf.sweep import best_over_threads
+
+__all__ = ["scaling_experiment"]
+
+
+def scaling_experiment(
+    machine: MachineSpec,
+    impl_keys: Sequence[str],
+    exp_id: str,
+    paper_claim: str,
+    fast: bool = False,
+    thicknesses: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Best GF of each implementation over the machine's core counts.
+
+    Each point is the best over threads/task (and box thickness for hybrid
+    implementations), exactly like the paper's "best performance of each
+    implementation" figures.
+    """
+    core_counts = machine.figure_core_counts
+    if fast:
+        core_counts = core_counts[:: max(1, len(core_counts) // 3)]
+        thicknesses = thicknesses or (1, 3, 8)
+    series = {k: {} for k in impl_keys}
+    for cores in core_counts:
+        for key in impl_keys:
+            impl = get_implementation(key)
+            if not impl.uses_mpi and cores > machine.node.cores:
+                continue  # single-task codes stop at one node
+            res = best_over_threads(machine, key, cores, thicknesses=thicknesses)
+            if res is not None:
+                series[key][cores] = res.gflops
+    rows = []
+    for cores in core_counts:
+        rows.append([cores] + [series[k].get(cores, "-") for k in impl_keys])
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"Best performance of each {machine.name} implementation (GF)",
+        paper_claim=paper_claim,
+        columns=["cores"] + list(impl_keys),
+        rows=rows,
+        series=series,
+    )

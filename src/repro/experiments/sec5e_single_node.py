@@ -1,0 +1,48 @@
+"""§V-E's single-node Yona comparison: the calibration anchor set.
+
+GPU-resident 86 GF; moving the boundary exchange to the CPUs cuts it to
+24 GF (bulk) or 35 GF (streams); the CPU-GPU overlap implementation brings
+it back to 82 GF — evidence that the hybrid's win is the decoupling of MPI
+communication from CPU-GPU communication.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import RunConfig
+from repro.core.runner import run as run_config
+from repro.experiments.common import ExperimentResult
+from repro.machines import YONA
+from repro.perf.sweep import best_over_threads
+
+PAPER_GF = {
+    "gpu_resident": 86.0,
+    "gpu_bulk": 24.0,
+    "gpu_streams": 35.0,
+    "hybrid_overlap": 82.0,
+}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate the §V-E single-node numbers."""
+    cores = YONA.node.cores
+    measured = {}
+    measured["gpu_resident"] = run_config(
+        RunConfig(machine=YONA, implementation="gpu_resident", cores=cores,
+                  threads_per_task=cores)
+    ).gflops
+    for key in ("gpu_bulk", "gpu_streams", "hybrid_overlap"):
+        res = best_over_threads(YONA, key, cores)
+        measured[key] = res.gflops
+    rows = [
+        [key, PAPER_GF[key], measured[key], measured[key] / PAPER_GF[key]]
+        for key in PAPER_GF
+    ]
+    return ExperimentResult(
+        exp_id="sec5e",
+        title="Single-node Yona: the cost of CPU-side boundary exchange",
+        paper_claim="86 / 24 / 35 / 82 GF (resident / bulk / streams / hybrid overlap).",
+        columns=["implementation", "paper GF", "measured GF", "ratio"],
+        rows=rows,
+        series={"measured": {k: v for k, v in measured.items()},
+                "paper": dict(PAPER_GF)},
+    )

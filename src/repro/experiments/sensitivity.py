@@ -1,0 +1,135 @@
+"""Calibration-sensitivity analysis (reproduction robustness).
+
+The shape findings should not hinge on any one fitted constant. This
+experiment perturbs each key calibrated rate by ±20 % and re-evaluates the
+paper's headline claims:
+
+* **ladder** — single-node Yona ordering bulk < streams < hybrid <= resident
+  with hybrid within 85 % of resident (§V-E);
+* **4x** — hybrid > 4x best CPU-only on the full Yona machine (§V-D,
+  evaluated at a 3.5x threshold: the claim direction, with margin for the
+  deliberately perturbed constant);
+* **crossover** — nonblocking >= bulk at low JaguarPF core counts and
+  bulk > nonblocking at the top (Fig. 3).
+
+A claim that fails under a small perturbation marks a constant the
+reproduction genuinely depends on — exactly what a reader of DESIGN.md §6
+should know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.core.config import RunConfig
+from repro.core.runner import run as run_config
+from repro.experiments.common import ExperimentResult
+from repro.machines import JAGUARPF, YONA
+from repro.machines.spec import MachineSpec
+
+#: (label, machine key, component, field) for each perturbed constant.
+PERTURBED = [
+    ("gpu stencil rate", "yona", "gpu", "stencil_gflops_best"),
+    ("face-kernel rate", "yona", "gpu", "face_kernel_gflops"),
+    ("thin-slab efficiency", "yona", "gpu", "thin_slab_efficiency"),
+    ("unpinned PCIe", "yona", "gpu", "pcie_unpinned_gbs"),
+    ("pinned PCIe", "yona", "gpu", "pcie_bandwidth_gbs"),
+    ("CPU flop efficiency", "yona", "node", "stencil_flop_efficiency"),
+    ("NIC bandwidth", "jaguar", "interconnect", "bandwidth_gbs"),
+    ("MPI overlap fraction", "jaguar", "interconnect", "overlap_fraction"),
+    ("boundary-loop efficiency", "jaguar", "node", "boundary_loop_efficiency"),
+]
+
+
+def _perturb(machine: MachineSpec, component: str, field: str,
+             factor: float) -> MachineSpec:
+    """A machine with one nested calibrated field scaled by ``factor``."""
+    part = getattr(machine, component)
+    new_part = replace(part, **{field: getattr(part, field) * factor})
+    return replace(machine, **{component: new_part})
+
+
+def _best(machine, impl, cores, threads_list, thicknesses=(0,)):
+    out = 0.0
+    for t in threads_list:
+        if cores % t or machine.node.cores % t:
+            continue
+        for T in thicknesses:
+            kw = dict(box_thickness=T) if T else {}
+            try:
+                cfg = RunConfig(machine=machine, implementation=impl,
+                                cores=cores, threads_per_task=t, **kw)
+                out = max(out, run_config(cfg).gflops)
+            except ValueError:
+                continue
+    return out
+
+
+def _claim_ladder(yona: MachineSpec) -> bool:
+    resident = run_config(
+        RunConfig(machine=yona, implementation="gpu_resident",
+                  cores=12, threads_per_task=12)
+    ).gflops
+    bulk = _best(yona, "gpu_bulk", 12, (6, 12))
+    streams = _best(yona, "gpu_streams", 12, (6, 12))
+    hybrid = _best(yona, "hybrid_overlap", 12, (6, 12), (1, 2, 3))
+    return bulk < streams < hybrid <= resident * 1.001 and hybrid > 0.8 * resident
+
+
+def _claim_4x(yona: MachineSpec) -> bool:
+    hybrid = _best(yona, "hybrid_overlap", 192, (6, 12), (1, 2))
+    cpu = _best(yona, "bulk", 192, (2, 6, 12))
+    return hybrid > 3.5 * cpu
+
+
+def _claim_crossover(jaguar: MachineSpec) -> bool:
+    low_nb = _best(jaguar, "nonblocking", 768, (3, 6))
+    low_b = _best(jaguar, "bulk", 768, (3, 6))
+    hi_nb = _best(jaguar, "nonblocking", 12288, (3, 6, 12))
+    hi_b = _best(jaguar, "bulk", 12288, (3, 6, 12))
+    return low_nb >= 0.99 * low_b and hi_b > hi_nb
+
+
+CLAIMS = (("ladder", _claim_ladder, "yona"),
+          ("4x", _claim_4x, "yona"),
+          ("crossover", _claim_crossover, "jaguar"))
+
+
+def run_experiment_impl(factors: Tuple[float, ...]) -> Tuple[list, Dict]:
+    rows = []
+    robustness: Dict[str, int] = {name: 0 for name, _, _ in CLAIMS}
+    total_checks: Dict[str, int] = {name: 0 for name, _, _ in CLAIMS}
+    for label, mkey, component, field in PERTURBED:
+        for factor in factors:
+            machines = {"yona": YONA, "jaguar": JAGUARPF}
+            machines[mkey] = _perturb(machines[mkey], component, field, factor)
+            outcomes = []
+            for name, fn, which in CLAIMS:
+                ok = fn(machines[which])
+                outcomes.append("ok" if ok else "FAILS")
+                total_checks[name] += 1
+                robustness[name] += int(ok)
+            rows.append([label, f"x{factor:g}"] + outcomes)
+    return rows, {
+        name: robustness[name] / total_checks[name] for name in robustness
+    }
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Perturb each constant and re-test the headline claims."""
+    factors = (0.8, 1.2)
+    rows, score = run_experiment_impl(factors)
+    return ExperimentResult(
+        exp_id="sensitivity",
+        title="Calibration sensitivity of the headline claims (+/-20%)",
+        paper_claim=(
+            "No paper counterpart — robustness analysis of this "
+            "reproduction's calibration (DESIGN.md §6)."
+        ),
+        columns=["perturbed constant", "factor"] + [c[0] for c in CLAIMS],
+        rows=rows,
+        series={"robustness": score},
+        notes="; ".join(f"{k}: {v:.0%} of perturbations keep the claim"
+                        for k, v in score.items()),
+    )

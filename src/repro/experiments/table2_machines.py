@@ -1,0 +1,29 @@
+"""Table II: technical details of the tested computers."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.machines import HOPPER, JAGUARPF, LENS, YONA
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Table II from the machine catalog."""
+    machines = (JAGUARPF, HOPPER, LENS, YONA)
+    rows = [
+        ["Compute nodes"] + [m.compute_nodes for m in machines],
+        ["Memory per node (GB)"] + [m.node.memory_gb for m in machines],
+        ["Opteron sockets per node"] + [m.node.sockets for m in machines],
+        ["Cores per socket"] + [m.node.cores_per_socket for m in machines],
+        ["Opteron clock (GHz)"] + [m.node.clock_ghz for m in machines],
+        ["Interconnect"] + [m.interconnect.name for m in machines],
+        ["MPI"] + [m.interconnect.mpi_name for m in machines],
+        ["NVIDIA Tesla GPU"] + [m.gpu.name if m.gpu else "-" for m in machines],
+        ["GPU memory (GB)"] + [m.gpu.memory_gb if m.gpu else "-" for m in machines],
+    ]
+    return ExperimentResult(
+        exp_id="table2",
+        title="Technical details of tested computers",
+        paper_claim="Table II of the paper, transcribed into the machine catalog.",
+        columns=["property"] + [m.name for m in machines],
+        rows=rows,
+    )

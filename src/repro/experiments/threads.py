@@ -1,0 +1,46 @@
+"""Shared builder for the threads-per-task figures (5, 6)."""
+
+from __future__ import annotations
+
+from repro.core.config import RunConfig
+from repro.core.runner import run as run_config
+from repro.experiments.common import ExperimentResult
+from repro.machines.spec import MachineSpec
+from repro.perf.sweep import valid_thread_counts
+
+__all__ = ["threads_experiment"]
+
+
+def threads_experiment(
+    machine: MachineSpec,
+    exp_id: str,
+    paper_claim: str,
+    fast: bool = False,
+    impl_key: str = "bulk",
+) -> ExperimentResult:
+    """Bulk-synchronous GF vs cores, one series per threads/task (§V-B)."""
+    core_counts = machine.figure_core_counts
+    if fast:
+        core_counts = core_counts[:: max(1, len(core_counts) // 3)]
+    series = {t: {} for t in machine.thread_options}
+    for cores in core_counts:
+        for t in valid_thread_counts(machine, cores):
+            cfg = RunConfig(
+                machine=machine, implementation=impl_key, cores=cores,
+                threads_per_task=t,
+            )
+            series[t][cores] = run_config(cfg).gflops
+    rows = []
+    for cores in core_counts:
+        rows.append(
+            [cores]
+            + [series[t].get(cores, "-") for t in machine.thread_options]
+        )
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"{machine.name} bulk-synchronous GF by OpenMP threads per MPI task",
+        paper_claim=paper_claim,
+        columns=["cores"] + [f"{t} thr" for t in machine.thread_options],
+        rows=rows,
+        series={f"{t} thr": pts for t, pts in series.items()},
+    )

@@ -1,0 +1,56 @@
+"""Extension (not in the paper): a weak-scaling variant.
+
+The paper argues climate runs are strong-scaling problems (§II). As a
+future-work exploration, this experiment grows the domain with the core
+count (fixed points per core) and reports parallel efficiency of the
+bulk-synchronous and hybrid-overlap implementations on Yona.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import RunConfig
+from repro.core.runner import run as run_config
+from repro.experiments.common import ExperimentResult
+from repro.machines import YONA
+
+
+def _domain_for(cores: int, per_core: int = 105) -> tuple:
+    """Cube-ish domain with ~per_core^3/12 points per core."""
+    # Scale the reference 420^3-on-192-cores density.
+    base = 420
+    scale = (cores / 192) ** (1.0 / 3.0)
+    n = max(48, int(round(base * scale / 12)) * 12)
+    return (n, n, n)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Run the weak-scaling study."""
+    core_counts = YONA.figure_core_counts
+    if fast:
+        core_counts = core_counts[::2]
+    series = {"bulk": {}, "hybrid_overlap": {}}
+    rows = []
+    for cores in core_counts:
+        domain = _domain_for(cores)
+        row = [cores, f"{domain[0]}^3"]
+        for key in ("bulk", "hybrid_overlap"):
+            cfg = RunConfig(
+                machine=YONA, implementation=key, cores=cores,
+                threads_per_task=6, domain=domain,
+                box_thickness=2,
+            )
+            gf = run_config(cfg).gflops
+            series[key][cores] = gf
+            row.append(gf)
+        rows.append(row)
+    return ExperimentResult(
+        exp_id="weak",
+        title="Weak scaling on Yona (extension; not in the paper)",
+        paper_claim=(
+            "No paper counterpart - the paper motivates strong scaling; this "
+            "explores the alternative regime."
+        ),
+        columns=["cores", "domain", "bulk GF", "hybrid_overlap GF"],
+        rows=rows,
+        series=series,
+    )

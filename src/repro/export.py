@@ -1,0 +1,61 @@
+"""Export experiment results as CSV or JSON for external plotting.
+
+The ASCII charts (:mod:`repro.report`) cover quick terminal inspection;
+these exporters produce machine-readable files for matplotlib/gnuplot/R::
+
+    advection-repro experiment fig10 --json fig10.json --csv fig10.csv
+
+The JSON document carries everything (metadata, rows, series); the CSV is
+the series in long form (``series,x,y``) — the shape plotting tools want.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["to_json", "to_csv", "write_json", "write_csv"]
+
+
+def to_json(result: ExperimentResult, indent: Optional[int] = 2) -> str:
+    """Serialize a full experiment result (metadata + rows + series)."""
+    doc = {
+        "experiment": result.exp_id,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "notes": result.notes,
+        "columns": result.columns,
+        "rows": result.rows,
+        "series": {
+            name: {str(x): y for x, y in points.items()}
+            for name, points in result.series.items()
+        },
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Serialize the series in long form: ``series,x,y`` rows."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["series", "x", "y"])
+    for name, points in result.series.items():
+        for x, y in sorted(points.items(), key=lambda kv: str(kv[0])):
+            writer.writerow([name, x, y])
+    return buf.getvalue()
+
+
+def write_json(result: ExperimentResult, path: str) -> None:
+    """Write :func:`to_json` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_json(result))
+
+
+def write_csv(result: ExperimentResult, path: str) -> None:
+    """Write :func:`to_csv` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_csv(result))

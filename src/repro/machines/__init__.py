@@ -1,0 +1,50 @@
+"""Machine models for the paper's four test systems (Table II).
+
+* :mod:`~repro.machines.spec` — dataclasses describing CPUs, nodes,
+  interconnects, GPUs and whole machines, combining Table II's published
+  specifications with calibrated effective-rate constants.
+* :mod:`~repro.machines.cpu_model` — the roofline-style CPU timing model
+  (flop rate vs memory bandwidth, OpenMP overheads, NUMA penalties).
+* :mod:`~repro.machines.calibration` — every fitted constant in one place,
+  with the anchor it was fitted against.
+* :mod:`~repro.machines.catalog` — ``JAGUARPF``, ``HOPPER``, ``LENS``,
+  ``YONA`` instances and lookup by name.
+"""
+
+from repro.machines.catalog import (
+    HOPPER,
+    JAGUARPF,
+    LENS,
+    MACHINES,
+    YONA,
+    get_machine,
+)
+from repro.machines.cpu_model import (
+    memcpy_time,
+    omp_region_overhead,
+    task_compute_time,
+    task_memory_bandwidth,
+)
+from repro.machines.spec import (
+    GpuSpec,
+    InterconnectSpec,
+    MachineSpec,
+    NodeSpec,
+)
+
+__all__ = [
+    "GpuSpec",
+    "HOPPER",
+    "InterconnectSpec",
+    "JAGUARPF",
+    "LENS",
+    "MACHINES",
+    "MachineSpec",
+    "NodeSpec",
+    "YONA",
+    "get_machine",
+    "memcpy_time",
+    "omp_region_overhead",
+    "task_compute_time",
+    "task_memory_bandwidth",
+]

@@ -1,0 +1,193 @@
+"""The four test machines of Table II, as :class:`MachineSpec` instances.
+
+Published fields come straight from Table II; effective rates come from
+:mod:`repro.machines.calibration`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.machines.calibration import HOPPER_CAL, JAGUARPF_CAL, LENS_CAL, YONA_CAL
+from repro.machines.spec import GpuSpec, InterconnectSpec, MachineSpec, NodeSpec
+
+__all__ = ["JAGUARPF", "HOPPER", "LENS", "YONA", "MACHINES", "get_machine"]
+
+
+JAGUARPF = MachineSpec(
+    name="JaguarPF",
+    compute_nodes=18688,
+    node=NodeSpec(
+        sockets=2,
+        cores_per_socket=6,
+        clock_ghz=2.6,
+        memory_gb=16,
+        numa_domains_per_socket=1,
+        stencil_flop_efficiency=JAGUARPF_CAL.stencil_flop_efficiency,
+        numa_bandwidth_gbs=JAGUARPF_CAL.numa_bandwidth_gbs,
+        memcpy_bandwidth_gbs=JAGUARPF_CAL.memcpy_bandwidth_gbs,
+    ),
+    interconnect=InterconnectSpec(
+        name="Cray SeaStar 2+",
+        mpi_name="Cray MPT 4.0.0",
+        latency_us=JAGUARPF_CAL.latency_us,
+        bandwidth_gbs=JAGUARPF_CAL.bandwidth_gbs,
+        per_message_cpu_us=JAGUARPF_CAL.per_message_cpu_us,
+        overlap_fraction=JAGUARPF_CAL.overlap_fraction,
+        eager_threshold_bytes=JAGUARPF_CAL.eager_threshold_bytes,
+    ),
+    thread_options=(1, 2, 3, 6, 12),
+    figure_core_counts=(12, 48, 192, 768, 1536, 3072, 6144, 12288),
+)
+
+
+HOPPER = MachineSpec(
+    name="Hopper II",
+    compute_nodes=6392,
+    node=NodeSpec(
+        sockets=2,
+        cores_per_socket=12,
+        clock_ghz=2.1,
+        memory_gb=32,
+        numa_domains_per_socket=2,  # each Magny-Cours socket is two 6-core dies
+        stencil_flop_efficiency=HOPPER_CAL.stencil_flop_efficiency,
+        numa_bandwidth_gbs=HOPPER_CAL.numa_bandwidth_gbs,
+        memcpy_bandwidth_gbs=HOPPER_CAL.memcpy_bandwidth_gbs,
+        boundary_loop_efficiency=HOPPER_CAL.boundary_loop_efficiency,
+    ),
+    interconnect=InterconnectSpec(
+        name="Cray Gemini",
+        mpi_name="Cray MPT 5.1.3",
+        latency_us=HOPPER_CAL.latency_us,
+        bandwidth_gbs=HOPPER_CAL.bandwidth_gbs,
+        per_message_cpu_us=HOPPER_CAL.per_message_cpu_us,
+        overlap_fraction=HOPPER_CAL.overlap_fraction,
+        eager_threshold_bytes=HOPPER_CAL.eager_threshold_bytes,
+    ),
+    thread_options=(1, 2, 3, 6, 12, 24),
+    figure_core_counts=(24, 96, 384, 1536, 6144, 12288, 24576, 49152),
+)
+
+
+LENS = MachineSpec(
+    name="Lens",
+    compute_nodes=31,
+    node=NodeSpec(
+        sockets=4,
+        cores_per_socket=4,
+        clock_ghz=2.3,
+        memory_gb=64,
+        numa_domains_per_socket=1,
+        stencil_flop_efficiency=LENS_CAL.stencil_flop_efficiency,
+        numa_bandwidth_gbs=LENS_CAL.numa_bandwidth_gbs,
+        memcpy_bandwidth_gbs=LENS_CAL.memcpy_bandwidth_gbs,
+    ),
+    interconnect=InterconnectSpec(
+        name="DDR Infiniband",
+        mpi_name="OpenMPI 1.3.3",
+        latency_us=LENS_CAL.latency_us,
+        bandwidth_gbs=LENS_CAL.bandwidth_gbs,
+        per_message_cpu_us=LENS_CAL.per_message_cpu_us,
+        overlap_fraction=LENS_CAL.overlap_fraction,
+    ),
+    gpu=GpuSpec(
+        name="Tesla C1060",
+        memory_gb=4,
+        sm_count=30,
+        warp_size=32,
+        max_threads_per_block=512,  # §V-C: "block sizes of up to 512 elements"
+        max_threads_per_sm=1024,
+        max_blocks_per_sm=8,
+        shared_mem_per_sm_kb=16.0,
+        dp_peak_gflops=78.0,
+        mem_bandwidth_gbs=LENS_CAL.gpu_mem_bandwidth_gbs,
+        pcie_bandwidth_gbs=LENS_CAL.pcie_bandwidth_gbs,
+        pcie_unpinned_gbs=LENS_CAL.pcie_unpinned_gbs,
+        strided_copy_gbs=LENS_CAL.strided_copy_gbs,
+        pcie_latency_us=LENS_CAL.pcie_latency_us,
+        copy_engines=1,
+        concurrent_kernels=False,
+        kernel_launch_us=LENS_CAL.kernel_launch_us,
+        stencil_gflops_best=LENS_CAL.gpu_stencil_gflops,
+        face_kernel_gflops=LENS_CAL.face_kernel_gflops,
+        thin_slab_efficiency=LENS_CAL.thin_slab_efficiency,
+        register_file_size=16384,  # cc1.3: 16K registers per SM
+        regs_per_thread=20,
+        by_sweet_spot=11.0,  # Fig. 7: best block is 32x11
+        by_sweet_amp=0.35,
+        by_sweet_tol=1.2,
+    ),
+    gpus_per_node=1,
+    thread_options=(1, 2, 4, 8, 16),
+    figure_core_counts=(16, 32, 64, 128, 256, 496),
+)
+
+
+YONA = MachineSpec(
+    name="Yona",
+    compute_nodes=16,
+    node=NodeSpec(
+        sockets=2,
+        cores_per_socket=6,
+        clock_ghz=2.6,
+        memory_gb=32,
+        numa_domains_per_socket=1,
+        stencil_flop_efficiency=YONA_CAL.stencil_flop_efficiency,
+        numa_bandwidth_gbs=YONA_CAL.numa_bandwidth_gbs,
+        memcpy_bandwidth_gbs=YONA_CAL.memcpy_bandwidth_gbs,
+    ),
+    interconnect=InterconnectSpec(
+        name="QDR Infiniband",
+        mpi_name="OpenMPI 1.7a1",
+        latency_us=YONA_CAL.latency_us,
+        bandwidth_gbs=YONA_CAL.bandwidth_gbs,
+        per_message_cpu_us=YONA_CAL.per_message_cpu_us,
+        overlap_fraction=YONA_CAL.overlap_fraction,
+    ),
+    gpu=GpuSpec(
+        name="Tesla C2050",
+        memory_gb=3,
+        sm_count=14,
+        warp_size=32,
+        max_threads_per_block=1024,  # §V-C: "block sizes of up to 1024 elements"
+        max_threads_per_sm=1536,
+        max_blocks_per_sm=8,
+        shared_mem_per_sm_kb=48.0,
+        dp_peak_gflops=515.0,
+        mem_bandwidth_gbs=YONA_CAL.gpu_mem_bandwidth_gbs,
+        pcie_bandwidth_gbs=YONA_CAL.pcie_bandwidth_gbs,
+        pcie_unpinned_gbs=YONA_CAL.pcie_unpinned_gbs,
+        strided_copy_gbs=YONA_CAL.strided_copy_gbs,
+        pcie_latency_us=YONA_CAL.pcie_latency_us,
+        copy_engines=2,
+        concurrent_kernels=False,  # see GpuSpec.concurrent_kernels
+        kernel_launch_us=YONA_CAL.kernel_launch_us,
+        stencil_gflops_best=YONA_CAL.gpu_stencil_gflops,
+        face_kernel_gflops=YONA_CAL.face_kernel_gflops,
+        thin_slab_efficiency=YONA_CAL.thin_slab_efficiency,
+        register_file_size=32768,  # cc2.0: 32K registers per SM
+        regs_per_thread=20,
+        by_sweet_spot=8.0,  # Fig. 8: best block is 32x8
+        by_sweet_amp=0.35,
+        by_sweet_tol=1.2,
+    ),
+    gpus_per_node=1,
+    thread_options=(1, 2, 3, 6, 12),
+    figure_core_counts=(12, 24, 48, 96, 192),
+)
+
+
+MACHINES: Dict[str, MachineSpec] = {
+    m.name.lower().replace(" ", ""): m for m in (JAGUARPF, HOPPER, LENS, YONA)
+}
+# Convenience aliases.
+MACHINES["jaguar"] = JAGUARPF
+MACHINES["hopper"] = HOPPER
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine by (case/space-insensitive) name."""
+    key = name.lower().replace(" ", "").replace("-", "")
+    if key not in MACHINES:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}")
+    return MACHINES[key]

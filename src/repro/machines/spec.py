@@ -1,0 +1,191 @@
+"""Hardware specification dataclasses.
+
+Fields marked "Table II" are transcribed from the paper; fields marked
+"calibrated" are effective rates fitted to the paper's reported results
+(see :mod:`repro.machines.calibration` for values and provenance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["NodeSpec", "InterconnectSpec", "GpuSpec", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node's CPU side."""
+
+    sockets: int  # Table II: AMD Opteron sockets per node
+    cores_per_socket: int  # Table II
+    clock_ghz: float  # Table II: Opteron clock
+    memory_gb: float  # Table II: memory per node
+    numa_domains_per_socket: int = 1  # 2 for Magny-Cours (two 6-core dies)
+    flops_per_cycle: float = 4.0  # SSE2 double precision: 2 mul + 2 add
+    # calibrated:
+    stencil_flop_efficiency: float = 0.16  # achieved fraction of peak on Eq. 2
+    numa_bandwidth_gbs: float = 10.0  # streaming GB/s per NUMA domain
+    numa_remote_penalty: float = 0.82  # bandwidth factor per extra NUMA domain spanned
+    memcpy_bandwidth_gbs: float = 5.0  # single large on-node copy
+    omp_region_overhead_us: float = 3.0  # fork/join + static-schedule barrier
+    omp_per_thread_overhead_us: float = 0.25  # added per participating thread
+    # calibrated: per-extra-thread loss of parallel efficiency (collapse(2)
+    # imbalance, shared-cache interference); what makes pure-MPI (1 thread)
+    # fastest when communication is cheap (paper §V-B, low core counts).
+    omp_parallel_inefficiency: float = 0.006
+    # calibrated: efficiency of the short strided boundary-shell loops the
+    # overlap implementations use (§IV-C/D); per-node because prefetcher
+    # quality differs across the Opteron generations.
+    boundary_loop_efficiency: float = 0.45
+
+    @property
+    def cores(self) -> int:
+        """Total cores per node."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def numa_domains(self) -> int:
+        """Total NUMA domains per node."""
+        return self.sockets * self.numa_domains_per_socket
+
+    @property
+    def cores_per_numa(self) -> int:
+        """Cores in one NUMA domain."""
+        return self.cores // self.numa_domains
+
+    @property
+    def peak_gflops_per_core(self) -> float:
+        """Peak double-precision GF per core."""
+        return self.clock_ghz * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Parallel interconnect + MPI implementation behaviour."""
+
+    name: str  # Table II: interconnect
+    mpi_name: str  # Table II: MPI
+    latency_us: float  # calibrated: small-message half round trip
+    bandwidth_gbs: float  # calibrated: per-NIC injection bandwidth
+    per_message_cpu_us: float = 1.0  # calibrated: sender/receiver CPU overhead
+    # Fraction of wire time that progresses while the host computes between
+    # posting a nonblocking operation and waiting on it. The paper's MPI
+    # libraries progress mostly inside MPI calls ([1] in the paper), so this
+    # is well below 1.
+    overlap_fraction: float = 0.35
+    eager_threshold_bytes: int = 8192
+
+    @property
+    def latency_s(self) -> float:
+        """Latency in seconds."""
+        return self.latency_us * 1e-6
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Bandwidth in bytes/second."""
+        return self.bandwidth_gbs * 1e9
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU plus its host link."""
+
+    name: str  # Table II: NVIDIA Tesla GPU
+    memory_gb: float  # Table II: GPU memory
+    sm_count: int
+    warp_size: int  # 32 on both generations (paper §V-C)
+    max_threads_per_block: int  # 512 on C1060, 1024 on C2050 (paper §V-C)
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    shared_mem_per_sm_kb: float
+    dp_peak_gflops: float
+    mem_bandwidth_gbs: float  # calibrated: effective global-memory streaming
+    # Host link (PCIe):
+    pcie_bandwidth_gbs: float  # calibrated effective for pinned/async copies
+    pcie_latency_us: float
+    copy_engines: int  # 1 on C1060, 2 on C2050
+    # Whether kernels from different streams genuinely overlap. Fermi
+    # advertises concurrent kernels, but a full-occupancy stencil kernel
+    # saturates every SM, so in practice trailing kernels serialize; both
+    # devices are modeled without kernel-kernel overlap.
+    concurrent_kernels: bool = False
+    kernel_launch_us: float = 7.0
+    # calibrated: synchronous copies of pageable (unpinned) buffers — what
+    # the bulk GPU+MPI implementation (§IV-F) issues — run far below the
+    # async pinned rate.
+    pcie_unpinned_gbs: float = 1.0
+    # calibrated: device-side strided gather/scatter kernels that pack x/y
+    # face buffers (non-coalesced copies).
+    strided_copy_gbs: float = 2.0
+    # calibrated: stencil rate of the resident kernel at its best block size
+    # (block-size shaping in simgpu.blockmodel scales relative to this), and
+    # the rate of the one-point-thick boundary-face kernels of §IV-F/G
+    # (non-coalesced, mostly-idle warps — the mechanism behind §V-E's 86->24).
+    stencil_gflops_best: float = 50.0
+    face_kernel_gflops: float = 0.5
+    # calibrated: rate of thin uniform slab kernels (the GPU-block boundary
+    # layer in §IV-I and z-perpendicular faces): coalesced but too little
+    # parallelism to fill the device.
+    thin_slab_efficiency: float = 0.16
+    # calibrated: empirical y-block-size sweet spot of the measured kernels
+    # (paper Figs. 7/8: 32x11 on C1060, 32x8 on C2050). Register pressure and
+    # scheduler effects the occupancy arithmetic cannot see; modeled as a
+    # Gaussian bump over the y block dimension (see simgpu.blockmodel).
+    by_sweet_spot: float = 8.0
+    by_sweet_amp: float = 0.30
+    by_sweet_tol: float = 4.0
+    regs_per_thread: int = 30
+    register_file_size: int = 32768
+
+    @property
+    def pcie_bandwidth_bps(self) -> float:
+        """PCIe effective bandwidth in bytes/second."""
+        return self.pcie_bandwidth_gbs * 1e9
+
+    @property
+    def pcie_latency_s(self) -> float:
+        """Per-transfer PCIe/driver latency in seconds."""
+        return self.pcie_latency_us * 1e-6
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole machine: nodes, interconnect, optional GPUs (Table II)."""
+
+    name: str
+    compute_nodes: int  # Table II
+    node: NodeSpec
+    interconnect: InterconnectSpec
+    gpu: Optional[GpuSpec] = None
+    gpus_per_node: int = 0
+    # OpenMP threads-per-task values measured in the paper (§V-B):
+    thread_options: Tuple[int, ...] = (1,)
+    # Core counts plotted in the paper's scaling figures:
+    figure_core_counts: Tuple[int, ...] = ()
+
+    @property
+    def total_cores(self) -> int:
+        """All CPU cores in the machine."""
+        return self.compute_nodes * self.node.cores
+
+    @property
+    def cores_per_gpu(self) -> int:
+        """CPU cores sharing one GPU (16 on Lens, 12 on Yona)."""
+        if not self.gpus_per_node:
+            raise ValueError(f"{self.name} has no GPUs")
+        return self.node.cores // self.gpus_per_node
+
+    def nodes_for_cores(self, cores: int) -> int:
+        """Nodes needed to host ``cores`` (fully-packed allocation)."""
+        per = self.node.cores
+        if cores % per and cores > per:
+            raise ValueError(f"{cores} cores is not a whole number of {per}-core nodes")
+        return max(1, cores // per)
+
+    def validate_threads(self, threads: int) -> None:
+        """Reject thread counts the node cannot host."""
+        if threads < 1 or threads > self.node.cores:
+            raise ValueError(
+                f"{threads} threads/task impossible on {self.node.cores}-core nodes"
+            )

@@ -1,0 +1,21 @@
+"""Sweep and best-of selection harness.
+
+The paper reports, for each implementation and core count, the best result
+over a tuning space (threads/task, and for the hybrid codes the box
+thickness). This package provides those sweeps plus small result
+containers the experiment modules build their tables from.
+"""
+
+from repro.perf.sweep import (
+    best_hybrid_config,
+    best_over_threads,
+    sweep_configs,
+    valid_thread_counts,
+)
+
+__all__ = [
+    "best_hybrid_config",
+    "best_over_threads",
+    "sweep_configs",
+    "valid_thread_counts",
+]

@@ -1,0 +1,119 @@
+"""Parameter sweeps and best-of selection."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import RunConfig, RunResult
+from repro.core.registry import get_implementation
+from repro.core.runner import run
+from repro.machines.spec import MachineSpec
+
+__all__ = [
+    "valid_thread_counts",
+    "sweep_configs",
+    "best_over_threads",
+    "best_hybrid_config",
+]
+
+#: Box thicknesses swept for the hybrid implementations (paper §V-E).
+DEFAULT_THICKNESSES: Tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10, 12, 16)
+
+
+def valid_thread_counts(machine: MachineSpec, cores: int) -> List[int]:
+    """Thread counts from the machine's measured set that fit ``cores``.
+
+    A count is valid when it divides the core count, packs whole nodes
+    (beyond one node) and does not exceed one node.
+    """
+    out = []
+    node_cores = machine.node.cores
+    for t in machine.thread_options:
+        if t > cores or cores % t:
+            continue
+        if node_cores % t:
+            continue
+        out.append(t)
+    return out
+
+
+def sweep_configs(configs: Iterable[RunConfig]) -> List[RunResult]:
+    """Run every configuration, skipping invalid ones silently.
+
+    Invalid combinations (e.g. a thickness too thick for the subdomain)
+    are part of any real sweep; they are dropped, not raised.
+    """
+    results = []
+    for cfg in configs:
+        try:
+            results.append(run(cfg))
+        except ValueError:
+            continue
+    return results
+
+
+def _thickness_options(impl_key: str, thicknesses: Optional[Sequence[int]]) -> Sequence[int]:
+    if not get_implementation(impl_key).uses_gpu or not impl_key.startswith("hybrid"):
+        return (1,)  # ignored by non-hybrid implementations
+    return thicknesses if thicknesses is not None else DEFAULT_THICKNESSES
+
+
+def best_over_threads(
+    machine: MachineSpec,
+    impl_key: str,
+    cores: int,
+    *,
+    thicknesses: Optional[Sequence[int]] = None,
+    thread_counts: Optional[Sequence[int]] = None,
+    steps: int = 2,
+    network: str = "mirror",
+) -> Optional[RunResult]:
+    """Best result over the tuning space, like each point of Figs. 3-12.
+
+    Returns ``None`` when no valid configuration exists (e.g. a single-task
+    implementation asked for multiple nodes).
+    """
+    impl = get_implementation(impl_key)
+    threads = list(thread_counts if thread_counts is not None else
+                   valid_thread_counts(machine, cores))
+    if not impl.uses_mpi:
+        # Single-task implementations use all requested cores as threads.
+        threads = [cores] if cores <= machine.node.cores else []
+    cfgs = []
+    for t in threads:
+        for thickness in _thickness_options(impl_key, thicknesses):
+            try:
+                cfgs.append(
+                    RunConfig(
+                        machine=machine,
+                        implementation=impl_key,
+                        cores=cores,
+                        threads_per_task=t,
+                        steps=steps,
+                        box_thickness=thickness,
+                        network=network,
+                    )
+                )
+            except ValueError:
+                continue
+    results = sweep_configs(cfgs)
+    if not results:
+        return None
+    return max(results, key=lambda r: r.gflops)
+
+
+def best_hybrid_config(
+    machine: MachineSpec,
+    cores: int,
+    impl_key: str = "hybrid_overlap",
+    thicknesses: Optional[Sequence[int]] = None,
+    thread_counts: Optional[Sequence[int]] = None,
+) -> Optional[RunResult]:
+    """Best (threads, thickness) for a hybrid implementation (Figs. 11/12)."""
+    return best_over_threads(
+        machine,
+        impl_key,
+        cores,
+        thicknesses=thicknesses,
+        thread_counts=thread_counts,
+    )

@@ -1,0 +1,78 @@
+"""Terminal rendering of experiment series: log-log ASCII charts.
+
+The paper's scaling figures are log-x/log-y line plots; this module renders
+an :class:`~repro.experiments.common.ExperimentResult`'s series the same
+way, so ``advection-repro experiment fig10 --plot`` shows the figure's
+shape directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&sdhv"
+
+
+def ascii_plot(
+    series: Dict[str, Dict],
+    width: int = 72,
+    height: int = 22,
+    logx: bool = True,
+    logy: bool = True,
+    title: str = "",
+) -> str:
+    """Render ``{name: {x: y}}`` as an ASCII chart with a marker legend."""
+    points = [
+        (x, y) for pts in series.values() for x, y in pts.items()
+        if isinstance(x, (int, float)) and y > 0
+    ]
+    if not points:
+        return "(no plottable points)"
+
+    def tx(v):
+        return math.log10(v) if logx else float(v)
+
+    def ty(v):
+        return math.log10(v) if logy else float(v)
+
+    xs = [tx(x) for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"  {marker} {name}")
+        for x, y in sorted(pts.items()):
+            if not isinstance(x, (int, float)) or y <= 0:
+                continue
+            col = int((tx(x) - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - int((ty(y) - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = marker
+
+    def fmt(v, log):
+        raw = 10**v if log else v
+        return f"{raw:g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{fmt(y1, logy):>10s} +" + "-" * width)
+    for i, row in enumerate(grid):
+        label = fmt(y0 + (y1 - y0) * (height - 1 - i) / (height - 1), logy) if i % 5 == 0 else ""
+        lines.append(f"{label:>10s} |" + "".join(row))
+    lines.append(f"{fmt(y0, logy):>10s} +" + "-" * width)
+    lines.append(
+        " " * 11 + f"{fmt(x0, logx)}" + " " * max(1, width - 18) + f"{fmt(x1, logx)}"
+    )
+    lines.extend(legend)
+    return "\n".join(lines)

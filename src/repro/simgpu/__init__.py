@@ -1,0 +1,38 @@
+"""Simulated GPU: device memory, streams, PCIe, and kernel cost models.
+
+This package stands in for CUDA (Fortran) on the simulated machines:
+
+* :mod:`~repro.simgpu.memory` — device allocations distinct from host
+  memory, with capacity accounting against the GPU's global memory
+  (the paper sizes 420^3 "to just fit within the memory of a single GPU").
+* :mod:`~repro.simgpu.blockmodel` — the 2-D thread-block performance model
+  behind Figs. 7/8: warp quantization, halo amplification of the
+  shared-memory slab, occupancy, remainder waste, and the calibrated
+  per-device sweet spot.
+* :mod:`~repro.simgpu.device` — the DES-side device: CUDA streams with
+  in-order execution, kernel slots (concurrent kernels on Fermi only),
+  copy engines, and async H2D/D2H transfers over a shared PCIe link.
+  Functional payloads (NumPy) execute when their simulated operation
+  completes, so data semantics follow stream ordering exactly.
+"""
+
+from repro.simgpu.blockmodel import (
+    admissible_blocks,
+    best_block,
+    block_efficiency,
+    stencil_kernel_time,
+)
+from repro.simgpu.device import Gpu, Stream
+from repro.simgpu.memory import DeviceArray, DeviceMemory, DeviceMemoryError
+
+__all__ = [
+    "DeviceArray",
+    "DeviceMemory",
+    "DeviceMemoryError",
+    "Gpu",
+    "Stream",
+    "admissible_blocks",
+    "best_block",
+    "block_efficiency",
+    "stencil_kernel_time",
+]

@@ -1,0 +1,184 @@
+"""The DES-side GPU device: streams, kernel slots, copy engines, PCIe.
+
+Semantics follow CUDA's execution model as the paper's implementations use
+it (§IV-E..I):
+
+* operations issued to one :class:`Stream` execute in FIFO order;
+* operations in *different* streams may overlap, subject to hardware:
+  kernels from different streams run concurrently only on devices with
+  ``concurrent_kernels`` (C2050, not C1060); H2D/D2H copies need a copy
+  engine (1 on C1060, 2 on C2050) and share the PCIe link's bandwidth;
+* the host blocks for ``kernel_launch_us`` per issued operation (driver
+  overhead) but does not wait for completion — callers get an event;
+* ``synchronize`` waits for all issued work, like ``cudaDeviceSynchronize``.
+
+Functional payloads (closures over NumPy arrays) run when their simulated
+operation completes, so data flow follows stream ordering exactly and
+misuse (e.g. reading a buffer before its copy completed) produces wrong
+numbers in functional tests, just as it would on hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.des import Environment, Event, Resource, SharedBandwidth
+from repro.machines.spec import GpuSpec
+from repro.simgpu.memory import DeviceMemory
+
+__all__ = ["Stream", "Gpu"]
+
+Action = Optional[Callable[[], None]]
+
+
+class Stream:
+    """A CUDA stream: an in-order queue of device operations."""
+
+    def __init__(self, gpu: "Gpu", name: str):
+        self.gpu = gpu
+        self.name = name
+        self._tail: Optional[Event] = None
+
+    @property
+    def tail(self) -> Optional[Event]:
+        """Completion event of the most recently enqueued operation."""
+        return self._tail
+
+    def _chain(self, body_factory: Callable[[], object], name: str) -> Event:
+        prev = self._tail
+        env = self.gpu.env
+
+        def runner():
+            if prev is not None and not prev.processed:
+                yield prev
+            result = yield from body_factory()
+            return result
+
+        proc = env.process(runner(), name=f"{self.name}:{name}")
+        self._tail = proc
+        return proc
+
+    def synchronize(self) -> Event:
+        """Event that fires when all work issued to this stream is done."""
+        env = self.gpu.env
+        if self._tail is None or self._tail.processed:
+            ev = env.event()
+            ev.succeed()
+            return ev
+        return self._tail
+
+
+class Gpu:
+    """One simulated GPU attached to a DES environment."""
+
+    def __init__(self, env: Environment, spec: GpuSpec, name: str = "gpu"):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.memory = DeviceMemory(int(spec.memory_gb * 1e9))
+        self.pcie = SharedBandwidth(env, spec.pcie_bandwidth_bps, name=f"{name}-pcie")
+        kernel_slots = 16 if spec.concurrent_kernels else 1
+        self._kernel_slot = Resource(env, capacity=kernel_slots)
+        self._copy_engines = Resource(env, capacity=spec.copy_engines)
+        # Synchronous pageable copies are serviced one at a time by the
+        # driver, regardless of how many host tasks issue them.
+        self.sync_copy_lock = Resource(env, capacity=1)
+        self._streams: List[Stream] = []
+        #: optional repro.des.trace.Tracer recording kernel/copy intervals.
+        self.tracer = None
+        # Counters for tests and reports.
+        self.kernels_launched = 0
+        self.bytes_h2d = 0
+        self.bytes_d2h = 0
+
+    # -- streams ------------------------------------------------------------
+    def stream(self, name: Optional[str] = None) -> Stream:
+        """Create a new stream."""
+        s = Stream(self, name or f"{self.name}-stream{len(self._streams)}")
+        self._streams.append(s)
+        return s
+
+    @property
+    def host_launch_cost_s(self) -> float:
+        """Host-side blocking time to issue one device operation."""
+        return self.spec.kernel_launch_us * 1e-6
+
+    # -- operations ---------------------------------------------------------
+    def launch_kernel(
+        self,
+        stream: Stream,
+        duration_s: float,
+        action: Action = None,
+        name: str = "kernel",
+    ) -> Event:
+        """Issue a kernel of known ``duration_s`` to ``stream``.
+
+        Returns the kernel's completion event. The caller is responsible for
+        charging host launch overhead (:attr:`host_launch_cost_s`) to its own
+        timeline, since the host — not the device — pays it.
+        """
+        if duration_s < 0:
+            raise ValueError("kernel duration must be non-negative")
+        self.kernels_launched += 1
+
+        def body():
+            slot = self._kernel_slot.request()
+            yield slot
+            start = self.env.now
+            try:
+                yield self.env.timeout(duration_s)
+            finally:
+                self._kernel_slot.release(slot)
+            if self.tracer is not None:
+                self.tracer.record("gpu-kernel", name, start, self.env.now)
+            if action is not None:
+                action()
+
+        return stream._chain(body, name)
+
+    def _memcpy(
+        self, stream: Stream, nbytes: int, action: Action, name: str
+    ) -> Event:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+        def body():
+            engine = self._copy_engines.request()
+            yield engine
+            start = self.env.now
+            try:
+                yield self.env.timeout(self.spec.pcie_latency_s)
+                yield self.pcie.transfer(nbytes)
+            finally:
+                self._copy_engines.release(engine)
+            if self.tracer is not None:
+                self.tracer.record("gpu-copy", name, start, self.env.now)
+            if action is not None:
+                action()
+
+        return stream._chain(body, name)
+
+    def memcpy_h2d(
+        self, stream: Stream, nbytes: int, action: Action = None, name: str = "h2d"
+    ) -> Event:
+        """Async host-to-device copy of ``nbytes``; returns completion event."""
+        self.bytes_h2d += nbytes
+        return self._memcpy(stream, nbytes, action, name)
+
+    def memcpy_d2h(
+        self, stream: Stream, nbytes: int, action: Action = None, name: str = "d2h"
+    ) -> Event:
+        """Async device-to-host copy of ``nbytes``; returns completion event."""
+        self.bytes_d2h += nbytes
+        return self._memcpy(stream, nbytes, action, name)
+
+    # -- synchronization ------------------------------------------------------
+    def synchronize(self, streams: Optional[List[Stream]] = None) -> Event:
+        """Event that fires when all issued work (or ``streams``) completes."""
+        targets = streams if streams is not None else self._streams
+        tails = [s.synchronize() for s in targets]
+        if not tails:
+            ev = self.env.event()
+            ev.succeed()
+            return ev
+        return self.env.all_of(tails)

@@ -1,0 +1,76 @@
+"""Functional emulation of the tiled GPU stencil kernel ([6] in the paper).
+
+The performance model in :mod:`repro.simgpu.blockmodel` prices a specific
+kernel structure: 2-D thread blocks own an xy tile plus halo, iterate over
+z, and stage an (bx+2) x (by+2) slab of the current plane in shared memory
+while keeping the z-neighbors in registers. This module *executes* that
+structure — per tile, with explicit staged slabs and the three-plane
+register rotation — so tests can verify it computes exactly what the plain
+vectorized sweep computes, remainder tiles, halo staging and all.
+
+This is deliberately slow (it is a semantics check, not a fast path);
+production functional runs use :func:`repro.stencil.kernels.apply_stencil`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.stencil.coefficients import StencilCoefficients
+
+__all__ = ["emulate_tiled_kernel"]
+
+
+def emulate_tiled_kernel(
+    u: np.ndarray,
+    coeffs: StencilCoefficients,
+    block: Tuple[int, int],
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Run the tiled kernel over a haloed field; returns the haloed output.
+
+    ``u`` follows the usual one-point-halo convention (halos must already
+    hold valid values — the resident kernel's halo threads or a prior
+    exchange provide them). ``block`` is the (bx, by) thread-block shape;
+    tiles sticking past the domain edge are clipped exactly like partially
+    filled thread blocks.
+    """
+    bx, by = block
+    if bx < 1 or by < 1:
+        raise ValueError(f"bad block {block}")
+    nx, ny, nz = (s - 2 for s in u.shape)
+    if out is None:
+        out = np.zeros_like(u)
+    a = coeffs.a
+
+    for i0 in range(0, nx, bx):
+        iw = min(bx, nx - i0)  # clipped tile width (remainder tiles)
+        for j0 in range(0, ny, by):
+            jw = min(by, ny - j0)
+            # "Shared memory": three staged slabs of (iw+2) x (jw+2),
+            # rotated as the block iterates over z — behind/current/ahead.
+            def load_slab(k):
+                # Halo threads load the rim; interior threads their point.
+                return u[i0 : i0 + iw + 2, j0 : j0 + jw + 2, k].copy()
+
+            behind = load_slab(0)
+            current = load_slab(1)
+            for k in range(1, nz + 1):
+                ahead = load_slab(k + 1)
+                # Each thread (ti, tj) computes its point from the three
+                # staged slabs; vectorized over the tile here.
+                acc = np.zeros((iw, jw))
+                for di, slab in ((-1, behind), (0, current), (1, ahead)):
+                    for dx in (-1, 0, 1):
+                        for dy in (-1, 0, 1):
+                            c = a[dx + 1, dy + 1, di + 1]
+                            if c == 0.0:
+                                continue
+                            acc += c * slab[
+                                1 + dx : 1 + iw + dx, 1 + dy : 1 + jw + dy
+                            ]
+                out[1 + i0 : 1 + i0 + iw, 1 + j0 : 1 + j0 + jw, k] = acc
+                behind, current = current, ahead
+    return out

@@ -1,0 +1,145 @@
+"""Collective algorithms built on the point-to-point layer.
+
+The comm backends expose analytic-cost ``barrier``/``allreduce_max``
+shortcuts; this module implements the real message-passing algorithms on
+top of ``isend``/``irecv``/``wait``, so collectives pay exactly the
+latency/bandwidth/progress costs of the messages they exchange:
+
+* :func:`broadcast` — binomial tree, ``ceil(log2 P)`` rounds;
+* :func:`reduce_to_root` — mirrored binomial tree;
+* :func:`allreduce` — reduce + broadcast for arbitrary ``P``, or
+  recursive doubling when ``P`` is a power of two;
+* :func:`gather_to_root` — flat gather (root-bottlenecked, like small-P
+  MPI_Gather).
+
+They require the *full* backend (real peers to talk to); a typical use is
+computing global error norms inside a functional simulation — see
+``examples``/tests.
+
+Tag space: collectives use tags ``>= COLLECTIVE_TAG_BASE`` with a
+per-round offset, far above the six halo tags, so they can interleave with
+an application's halo traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simmpi.api import RankComm
+
+__all__ = [
+    "COLLECTIVE_TAG_BASE",
+    "allreduce",
+    "broadcast",
+    "gather_to_root",
+    "reduce_to_root",
+]
+
+COLLECTIVE_TAG_BASE = 10_000
+
+#: Bytes of a scalar payload (one double, like the norms the paper records).
+_SCALAR_BYTES = 8
+
+
+def _vrank(rank: int, root: int, nranks: int) -> int:
+    return (rank - root) % nranks
+
+
+def _rank(vrank: int, root: int, nranks: int) -> int:
+    return (vrank + root) % nranks
+
+
+def broadcast(comm: RankComm, value: Any, root: int = 0,
+              nbytes: int = _SCALAR_BYTES, tag: int = COLLECTIVE_TAG_BASE):
+    """Generator: binomial-tree broadcast; returns the root's value."""
+    nranks = comm.nranks
+    me = _vrank(comm.rank, root, nranks)
+    mask = 1
+    # Find the round in which this rank receives (lowest set bit of me).
+    while mask < nranks:
+        if me & mask:
+            req = yield from comm.irecv(
+                _rank(me - mask, root, nranks), tag + mask, nbytes
+            )
+            value = yield from comm.wait(req)
+            break
+        mask <<= 1
+    # Forward to the ranks below the receive bit.
+    mask >>= 1
+    while mask:
+        if me + mask < nranks:
+            req = yield from comm.isend(
+                _rank(me + mask, root, nranks), tag + mask, nbytes, value
+            )
+            yield from comm.wait(req)
+        mask >>= 1
+    return value
+
+
+def reduce_to_root(comm: RankComm, value: Any, op: Callable[[Any, Any], Any],
+                   root: int = 0, nbytes: int = _SCALAR_BYTES,
+                   tag: int = COLLECTIVE_TAG_BASE + 100):
+    """Generator: binomial-tree reduction; root returns the result, others None."""
+    nranks = comm.nranks
+    me = _vrank(comm.rank, root, nranks)
+    mask = 1
+    while mask < nranks:
+        if me & mask:
+            req = yield from comm.isend(
+                _rank(me - mask, root, nranks), tag + mask, nbytes, value
+            )
+            yield from comm.wait(req)
+            return None
+        partner = me + mask
+        if partner < nranks:
+            req = yield from comm.irecv(_rank(partner, root, nranks), tag + mask, nbytes)
+            other = yield from comm.wait(req)
+            value = op(value, other)
+        mask <<= 1
+    return value
+
+
+def allreduce(comm: RankComm, value: Any, op: Callable[[Any, Any], Any],
+              nbytes: int = _SCALAR_BYTES,
+              tag: int = COLLECTIVE_TAG_BASE + 200):
+    """Generator: all ranks return ``op``-combined value.
+
+    Recursive doubling when the rank count is a power of two (optimal
+    ``log2 P`` rounds, no root bottleneck); reduce + broadcast otherwise.
+    """
+    nranks = comm.nranks
+    if nranks & (nranks - 1) == 0:
+        mask = 1
+        while mask < nranks:
+            partner = comm.rank ^ mask
+            rreq = yield from comm.irecv(partner, tag + mask, nbytes)
+            sreq = yield from comm.isend(partner, tag + mask, nbytes, value)
+            other = yield from comm.wait(rreq)
+            yield from comm.wait(sreq)
+            value = op(value, other)
+            mask <<= 1
+        return value
+    reduced = yield from reduce_to_root(comm, value, op, root=0, nbytes=nbytes,
+                                        tag=tag)
+    return (yield from broadcast(comm, reduced, root=0, nbytes=nbytes,
+                                 tag=tag + 50))
+
+
+def gather_to_root(comm: RankComm, value: Any, root: int = 0,
+                   nbytes: int = _SCALAR_BYTES,
+                   tag: int = COLLECTIVE_TAG_BASE + 400):
+    """Generator: root returns the list of all ranks' values (rank order)."""
+    if comm.rank != root:
+        req = yield from comm.isend(root, tag + comm.rank, nbytes, value)
+        yield from comm.wait(req)
+        return None
+    out = [None] * comm.nranks
+    out[root] = value
+    reqs = {}
+    for src in range(comm.nranks):
+        if src == root:
+            continue
+        reqs[src] = yield from comm.irecv(src, tag + src, nbytes)
+    for src, req in reqs.items():
+        out[src] = yield from comm.wait(req)
+    return out

@@ -1,0 +1,254 @@
+"""Mirror (representative-rank) MPI backend.
+
+Simulates one worst-case rank against symmetric neighbor images: because
+every rank of the bulk-synchronous advection step does the same work on a
+subdomain of (almost) the same size, the data a rank *receives* under a
+given halo tag is timed exactly like the data it *sends* under that tag.
+A receive request therefore pairs with the rank's own send of the same tag,
+and the per-step time of the representative rank is the ensemble per-step
+time. Cross-validation tests assert agreement with the full backend.
+
+The :class:`MirrorProfile` captures what the representative rank needs to
+know about the whole machine: which halo directions cross the NIC versus
+staying on-node, and how many concurrent transfers share the NIC during
+each dimension's exchange phase (contention factor).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.des import Environment, Event
+from repro.decomp.partition import Decomposition
+from repro.machines.spec import InterconnectSpec, MachineSpec, NodeSpec
+from repro.simmpi.api import RankComm, Request, halo_tag
+
+__all__ = ["MirrorProfile", "MirrorComm"]
+
+
+@dataclass(frozen=True)
+class MirrorProfile:
+    """Network facts as seen by the representative rank."""
+
+    interconnect: InterconnectSpec
+    node: NodeSpec
+    nranks: int
+    tasks_per_node: int
+    #: tag -> True when that halo message crosses the NIC (off-node).
+    offnode_by_tag: Dict[int, bool] = field(default_factory=dict)
+    #: tag -> concurrent same-node transfers sharing the NIC during that
+    #: exchange (>= 1); models NIC contention without simulating peers.
+    nic_share_by_tag: Dict[int, float] = field(default_factory=dict)
+    representative_rank: int = 0
+
+    @classmethod
+    def for_decomposition(
+        cls,
+        machine: MachineSpec,
+        decomp: Decomposition,
+        tasks_per_node: int,
+    ) -> "MirrorProfile":
+        """Build a profile for the comm-heaviest rank of the first node.
+
+        Scans the ranks of node 0 (placement is contiguous), picks the one
+        with the most off-node faces as representative, and counts how many
+        node-local transfers contend for the NIC in each dimension's
+        exchange phase.
+        """
+        tpn = min(tasks_per_node, decomp.ntasks)
+        node_ranks = list(range(min(tpn, decomp.ntasks)))
+        off = {r: decomp.offnode_dims(r, tpn) for r in node_ranks}
+
+        def n_off(r):
+            return sum(int(b) for d in off[r].values() for b in d)
+
+        rep = max(node_ranks, key=n_off)
+        offnode_by_tag: Dict[int, bool] = {}
+        nic_share_by_tag: Dict[int, float] = {}
+        for dim in range(3):
+            # Send messages from this node during the dim exchange phase.
+            node_sends = sum(int(b) for r in node_ranks for b in off[r][dim])
+            for side in (-1, 1):
+                tag = halo_tag(dim, side)
+                is_off = off[rep][dim][0 if side < 0 else 1]
+                offnode_by_tag[tag] = is_off
+                nic_share_by_tag[tag] = max(1.0, float(node_sends))
+        return cls(
+            interconnect=machine.interconnect,
+            node=machine.node,
+            nranks=decomp.ntasks,
+            tasks_per_node=tpn,
+            offnode_by_tag=offnode_by_tag,
+            nic_share_by_tag=nic_share_by_tag,
+            representative_rank=rep,
+        )
+
+    def is_offnode(self, tag: int) -> bool:
+        """Whether messages with ``tag`` cross the NIC."""
+        return self.offnode_by_tag.get(tag, self.nranks > self.tasks_per_node)
+
+    def nic_share(self, tag: int) -> float:
+        """NIC contention factor for ``tag``."""
+        return self.nic_share_by_tag.get(tag, max(1.0, float(self.tasks_per_node)))
+
+
+class _MirrorXfer:
+    __slots__ = ("tag", "nbytes", "send_posted", "recv_posted", "bg_done", "fg_done",
+                 "fg_started", "eager", "local")
+
+    def __init__(self, tag: int, env: Environment):
+        self.tag = tag
+        self.nbytes = 0
+        self.send_posted = False
+        self.recv_posted = False
+        self.bg_done: Event = env.event()
+        self.fg_done: Optional[Event] = None
+        self.fg_started = False
+        self.eager = False
+        self.local = False
+
+
+class MirrorComm(RankComm):
+    """The representative rank's communicator.
+
+    Functional payloads are not supported (there are no real peers); use the
+    full backend for functional runs. In mirror mode a receive's payload is
+    always ``None`` and implementations must run in shadow-data mode.
+    """
+
+    def __init__(self, env: Environment, profile: MirrorProfile):
+        self.env = env
+        self.profile = profile
+        self.rank = profile.representative_rank
+        self.nranks = profile.nranks
+        self._open: Dict[int, deque] = {}  # tag -> xfers awaiting a send/recv claim
+        # Statistics (protocol-conformance checks and reports).
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_received = 0
+        self.bytes_received = 0
+
+    # -- helpers --------------------------------------------------------------
+    def _overhead(self):
+        return self.env.timeout(self.profile.interconnect.per_message_cpu_us * 1e-6)
+
+    def _wire_rate(self, xfer: _MirrorXfer) -> float:
+        if xfer.local:
+            return self.profile.node.memcpy_bandwidth_gbs * 1e9
+        return self.profile.interconnect.bandwidth_bps / self.profile.nic_share(xfer.tag)
+
+    def _maybe_start_background(self, xfer: _MirrorXfer) -> None:
+        ic = self.profile.interconnect
+        if xfer.local:
+            ready = xfer.send_posted
+            frac = 1.0
+            lat = 0.5e-6
+        elif xfer.eager:
+            # Eager traffic needs receiver-side matching and copying inside
+            # MPI, so nothing progresses in the background (paper ref [1]).
+            ready = xfer.send_posted
+            frac = 0.0
+            lat = ic.latency_s
+        else:
+            ready = xfer.send_posted and xfer.recv_posted
+            frac = ic.overlap_fraction
+            lat = 2.0 * ic.latency_s
+        if not ready or xfer.bg_done.triggered:
+            return
+
+        def bg():
+            yield self.env.timeout(lat)
+            if frac > 0:
+                yield self.env.timeout(frac * xfer.nbytes / self._wire_rate(xfer))
+            xfer.bg_done.succeed()
+
+        self.env.process(bg(), name=f"mirror-bg#{xfer.tag}")
+
+    def _ensure_foreground(self, xfer: _MirrorXfer) -> Event:
+        if xfer.fg_done is None:
+            xfer.fg_done = self.env.event()
+        if not xfer.fg_started:
+            xfer.fg_started = True
+            bg_frac = 0.0 if xfer.eager else self.profile.interconnect.overlap_fraction
+            remainder = (1.0 - bg_frac) * xfer.nbytes
+            done = xfer.fg_done
+
+            def fg():
+                if remainder > 0:
+                    yield self.env.timeout(remainder / self._wire_rate(xfer))
+                done.succeed()
+
+            self.env.process(fg(), name=f"mirror-fg#{xfer.tag}")
+        return xfer.fg_done
+
+    # -- API ---------------------------------------------------------------
+    def isend(self, dst: int, tag: int, nbytes: int, payload: Any = None):
+        """Post the representative rank's send; mirrors the matching recv."""
+        if payload is not None:
+            raise ValueError("mirror backend cannot carry functional payloads")
+        yield self._overhead()
+        xfer = self._claim(tag, "send")
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        xfer.nbytes = nbytes
+        xfer.eager = nbytes <= self.profile.interconnect.eager_threshold_bytes
+        xfer.local = not self.profile.is_offnode(tag)
+        xfer.send_posted = True
+        self._maybe_start_background(xfer)
+        return Request("send", self.rank, dst, tag, nbytes, _xfer=xfer)
+
+    def irecv(self, src: int, tag: int, nbytes: int):
+        """Post a receive; pairs with this rank's own send of ``tag``."""
+        yield self._overhead()
+        xfer = self._claim(tag, "recv")
+        self.messages_received += 1
+        self.bytes_received += nbytes
+        xfer.recv_posted = True
+        if xfer.send_posted:
+            self._maybe_start_background(xfer)
+        return Request("recv", self.rank, src, tag, nbytes, _xfer=xfer)
+
+    def _claim(self, tag: int, side: str) -> _MirrorXfer:
+        """Get the next unclaimed xfer for ``tag`` on ``side`` (FIFO pairing)."""
+        q = self._open.setdefault(tag, deque())
+        attr = "send_posted" if side == "send" else "recv_posted"
+        for xfer in q:
+            if not getattr(xfer, attr):
+                return xfer
+        xfer = _MirrorXfer(tag, self.env)
+        q.append(xfer)
+        return xfer
+
+    def wait(self, request: Request):
+        """Block until the mirrored transfer completes."""
+        if request.completed:
+            return None
+        xfer: _MirrorXfer = request._xfer
+        if xfer.eager and not xfer.local and request.kind == "send":
+            request.completed = True  # buffered; only the receiver waits
+            return None
+        if not xfer.bg_done.processed:
+            yield xfer.bg_done
+        if not xfer.local:
+            yield self._ensure_foreground(xfer)
+        if (xfer.local or xfer.eager) and request.kind == "recv":
+            rate = self.profile.node.memcpy_bandwidth_gbs * 1e9
+            yield self.env.timeout(xfer.nbytes / rate)
+        request.completed = True
+        return None
+
+    def barrier(self):
+        """Log-depth barrier cost (no peers to actually synchronize)."""
+        ic = self.profile.interconnect
+        rounds = max(1, math.ceil(math.log2(max(2, self.nranks))))
+        yield self.env.timeout(rounds * (ic.latency_s + ic.per_message_cpu_us * 1e-6))
+
+    def allreduce_max(self, value: float):
+        """Reduction cost; the representative's value is the result."""
+        ic = self.profile.interconnect
+        rounds = max(1, math.ceil(math.log2(max(2, self.nranks))))
+        yield self.env.timeout(2 * rounds * (ic.latency_s + ic.per_message_cpu_us * 1e-6))
+        return value

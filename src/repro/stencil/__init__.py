@@ -1,0 +1,57 @@
+"""Numerics for 3-D linear advection with the paper's Lax-Wendroff stencil.
+
+This package is the *numerical* core of the reproduction (paper §II):
+
+* :mod:`~repro.stencil.coefficients` — the 27 stencil coefficients of the
+  paper's Table I, both as a literal transcription and as the tensor product
+  of 1-D Lax-Wendroff coefficients (they are provably the same scheme), plus
+  the CFL stability bound.
+* :mod:`~repro.stencil.grid` — the periodic cubic grid and the Gaussian
+  initial condition at the domain center.
+* :mod:`~repro.stencil.kernels` — vectorized NumPy kernels: periodic halo
+  fill, the 27-point stencil application, and the per-point flop count used
+  for the paper's GF metric (53 = 27 multiplies + 26 adds).
+* :mod:`~repro.stencil.analytic` — the exact solution (the Gaussian
+  translated at velocity ``c`` with periodic wraparound) and error norms.
+* :mod:`~repro.stencil.verification` — convergence-order estimation and the
+  unit-CFL exact-shift identity used as a strong correctness oracle.
+"""
+
+from repro.stencil.analytic import analytic_solution, error_norms
+from repro.stencil.coefficients import (
+    FLOPS_PER_POINT,
+    StencilCoefficients,
+    amplification_factor,
+    lax_wendroff_1d,
+    max_stable_nu,
+    table1_coefficients,
+    tensor_product_coefficients,
+)
+from repro.stencil.grid import Grid3D, allocate_field, gaussian_initial_condition
+from repro.stencil.kernels import (
+    advance,
+    apply_stencil,
+    apply_stencil_block,
+    fill_periodic_halo,
+    interior,
+)
+
+__all__ = [
+    "FLOPS_PER_POINT",
+    "Grid3D",
+    "StencilCoefficients",
+    "advance",
+    "allocate_field",
+    "amplification_factor",
+    "analytic_solution",
+    "apply_stencil",
+    "apply_stencil_block",
+    "error_norms",
+    "fill_periodic_halo",
+    "gaussian_initial_condition",
+    "interior",
+    "lax_wendroff_1d",
+    "max_stable_nu",
+    "table1_coefficients",
+    "tensor_product_coefficients",
+]

@@ -1,0 +1,183 @@
+"""Stencil coefficients for the paper's 3-D Lax-Wendroff scheme (Table I).
+
+The paper derives a 3x3x3 stencil for
+
+    du/dt + c . grad(u) = 0
+
+that cancels all Taylor terms through O(Delta^2). The resulting table of 27
+coefficients (paper Table I) is exactly the tensor product of the classic
+1-D Lax-Wendroff coefficients
+
+    A_{-1}(c) = c*nu*(1 + c*nu)/2
+    A_{ 0}(c) = 1 - (c*nu)^2
+    A_{+1}(c) = c*nu*(c*nu - 1)/2
+
+with nu = Delta/delta (time step over grid spacing):
+
+    a_{ijk} = A_i(c_x) * A_j(c_y) * A_k(c_z)
+
+Every undamaged entry of the supplied Table I matches this product; see
+DESIGN.md for notes on the two OCR-damaged rows. We provide both forms and
+test them against each other.
+
+The scheme is stable for ``nu * max(|c_x|, |c_y|, |c_z|) <= 1`` (the paper's
+"nu <= max{...}" is a typo for this CFL condition); :func:`amplification_factor`
+lets tests verify this via the von Neumann symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FLOPS_PER_POINT",
+    "StencilCoefficients",
+    "lax_wendroff_1d",
+    "tensor_product_coefficients",
+    "table1_coefficients",
+    "max_stable_nu",
+    "amplification_factor",
+]
+
+#: Flops per grid point per step, as counted by the paper for its GF metric:
+#: Equation 2 has 27 multiplications and 26 additions.
+FLOPS_PER_POINT = 53
+
+
+def lax_wendroff_1d(c: float, nu: float) -> Tuple[float, float, float]:
+    """1-D Lax-Wendroff coefficients ``(A_-1, A_0, A_+1)``.
+
+    ``c`` is the (signed) velocity component and ``nu = Delta/delta``.
+    """
+    cn = c * nu
+    return (cn * (1.0 + cn) / 2.0, 1.0 - cn * cn, cn * (cn - 1.0) / 2.0)
+
+
+@dataclass(frozen=True)
+class StencilCoefficients:
+    """The 27 coefficients ``a[i+1, j+1, k+1] = a_{ijk}`` for Equation 2.
+
+    Attributes
+    ----------
+    a:
+        ``(3, 3, 3)`` float array indexed by offset+1 in each dimension.
+    velocity:
+        The velocity ``(c_x, c_y, c_z)`` the coefficients were built for.
+    nu:
+        The ratio ``Delta/delta`` they were built for.
+    """
+
+    a: np.ndarray
+    velocity: Tuple[float, float, float]
+    nu: float
+
+    def __post_init__(self):
+        if self.a.shape != (3, 3, 3):
+            raise ValueError(f"coefficient array must be (3,3,3), got {self.a.shape}")
+
+    def __getitem__(self, offsets: Tuple[int, int, int]) -> float:
+        """Coefficient ``a_{ijk}`` for offsets ``i, j, k`` in ``{-1, 0, +1}``."""
+        i, j, k = offsets
+        return float(self.a[i + 1, j + 1, k + 1])
+
+    @property
+    def consistency_sum(self) -> float:
+        """Sum of all coefficients; exactly 1 for a consistent scheme."""
+        return float(self.a.sum())
+
+    def items(self):
+        """Iterate ``((i, j, k), a_ijk)`` over all 27 offsets."""
+        for i in (-1, 0, 1):
+            for j in (-1, 0, 1):
+                for k in (-1, 0, 1):
+                    yield (i, j, k), float(self.a[i + 1, j + 1, k + 1])
+
+
+def tensor_product_coefficients(
+    velocity: Sequence[float], nu: float
+) -> StencilCoefficients:
+    """Build Table I via the tensor product of 1-D Lax-Wendroff coefficients."""
+    cx, cy, cz = (float(v) for v in velocity)
+    ax = np.array(lax_wendroff_1d(cx, nu))
+    ay = np.array(lax_wendroff_1d(cy, nu))
+    az = np.array(lax_wendroff_1d(cz, nu))
+    a = np.einsum("i,j,k->ijk", ax, ay, az)
+    return StencilCoefficients(a=a, velocity=(cx, cy, cz), nu=float(nu))
+
+
+def table1_coefficients(velocity: Sequence[float], nu: float) -> StencilCoefficients:
+    """Build Table I from the paper's explicit per-entry formulas.
+
+    This is a literal transcription of the 27 rows of Table I (with the two
+    OCR-damaged rows restored from the table's own x/y/z symmetry; see
+    DESIGN.md). It exists to validate the transcription against
+    :func:`tensor_product_coefficients` — tests assert exact agreement.
+    """
+    cx, cy, cz = (float(v) for v in velocity)
+    v = float(nu)
+    a = np.empty((3, 3, 3))
+
+    def put(i: int, j: int, k: int, value: float) -> None:
+        a[i + 1, j + 1, k + 1] = value
+
+    # Row-by-row transcription of Table I. v is the paper's nu.
+    put(-1, -1, -1, cx * cy * cz * v**3 * (1 + cx * v) * (1 + cy * v) * (1 + cz * v) / 8)
+    put(-1, -1, 0, -2 * cx * cy * v**2 * (1 + cx * v) * (1 + cy * v) * (cz**2 * v**2 - 1) / 8)
+    put(-1, -1, 1, cx * cy * cz * v**3 * (1 + cx * v) * (1 + cy * v) * (cz * v - 1) / 8)
+    put(-1, 0, -1, -2 * cx * cz * v**2 * (1 + cx * v) * (1 + cz * v) * (cy**2 * v**2 - 1) / 8)
+    put(-1, 0, 0, 4 * cx * v * (1 + cx * v) * (cy**2 * v**2 - 1) * (cz**2 * v**2 - 1) / 8)
+    put(-1, 0, 1, -2 * cx * cz * v**2 * (1 + cx * v) * (-1 + cz * v) * (-1 + cy**2 * v**2) / 8)
+    put(-1, 1, -1, cx * cy * cz * v**3 * (1 + cx * v) * (-1 + cy * v) * (1 + cz * v) / 8)
+    put(-1, 1, 0, -2 * cx * cy * v**2 * (1 + cx * v) * (-1 + cy * v) * (-1 + cz**2 * v**2) / 8)
+    put(-1, 1, 1, cx * cy * cz * v**3 * (1 + cx * v) * (-1 + cy * v) * (-1 + cz * v) / 8)
+    put(0, -1, -1, -2 * cy * cz * v**2 * (1 + cy * v) * (1 + cz * v) * (-1 + cx**2 * v**2) / 8)
+    put(0, -1, 0, 4 * cy * v * (1 + cy * v) * (-1 + cx**2 * v**2) * (-1 + cz**2 * v**2) / 8)
+    put(0, -1, 1, -2 * cy * cz * v**2 * (1 + cy * v) * (-1 + cz * v) * (-1 + cx**2 * v**2) / 8)
+    put(0, 0, -1, 4 * cz * v * (1 + cz * v) * (-1 + cx**2 * v**2) * (-1 + cy**2 * v**2) / 8)
+    put(0, 0, 0, -8 * (-1 + cx**2 * v**2) * (-1 + cy**2 * v**2) * (-1 + cz**2 * v**2) / 8)
+    put(0, 0, 1, 4 * cz * v * (-1 + cz * v) * (-1 + cx**2 * v**2) * (-1 + cy**2 * v**2) / 8)
+    put(0, 1, -1, -2 * cy * cz * v**2 * (-1 + cy * v) * (1 + cz * v) * (-1 + cx**2 * v**2) / 8)
+    put(0, 1, 0, 4 * cy * v * (-1 + cy * v) * (-1 + cx**2 * v**2) * (-1 + cz**2 * v**2) / 8)
+    put(0, 1, 1, -2 * cy * cz * v**2 * (-1 + cy * v) * (-1 + cz * v) * (-1 + cx**2 * v**2) / 8)
+    put(1, -1, -1, cx * cy * cz * v**3 * (-1 + cx * v) * (1 + cy * v) * (1 + cz * v) / 8)
+    put(1, -1, 0, -2 * cx * cy * v**2 * (-1 + cx * v) * (1 + cy * v) * (-1 + cz**2 * v**2) / 8)
+    put(1, -1, 1, cx * cy * cz * v**3 * (-1 + cx * v) * (1 + cy * v) * (-1 + cz * v) / 8)
+    put(1, 0, -1, -2 * cx * cz * v**2 * (-1 + cx * v) * (1 + cz * v) * (-1 + cy**2 * v**2) / 8)
+    put(1, 0, 0, 4 * cx * v * (-1 + cx * v) * (-1 + cy**2 * v**2) * (-1 + cz**2 * v**2) / 8)
+    put(1, 0, 1, -2 * cx * cz * v**2 * (-1 + cx * v) * (-1 + cz * v) * (-1 + cy**2 * v**2) / 8)
+    put(1, 1, -1, cx * cy * cz * v**3 * (-1 + cx * v) * (-1 + cy * v) * (1 + cz * v) / 8)
+    put(1, 1, 0, -2 * cx * cy * v**2 * (-1 + cx * v) * (-1 + cy * v) * (-1 + cz**2 * v**2) / 8)
+    put(1, 1, 1, cx * cy * cz * v**3 * (-1 + cx * v) * (-1 + cy * v) * (-1 + cz * v) / 8)
+
+    return StencilCoefficients(a=a, velocity=(cx, cy, cz), nu=v)
+
+
+def max_stable_nu(velocity: Sequence[float]) -> float:
+    """Largest stable ``nu = Delta/delta`` for velocity ``c``.
+
+    The tensor-product Lax-Wendroff scheme is von Neumann stable iff
+    ``nu * max_i |c_i| <= 1``. The paper runs at this maximum stable value.
+    """
+    cmax = max(abs(float(v)) for v in velocity)
+    if cmax == 0:
+        raise ValueError("velocity is zero; any nu is stable and none advects")
+    return 1.0 / cmax
+
+
+def amplification_factor(
+    velocity: Sequence[float], nu: float, theta: Sequence[float]
+) -> complex:
+    """Von Neumann symbol g(theta) of the scheme at wavenumber angles theta.
+
+    For a Fourier mode ``exp(i (theta_x x + theta_y y + theta_z z)/delta)``
+    the scheme multiplies the amplitude by ``g`` each step; ``|g| <= 1`` for
+    all theta iff the scheme is stable.
+    """
+    g = 1.0 + 0.0j
+    for c, th in zip(velocity, theta):
+        lam = float(c) * float(nu)
+        g *= 1.0 - lam * lam * (1.0 - np.cos(th)) - 1j * lam * np.sin(th)
+    return complex(g)

@@ -1,0 +1,146 @@
+"""Vectorized stencil kernels.
+
+These are the *functional* kernels: they operate on NumPy arrays and produce
+the same numbers the paper's Fortran kernels produce. (Performance of the
+simulated machines comes from the analytic cost models in
+:mod:`repro.machines` and :mod:`repro.simgpu`, not from timing this Python.)
+
+All kernels follow the halo convention of :mod:`repro.stencil.grid`: fields
+carry a one-point halo, the interior is ``field[1:-1, 1:-1, 1:-1]``.
+
+The paper's three algorithmic steps per time step (§IV-A) map to:
+
+1. copy periodic boundaries — :func:`fill_periodic_halo`
+2. compute the new state (Equation 2) — :func:`apply_stencil`
+3. copy the new state to the current state — plain array copy (or pointer
+   flip for implementations that do that, as the GPU-resident one does)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stencil.coefficients import StencilCoefficients
+
+__all__ = [
+    "interior",
+    "fill_periodic_halo",
+    "apply_stencil",
+    "apply_stencil_block",
+    "advance",
+]
+
+
+def interior(field: np.ndarray) -> np.ndarray:
+    """View of the non-halo interior of a haloed field."""
+    return field[1:-1, 1:-1, 1:-1]
+
+
+def fill_periodic_halo(field: np.ndarray, dims: Sequence[int] = (0, 1, 2)) -> None:
+    """Fill halo planes from the periodic opposite boundary, in place.
+
+    ``dims`` selects which dimensions to wrap (all three by default). The
+    dimensions are applied in order; applying x then y then z propagates
+    edge and corner values exactly like the paper's serialized exchange
+    (x corners sent to y neighbors, x and y to z — §IV-B).
+    """
+    for d in dims:
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        src_lo = [slice(None)] * 3
+        src_hi = [slice(None)] * 3
+        lo[d] = 0
+        src_lo[d] = -2  # last interior plane
+        hi[d] = -1
+        src_hi[d] = 1  # first interior plane
+        field[tuple(lo)] = field[tuple(src_lo)]
+        field[tuple(hi)] = field[tuple(src_hi)]
+
+
+def apply_stencil(
+    u: np.ndarray,
+    coeffs: StencilCoefficients,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Equation 2: 27-point weighted sum over a haloed field.
+
+    Reads the full haloed field ``u`` and writes new *interior* values into
+    the interior of ``out`` (allocated if ``None``; halo of ``out`` is left
+    untouched). Returns ``out``.
+    """
+    if out is None:
+        out = np.zeros_like(u)
+    nx, ny, nz = (s - 2 for s in u.shape)
+    acc = out[1:-1, 1:-1, 1:-1]
+    acc.fill(0.0)
+    a = coeffs.a
+    for i in (-1, 0, 1):
+        for j in (-1, 0, 1):
+            for k in (-1, 0, 1):
+                c = a[i + 1, j + 1, k + 1]
+                if c == 0.0:
+                    continue
+                acc += c * u[1 + i : nx + 1 + i, 1 + j : ny + 1 + j, 1 + k : nz + 1 + k]
+    return out
+
+
+def apply_stencil_block(
+    u: np.ndarray,
+    coeffs: StencilCoefficients,
+    out: np.ndarray,
+    lo: Tuple[int, int, int],
+    hi: Tuple[int, int, int],
+) -> None:
+    """Apply Equation 2 on the interior sub-box ``[lo, hi)`` only.
+
+    ``lo``/``hi`` are interior coordinates (0-based, halo excluded). Used by
+    the overlap implementations, which partition the interior into pieces
+    computed between communication phases, and by the CPU-box/GPU-block
+    decomposition of Fig. 1.
+    """
+    (x0, y0, z0), (x1, y1, z1) = lo, hi
+    nx, ny, nz = (s - 2 for s in u.shape)
+    if x0 >= x1 or y0 >= y1 or z0 >= z1:
+        return  # empty (possibly degenerate hi < lo) block
+    if not (0 <= x0 <= x1 <= nx and 0 <= y0 <= y1 <= ny and 0 <= z0 <= z1 <= nz):
+        raise ValueError(f"block [{lo}, {hi}) outside interior {(nx, ny, nz)}")
+    acc = out[1 + x0 : 1 + x1, 1 + y0 : 1 + y1, 1 + z0 : 1 + z1]
+    acc.fill(0.0)
+    a = coeffs.a
+    for i in (-1, 0, 1):
+        for j in (-1, 0, 1):
+            for k in (-1, 0, 1):
+                c = a[i + 1, j + 1, k + 1]
+                if c == 0.0:
+                    continue
+                acc += c * u[
+                    1 + x0 + i : 1 + x1 + i,
+                    1 + y0 + j : 1 + y1 + j,
+                    1 + z0 + k : 1 + z1 + k,
+                ]
+
+
+def advance(
+    u: np.ndarray,
+    coeffs: StencilCoefficients,
+    steps: int = 1,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Run ``steps`` full single-domain time steps (halo fill + stencil).
+
+    This is the reference single-task algorithm (§IV-A) with the Step-3 copy
+    realized as a buffer flip; it returns the final field (haloed). Intended
+    for verification on small grids.
+    """
+    if scratch is None:
+        scratch = np.zeros_like(u)
+    cur, nxt = u, scratch
+    for _ in range(steps):
+        fill_periodic_halo(cur)
+        apply_stencil(cur, coeffs, out=nxt)
+        cur, nxt = nxt, cur
+    if cur is not u:
+        u[...] = cur
+    return u

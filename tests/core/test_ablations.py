@@ -1,0 +1,98 @@
+"""Tests for the overlap-channel ablations and multi-GPU nodes (§VI)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import RunConfig, YONA, run
+
+
+BASE = dict(machine=YONA, implementation="hybrid_overlap", cores=48,
+            threads_per_task=12, box_thickness=2)
+
+
+class TestOverlapAblations:
+    def test_disabling_stream_overlap_costs_performance(self):
+        full = run(RunConfig(**BASE)).gflops
+        ablated = run(RunConfig(disable_stream_overlap=True, **BASE)).gflops
+        assert ablated < 0.9 * full
+
+    def test_disabling_mpi_overlap_costs_little_here(self):
+        """At modest scale the walls hide MPI easily; losing the overlap is
+        cheap — consistent with the paper's point that the win is the
+        GPU-side decoupling, not the MPI interleave."""
+        full = run(RunConfig(**BASE)).gflops
+        ablated = run(RunConfig(disable_mpi_overlap=True, **BASE)).gflops
+        assert ablated <= full + 1e-9
+        assert ablated > 0.9 * full
+
+    def test_double_ablation_worst(self):
+        neither = run(RunConfig(disable_stream_overlap=True,
+                                disable_mpi_overlap=True, **BASE)).gflops
+        for kw in ({}, {"disable_stream_overlap": True},
+                   {"disable_mpi_overlap": True}):
+            assert neither <= run(RunConfig(**{**BASE, **kw})).gflops + 1e-9
+
+    def test_ablations_preserve_numerics(self):
+        """Switching overlap off must not change the computed field."""
+        common = dict(machine=YONA, implementation="hybrid_overlap",
+                      cores=12, threads_per_task=6, box_thickness=2,
+                      steps=3, domain=(16, 16, 16),
+                      functional=True, network="full")
+        ref = run(RunConfig(**common)).global_field
+        for kw in ({"disable_stream_overlap": True},
+                   {"disable_mpi_overlap": True}):
+            field = run(RunConfig(**common, **kw)).global_field
+            assert np.array_equal(field, ref)
+
+
+class TestMultiGpuNodes:
+    def test_more_gpus_more_throughput(self):
+        results = {}
+        for g in (1, 2, 4):
+            machine = replace(YONA, gpus_per_node=g)
+            threads = 12 // g  # one task per GPU
+            results[g] = run(
+                RunConfig(machine=machine, implementation="hybrid_overlap",
+                          cores=12, threads_per_task=threads, box_thickness=2)
+            ).gflops
+        assert results[2] > 1.4 * results[1]
+        assert results[4] > results[2]
+
+    def test_sublinear_returns(self):
+        """Each extra GPU gets fewer CPU cores to feed it (paper §VI)."""
+        machine2 = replace(YONA, gpus_per_node=2)
+        machine4 = replace(YONA, gpus_per_node=4)
+        g1 = run(RunConfig(machine=YONA, implementation="hybrid_overlap",
+                           cores=12, threads_per_task=12, box_thickness=2)).gflops
+        g4 = run(RunConfig(machine=machine4, implementation="hybrid_overlap",
+                           cores=12, threads_per_task=3, box_thickness=2)).gflops
+        assert g4 < 4 * g1
+
+    def test_gpu_resident_unaffected_by_extra_gpus(self):
+        """A single task uses one GPU regardless of how many exist."""
+        machine = replace(YONA, gpus_per_node=4)
+        base = run(RunConfig(machine=YONA, implementation="gpu_resident",
+                             cores=12, threads_per_task=12)).gflops
+        multi = run(RunConfig(machine=machine, implementation="gpu_resident",
+                              cores=12, threads_per_task=12)).gflops
+        assert multi == pytest.approx(base)
+
+    def test_functional_with_private_gpus(self):
+        """2 tasks with private GPUs still compute the exact field."""
+        from repro.stencil.grid import Grid3D, allocate_field, gaussian_initial_condition
+        from repro.stencil.kernels import advance, interior
+        from repro.stencil.coefficients import max_stable_nu, tensor_product_coefficients
+
+        vel = (1.0, 0.9, 0.8)
+        coeffs = tensor_product_coefficients(vel, max_stable_nu(vel))
+        u = allocate_field((16, 16, 16))
+        interior(u)[...] = gaussian_initial_condition(Grid3D(16), sigma=0.08)
+        advance(u, coeffs, steps=3)
+        machine = replace(YONA, gpus_per_node=2)
+        r = run(RunConfig(machine=machine, implementation="hybrid_overlap",
+                          cores=12, threads_per_task=6, box_thickness=2,
+                          steps=3, domain=(16, 16, 16), velocity=vel,
+                          functional=True, network="full"))
+        assert np.array_equal(r.global_field, interior(u))

@@ -1,0 +1,89 @@
+"""Tests for RunConfig validation and derived layout."""
+
+import pytest
+
+from repro.core.config import RunConfig, RunResult
+from repro.machines import HOPPER, JAGUARPF, YONA
+from repro.stencil.coefficients import FLOPS_PER_POINT
+
+
+def cfg(**kw):
+    base = dict(machine=JAGUARPF, implementation="bulk", cores=24,
+                threads_per_task=2)
+    base.update(kw)
+    return RunConfig(**base)
+
+
+class TestValidation:
+    def test_threads_exceed_node(self):
+        with pytest.raises(ValueError, match="impossible"):
+            cfg(threads_per_task=13)
+
+    def test_threads_must_pack_node(self):
+        with pytest.raises(ValueError, match="pack"):
+            cfg(threads_per_task=5)  # 12 % 5 != 0
+
+    def test_cores_whole_nodes(self):
+        with pytest.raises(ValueError, match="whole number"):
+            cfg(cores=18)
+
+    def test_cores_divisible_by_threads(self):
+        with pytest.raises(ValueError):
+            cfg(cores=12, threads_per_task=8)
+
+    def test_functional_requires_full_network(self):
+        with pytest.raises(ValueError, match="full network"):
+            cfg(functional=True, network="mirror")
+
+    def test_unknown_network(self):
+        with pytest.raises(ValueError, match="network"):
+            cfg(network="carrier-pigeon")
+
+    def test_steps_positive(self):
+        with pytest.raises(ValueError):
+            cfg(steps=0)
+
+    def test_subnode_cores_allowed(self):
+        c = cfg(cores=6, threads_per_task=2)
+        assert c.ntasks == 3
+
+
+class TestDerived:
+    def test_ntasks(self):
+        assert cfg(cores=48, threads_per_task=6).ntasks == 8
+
+    def test_tasks_per_node(self):
+        assert cfg(cores=48, threads_per_task=6).tasks_per_node == 2
+        assert cfg(machine=HOPPER, cores=48, threads_per_task=2).tasks_per_node == 12
+
+    def test_nodes(self):
+        assert cfg(cores=48, threads_per_task=6).nodes == 4
+
+    def test_total_points(self):
+        assert cfg().total_points == 420**3
+        assert cfg(domain=(8, 10, 12)).total_points == 960
+
+    def test_nu_at_max_stable(self):
+        c = cfg(velocity=(2.0, 1.0, 0.5), nu_fraction=1.0)
+        assert c.nu == pytest.approx(0.5)
+
+    def test_with_(self):
+        c = cfg()
+        c2 = c.with_(cores=48)
+        assert c2.cores == 48 and c.cores == 24
+        assert c2.machine is c.machine
+
+
+class TestRunResult:
+    def test_gflops_metric(self):
+        """GF uses the paper's analytic 53 flops/point, not wall ops."""
+        c = cfg(domain=(10, 10, 10), steps=4)
+        r = RunResult(config=c, elapsed_s=2.0)
+        expected = 1000 * FLOPS_PER_POINT * 4 / 2.0 / 1e9
+        assert r.gflops == pytest.approx(expected)
+        assert r.seconds_per_step == pytest.approx(0.5)
+
+    def test_summary_mentions_machine_and_impl(self):
+        c = cfg()
+        s = RunResult(config=c, elapsed_s=1.0).summary()
+        assert "JaguarPF" in s and "bulk" in s

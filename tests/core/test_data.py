@@ -1,0 +1,139 @@
+"""Tests for RankData (functional per-rank state) and gpu_common geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.data import RankData, local_initial_condition
+from repro.core.gpu_common import (
+    box_points,
+    copy_box_dev_to_host,
+    copy_box_host_to_dev,
+    inner_boundary_slabs,
+    inner_halo_slabs,
+    slab_normal_split,
+)
+from repro.decomp.boxdecomp import BoxDecomposition
+from repro.decomp.partition import Decomposition
+from repro.machines import JAGUARPF
+from repro.stencil.grid import Grid3D, gaussian_initial_condition
+
+
+def make_cfg(functional=True, domain=(12, 12, 12), ntasks_cores=(12, 6)):
+    cores, threads = ntasks_cores
+    return RunConfig(
+        machine=JAGUARPF, implementation="bulk", cores=cores,
+        threads_per_task=threads, domain=domain,
+        functional=functional, network="full",
+    )
+
+
+class TestLocalInitialCondition:
+    def test_tiles_reassemble_global(self):
+        cfg = make_cfg()
+        d = Decomposition(cfg.ntasks, cfg.domain)
+        global_ic = gaussian_initial_condition(Grid3D(cfg.domain), sigma=cfg.sigma)
+        assembled = np.zeros(cfg.domain)
+        for r in range(cfg.ntasks):
+            sub = d.subdomain(r)
+            sl = tuple(slice(o, o + s) for o, s in zip(sub.offset, sub.shape))
+            assembled[sl] = local_initial_condition(cfg, sub)
+        assert np.allclose(assembled, global_ic)
+
+
+class TestRankData:
+    def test_shadow_mode_noops(self):
+        cfg = make_cfg(functional=False).with_(functional=False, network="mirror")
+        sub = Decomposition(cfg.ntasks, cfg.domain).subdomain(0)
+        data = RankData(cfg, sub)
+        assert data.u is None
+        assert data.pack(0, -1) is None
+        data.unpack(0, -1, None)  # no-op, no error
+        data.apply_all()
+        data.copy_state()
+        assert data.interior_view() is None
+
+    def test_functional_holds_initial_condition(self):
+        cfg = make_cfg()
+        sub = Decomposition(cfg.ntasks, cfg.domain).subdomain(1)
+        data = RankData(cfg, sub)
+        assert np.allclose(data.interior_view(), local_initial_condition(cfg, sub))
+
+    def test_functional_unpack_requires_payload(self):
+        cfg = make_cfg()
+        sub = Decomposition(cfg.ntasks, cfg.domain).subdomain(0)
+        data = RankData(cfg, sub)
+        with pytest.raises(ValueError, match="payload"):
+            data.unpack(0, -1, None)
+
+    def test_core_and_boundary_partition(self):
+        cfg = make_cfg()
+        sub = Decomposition(cfg.ntasks, cfg.domain).subdomain(0)
+        data = RankData(cfg, sub)
+        assert data.core_points() + data.boundary_points() == sub.points
+
+    def test_core_thirds_tile_core(self):
+        cfg = make_cfg()
+        sub = Decomposition(cfg.ntasks, cfg.domain).subdomain(0)
+        data = RankData(cfg, sub)
+        total = sum(
+            (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2])
+            for lo, hi in data.core_thirds()
+        )
+        assert total == data.core_points()
+
+    def test_boundary_slabs_tile_boundary(self):
+        cfg = make_cfg()
+        sub = Decomposition(cfg.ntasks, cfg.domain).subdomain(0)
+        data = RankData(cfg, sub)
+        total = sum(
+            (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2])
+            for lo, hi in data.boundary_slabs()
+        )
+        assert total == data.boundary_points()
+
+    def test_copy_region(self):
+        cfg = make_cfg()
+        sub = Decomposition(cfg.ntasks, cfg.domain).subdomain(0)
+        data = RankData(cfg, sub)
+        data.unew[...] = 7.0
+        data.copy_region((0, 0, 0), (2, 2, 2))
+        assert np.all(data.interior_view()[:2, :2, :2] == 7.0)
+        assert data.interior_view()[3, 3, 3] != 7.0
+
+
+class TestGpuCommonGeometry:
+    def test_inner_slabs_disjoint_and_complete(self):
+        box = BoxDecomposition((12, 14, 16), 2)
+        for slabs, expected in (
+            (inner_boundary_slabs(box), box.inner_boundary_points),
+            (inner_halo_slabs(box), box.inner_halo_points),
+        ):
+            marked = np.zeros((20, 20, 20), dtype=int)
+            total = 0
+            for _, (lo, hi) in slabs:
+                marked[lo[0] : hi[0], lo[1] : hi[1], lo[2] : hi[2]] += 1
+                total += box_points((lo, hi))
+            assert marked.max() == 1  # disjoint
+            assert total == expected
+
+    def test_slab_normal_split_sums(self):
+        box = BoxDecomposition((12, 14, 16), 2)
+        split = slab_normal_split(inner_boundary_slabs(box))
+        assert sum(split.values()) == box.inner_boundary_points
+
+    def test_host_dev_copy_roundtrip(self):
+        box = BoxDecomposition((8, 8, 8), 2)
+        rng = np.random.default_rng(0)
+        host = rng.random((10, 10, 10))  # haloed 8^3
+        dev = np.zeros([s + 2 for s in box.block_shape])
+        slab = (box.block_lo, box.block_hi)
+        copy_box_host_to_dev(host, dev, box, slab)
+        host2 = np.zeros_like(host)
+        copy_box_dev_to_host(dev, host2, box, slab)
+        sl = tuple(slice(1 + l, 1 + h) for l, h in zip(*slab))
+        assert np.array_equal(host2[sl], host[sl])
+
+    def test_none_arrays_are_noop(self):
+        box = BoxDecomposition((8, 8, 8), 2)
+        copy_box_host_to_dev(None, None, box, (box.block_lo, box.block_hi))

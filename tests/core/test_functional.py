@@ -1,0 +1,140 @@
+"""Functional correctness: every implementation must reproduce the
+single-domain reference field bit-for-bit, across decompositions.
+
+This is the reproduction's strongest oracle: the nine §IV programs all
+implement the same Equation-2 step, so their fields must agree exactly (the
+per-point arithmetic is identical), and after enough steps must track the
+analytic solution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.runner import run
+from repro.machines import JAGUARPF, LENS, YONA
+from repro.stencil.coefficients import max_stable_nu, tensor_product_coefficients
+from repro.stencil.grid import Grid3D, allocate_field, gaussian_initial_condition
+from repro.stencil.kernels import advance, interior
+
+DOMAIN = (16, 16, 16)
+VELOCITY = (1.0, 0.9, 0.8)
+STEPS = 3
+
+
+@pytest.fixture(scope="module")
+def reference():
+    grid = Grid3D(DOMAIN)
+    nu = max_stable_nu(VELOCITY)
+    coeffs = tensor_product_coefficients(VELOCITY, nu)
+    u = allocate_field(grid.n)
+    interior(u)[...] = gaussian_initial_condition(grid, sigma=0.08)
+    advance(u, coeffs, steps=STEPS)
+    return interior(u).copy()
+
+
+def functional_run(machine, impl, cores, threads, **kw):
+    cfg = RunConfig(
+        machine=machine,
+        implementation=impl,
+        cores=cores,
+        threads_per_task=threads,
+        steps=STEPS,
+        domain=DOMAIN,
+        velocity=VELOCITY,
+        functional=True,
+        network="full",
+        **kw,
+    )
+    return run(cfg)
+
+
+class TestCpuImplementations:
+    def test_single_task(self, reference):
+        r = functional_run(JAGUARPF, "single", 12, 12)
+        assert np.array_equal(r.global_field, reference)
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 6])
+    def test_bulk_across_decompositions(self, reference, threads):
+        r = functional_run(JAGUARPF, "bulk", 12, threads)
+        assert np.array_equal(r.global_field, reference)
+
+    @pytest.mark.parametrize("cores,threads", [(12, 2), (12, 1), (24, 6)])
+    def test_nonblocking(self, reference, cores, threads):
+        r = functional_run(JAGUARPF, "nonblocking", cores, threads)
+        assert np.array_equal(r.global_field, reference)
+
+    @pytest.mark.parametrize("cores,threads", [(12, 3), (12, 1), (24, 12)])
+    def test_thread_overlap(self, reference, cores, threads):
+        r = functional_run(JAGUARPF, "thread_overlap", cores, threads)
+        assert np.array_equal(r.global_field, reference)
+
+    def test_multinode_decomposition(self, reference):
+        r = functional_run(JAGUARPF, "bulk", 48, 6)  # 8 tasks, (2,2,2)
+        assert np.array_equal(r.global_field, reference)
+
+
+class TestGpuImplementations:
+    def test_gpu_resident(self, reference):
+        r = functional_run(YONA, "gpu_resident", 12, 12)
+        assert np.array_equal(r.global_field, reference)
+
+    @pytest.mark.parametrize(
+        "machine,threads", [(YONA, 6), (YONA, 12), (LENS, 8), (LENS, 16)]
+    )
+    def test_gpu_bulk(self, reference, machine, threads):
+        r = functional_run(machine, "gpu_bulk", machine.node.cores, threads)
+        assert np.array_equal(r.global_field, reference)
+
+    @pytest.mark.parametrize("threads", [6, 12])
+    def test_gpu_streams(self, reference, threads):
+        r = functional_run(YONA, "gpu_streams", 12, threads)
+        assert np.array_equal(r.global_field, reference)
+
+    @pytest.mark.parametrize("thickness", [1, 2, 3])
+    def test_hybrid_bulk(self, reference, thickness):
+        r = functional_run(YONA, "hybrid_bulk", 12, 6, box_thickness=thickness)
+        assert np.array_equal(r.global_field, reference)
+
+    @pytest.mark.parametrize("thickness", [1, 2, 3])
+    @pytest.mark.parametrize("threads", [6, 12])
+    def test_hybrid_overlap(self, reference, thickness, threads):
+        r = functional_run(
+            YONA, "hybrid_overlap", 12, threads, box_thickness=thickness
+        )
+        assert np.array_equal(r.global_field, reference)
+
+    def test_hybrid_overlap_multinode(self, reference):
+        r = functional_run(YONA, "hybrid_overlap", 24, 12, box_thickness=2)
+        assert np.array_equal(r.global_field, reference)
+
+
+class TestAgainstAnalytic:
+    def test_norms_reported_and_small(self):
+        r = functional_run(JAGUARPF, "bulk", 12, 6)
+        assert r.norms is not None
+        assert r.norms["linf"] < 0.2  # coarse grid, few steps
+
+    def test_longer_run_tracks_analytic(self):
+        cfg = RunConfig(
+            machine=JAGUARPF, implementation="bulk", cores=12,
+            threads_per_task=6, steps=16, domain=(32, 32, 32),
+            velocity=VELOCITY, sigma=0.15, functional=True, network="full",
+        )
+        r = run(cfg)
+        assert r.norms["linf"] < 0.06
+
+    def test_unit_cfl_axis_velocity_exact(self):
+        """Unit-CFL axis-aligned advection is exact through MPI + GPU."""
+        grid = Grid3D((16, 16, 16))
+        u0 = gaussian_initial_condition(grid, sigma=0.1)
+        for impl, machine in (("bulk", JAGUARPF), ("hybrid_overlap", YONA)):
+            cfg = RunConfig(
+                machine=machine, implementation=impl, cores=12,
+                threads_per_task=6, steps=4, domain=(16, 16, 16),
+                velocity=(1.0, 0.0, 0.0), sigma=0.1,
+                box_thickness=2, functional=True, network="full",
+            )
+            r = run(cfg)
+            expected = np.roll(u0, 4, axis=0)
+            assert np.abs(r.global_field - expected).max() < 1e-13

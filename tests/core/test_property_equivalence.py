@@ -1,0 +1,98 @@
+"""Property-based cross-implementation equivalence.
+
+For random velocities, CFL fractions, domains and decompositions, every
+implementation must produce exactly the single-domain reference field —
+the strongest statement that the nine programs implement one scheme.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RunConfig, JAGUARPF, YONA, run
+from repro.stencil.coefficients import max_stable_nu, tensor_product_coefficients
+from repro.stencil.grid import Grid3D, allocate_field, gaussian_initial_condition
+from repro.stencil.kernels import advance, interior
+
+
+def reference_field(domain, velocity, nu_fraction, steps, sigma):
+    grid = Grid3D(domain)
+    nu = nu_fraction * max_stable_nu(velocity)
+    coeffs = tensor_product_coefficients(velocity, nu)
+    u = allocate_field(grid.n)
+    interior(u)[...] = gaussian_initial_condition(grid, sigma=sigma)
+    advance(u, coeffs, steps=steps)
+    return interior(u).copy()
+
+
+nonzero = st.floats(0.2, 1.5).map(lambda v: round(v, 3))
+signs = st.sampled_from([-1.0, 1.0])
+velocities = st.tuples(
+    st.tuples(nonzero, signs).map(lambda t: t[0] * t[1]),
+    st.tuples(nonzero, signs).map(lambda t: t[0] * t[1]),
+    st.tuples(nonzero, signs).map(lambda t: t[0] * t[1]),
+)
+
+
+class TestRandomizedEquivalence:
+    @given(
+        velocity=velocities,
+        nu_fraction=st.floats(0.3, 1.0),
+        threads=st.sampled_from([1, 2, 3, 6]),
+        steps=st.integers(1, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bulk_matches_reference(self, velocity, nu_fraction, threads, steps):
+        domain = (12, 12, 12)
+        ref = reference_field(domain, velocity, nu_fraction, steps, sigma=0.1)
+        r = run(RunConfig(machine=JAGUARPF, implementation="bulk", cores=12,
+                          threads_per_task=threads, steps=steps, domain=domain,
+                          velocity=velocity, nu_fraction=nu_fraction, sigma=0.1,
+                          functional=True, network="full"))
+        assert np.array_equal(r.global_field, ref)
+
+    @given(
+        velocity=velocities,
+        impl=st.sampled_from(["nonblocking", "thread_overlap"]),
+        cores=st.sampled_from([12, 24]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_overlap_impls_match_reference(self, velocity, impl, cores):
+        domain = (12, 12, 12)
+        ref = reference_field(domain, velocity, 1.0, 2, sigma=0.1)
+        r = run(RunConfig(machine=JAGUARPF, implementation=impl, cores=cores,
+                          threads_per_task=3, steps=2, domain=domain,
+                          velocity=velocity, sigma=0.1,
+                          functional=True, network="full"))
+        assert np.array_equal(r.global_field, ref)
+
+    @given(
+        velocity=velocities,
+        impl=st.sampled_from(["gpu_bulk", "gpu_streams", "hybrid_bulk",
+                              "hybrid_overlap"]),
+        thickness=st.integers(1, 3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_gpu_impls_match_reference(self, velocity, impl, thickness):
+        domain = (14, 14, 14)
+        ref = reference_field(domain, velocity, 1.0, 2, sigma=0.1)
+        r = run(RunConfig(machine=YONA, implementation=impl, cores=12,
+                          threads_per_task=6, steps=2, domain=domain,
+                          velocity=velocity, sigma=0.1,
+                          box_thickness=thickness,
+                          functional=True, network="full"))
+        assert np.array_equal(r.global_field, ref)
+
+    @given(domain=st.tuples(st.integers(9, 18), st.integers(9, 18),
+                            st.integers(9, 18)))
+    @settings(max_examples=10, deadline=None)
+    def test_non_cubic_domains(self, domain):
+        """Anisotropic grids exercise the near-cubic decomposition logic."""
+        velocity = (1.0, 0.9, 0.8)
+        ref = reference_field(domain, velocity, 1.0, 2, sigma=0.12)
+        r = run(RunConfig(machine=JAGUARPF, implementation="bulk", cores=24,
+                          threads_per_task=4, steps=2, domain=domain,
+                          velocity=velocity, sigma=0.12,
+                          functional=True, network="full"))
+        assert np.array_equal(r.global_field, ref)

@@ -1,0 +1,98 @@
+"""Registry and implementation-metadata tests."""
+
+import pytest
+
+from repro.core.base import Implementation
+from repro.core.registry import (
+    CPU_KEYS,
+    EXTENSION_KEYS,
+    GPU_KEYS,
+    IMPLEMENTATIONS,
+    PAPER_KEYS,
+    get_implementation,
+)
+
+
+class TestRegistry:
+    def test_papers_nine_present(self):
+        assert len(PAPER_KEYS) == 9
+        assert set(PAPER_KEYS) <= set(IMPLEMENTATIONS)
+        assert set(PAPER_KEYS) | set(EXTENSION_KEYS) == set(IMPLEMENTATIONS)
+
+    def test_sections_cover_iv_a_through_i(self):
+        sections = {IMPLEMENTATIONS[k].section for k in PAPER_KEYS}
+        assert sections == {f"IV-{c}" for c in "ABCDEFGHI"}
+
+    def test_extensions_marked(self):
+        for key in EXTENSION_KEYS:
+            assert IMPLEMENTATIONS[key].section == "ext"
+            assert IMPLEMENTATIONS[key].fortran_loc == 0
+
+    def test_keys_partition_cpu_gpu(self):
+        assert set(CPU_KEYS) | set(GPU_KEYS) == set(IMPLEMENTATIONS)
+        assert not set(CPU_KEYS) & set(GPU_KEYS)
+
+    def test_gpu_flags_consistent(self):
+        for key in GPU_KEYS:
+            assert IMPLEMENTATIONS[key].uses_gpu
+        for key in CPU_KEYS:
+            assert not IMPLEMENTATIONS[key].uses_gpu
+
+    def test_mpi_flags(self):
+        assert not IMPLEMENTATIONS["single"].uses_mpi
+        assert not IMPLEMENTATIONS["gpu_resident"].uses_mpi
+        for key in ("bulk", "nonblocking", "thread_overlap", "gpu_bulk",
+                    "gpu_streams", "hybrid_bulk", "hybrid_overlap"):
+            assert IMPLEMENTATIONS[key].uses_mpi
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown implementation"):
+            get_implementation("quantum")
+
+    def test_instances_are_singletons(self):
+        assert get_implementation("bulk") is get_implementation("bulk")
+
+    def test_all_are_implementations(self):
+        for impl in IMPLEMENTATIONS.values():
+            assert isinstance(impl, Implementation)
+            assert impl.key and impl.title and impl.section
+
+
+class TestFig2Loc:
+    """Fig. 2's stated and derived Fortran line counts."""
+
+    def test_exact_values_from_paper(self):
+        assert IMPLEMENTATIONS["single"].fortran_loc == 215
+        assert IMPLEMENTATIONS["hybrid_overlap"].fortran_loc == 860  # exactly 4x
+
+    def test_mpi_adds_57_to_73_percent(self):
+        base = IMPLEMENTATIONS["single"].fortran_loc
+        for key in ("bulk", "nonblocking", "thread_overlap"):
+            ratio = IMPLEMENTATIONS[key].fortran_loc / base
+            assert 1.57 <= ratio <= 1.74
+
+    def test_nonblocking_adds_the_most(self):
+        assert (
+            IMPLEMENTATIONS["nonblocking"].fortran_loc
+            > IMPLEMENTATIONS["bulk"].fortran_loc
+        )
+        assert (
+            IMPLEMENTATIONS["nonblocking"].fortran_loc
+            > IMPLEMENTATIONS["thread_overlap"].fortran_loc
+        )
+
+    def test_cuda_adds_6_percent(self):
+        base = IMPLEMENTATIONS["single"].fortran_loc
+        assert IMPLEMENTATIONS["gpu_resident"].fortran_loc == pytest.approx(
+            base * 1.06, abs=1
+        )
+
+    def test_gpu_mpi_almost_triples(self):
+        base = IMPLEMENTATIONS["single"].fortran_loc
+        for key in ("gpu_bulk", "gpu_streams"):
+            ratio = IMPLEMENTATIONS[key].fortran_loc / base
+            assert 2.5 < ratio < 3.2
+
+    def test_hybrid_most_expensive(self):
+        locs = {k: i.fortran_loc for k, i in IMPLEMENTATIONS.items()}
+        assert max(locs, key=locs.get) == "hybrid_overlap"

@@ -1,0 +1,103 @@
+"""Tests for the direct 26-neighbor exchange regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomp.halo26 import (
+    OFFSETS26,
+    offset_tag,
+    pack_region,
+    region_bytes,
+    region_points,
+    total_exchange_bytes,
+    unpack_region,
+)
+from repro.stencil.grid import allocate_field
+from repro.stencil.kernels import fill_periodic_halo, interior
+
+
+def make_field(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    u = allocate_field(shape)
+    interior(u)[...] = rng.random(shape)
+    return u
+
+
+class TestOffsets:
+    def test_26_offsets(self):
+        assert len(OFFSETS26) == 26
+        assert (0, 0, 0) not in OFFSETS26
+
+    def test_faces_edges_corners(self):
+        by_order = {}
+        for d in OFFSETS26:
+            by_order.setdefault(sum(map(abs, d)), []).append(d)
+        assert len(by_order[1]) == 6  # faces
+        assert len(by_order[2]) == 12  # edges
+        assert len(by_order[3]) == 8  # corners
+
+    def test_tags_unique(self):
+        tags = [offset_tag(d) for d in OFFSETS26]
+        assert len(set(tags)) == 26
+
+    def test_tag_symmetry_distinct(self):
+        for d in OFFSETS26:
+            assert offset_tag(d) != offset_tag(tuple(-x for x in d))
+
+
+class TestRegions:
+    def test_face_region_size(self):
+        assert region_points((10, 12, 14), (1, 0, 0)) == 12 * 14
+        assert region_points((10, 12, 14), (0, 0, -1)) == 10 * 12
+
+    def test_edge_and_corner_sizes(self):
+        assert region_points((10, 12, 14), (1, 1, 0)) == 14
+        assert region_points((10, 12, 14), (1, -1, 1)) == 1
+
+    def test_total_bytes_counts_everything(self):
+        shape = (5, 6, 7)
+        total = total_exchange_bytes(shape)
+        manual = sum(region_bytes(shape, d) for d in OFFSETS26)
+        assert total == manual
+
+    def test_direct_volume_below_serialized(self):
+        """No rims -> strictly fewer bytes than the 6-plane protocol."""
+        from repro.decomp.halo import face_message_bytes
+
+        shape = (20, 20, 20)
+        serialized = 2 * sum(face_message_bytes(shape, d) for d in range(3))
+        assert total_exchange_bytes(shape) < serialized
+
+
+class TestPackUnpack:
+    @given(d=st.sampled_from(OFFSETS26))
+    @settings(max_examples=26, deadline=None)
+    def test_self_exchange_equals_periodic_fill(self, d):
+        """Packing toward d and unpacking at -d reproduces periodicity."""
+        u1 = make_field((5, 6, 7), seed=4)
+        u2 = u1.copy()
+        fill_periodic_halo(u1)
+        neg = tuple(-x for x in d)
+        buf = pack_region(u2, d)
+        unpack_region(u2, neg, buf)
+        # the halo region at -d must now match the periodic fill
+        from repro.decomp.halo26 import _recv_slices
+
+        sl = _recv_slices((5, 6, 7), neg)
+        assert np.array_equal(u1[sl], u2[sl])
+
+    def test_all_26_self_exchanges_fill_entire_halo(self):
+        u1 = make_field((6, 6, 6), seed=9)
+        u2 = u1.copy()
+        fill_periodic_halo(u1)
+        for d in OFFSETS26:
+            buf = pack_region(u2, d)
+            unpack_region(u2, tuple(-x for x in d), buf)
+        assert np.array_equal(u1, u2)
+
+    def test_unpack_shape_mismatch(self):
+        u = make_field((6, 6, 6))
+        with pytest.raises(ValueError):
+            unpack_region(u, (1, 0, 0), np.zeros((3, 3)))

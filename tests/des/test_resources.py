@@ -1,0 +1,175 @@
+"""Unit tests for Resource and SharedBandwidth."""
+
+import pytest
+
+from repro.des import Environment, Resource, SharedBandwidth, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self, env):
+        res = Resource(env, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_queueing_and_fifo_release(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+
+        def waiter(tag):
+            req = res.request()
+            yield req
+            order.append((tag, env.now))
+            res.release(req)
+
+        env.process(holder())
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+        env.run()
+        assert order == [("a", 1.0), ("b", 1.0)]
+
+    def test_release_unknown_request_raises(self, env):
+        res = Resource(env, capacity=1)
+        other = Resource(env, capacity=1)
+        req = other.request()
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        held = res.request()
+        queued = res.request()
+        assert not queued.triggered
+        res.release(queued)  # cancels, does not grant
+        res.release(held)
+        assert res.count == 0
+
+    def test_serialization_under_contention(self, env):
+        """Three 1-second holders of a capacity-1 resource take 3 seconds."""
+        res = Resource(env, capacity=1)
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(1.0)
+            res.release(req)
+
+        procs = [env.process(worker()) for _ in range(3)]
+        env.run()
+        assert env.now == 3.0
+
+
+class TestSharedBandwidth:
+    def test_rate_validation(self, env):
+        with pytest.raises(ValueError):
+            SharedBandwidth(env, 0)
+
+    def test_single_transfer_time(self, env):
+        link = SharedBandwidth(env, rate=100.0)
+
+        def proc():
+            yield link.transfer(250.0)
+            return env.now
+
+        p = env.process(proc())
+        assert env.run(until=p) == pytest.approx(2.5)
+
+    def test_zero_work_completes_immediately(self, env):
+        link = SharedBandwidth(env, rate=10.0)
+        ev = link.transfer(0.0)
+        assert ev.triggered
+
+    def test_negative_work_rejected(self, env):
+        link = SharedBandwidth(env, rate=10.0)
+        with pytest.raises(ValueError):
+            link.transfer(-1.0)
+
+    def test_two_equal_transfers_share_fairly(self, env):
+        """Two 100-unit transfers on a 100/s link both finish at t=2."""
+        link = SharedBandwidth(env, rate=100.0)
+        done = []
+
+        def proc(tag):
+            yield link.transfer(100.0)
+            done.append((tag, env.now))
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        assert done == [("a", 2.0), ("b", 2.0)]
+
+    def test_staggered_arrival(self, env):
+        """B arrives halfway through A; A slows down for B's duration.
+
+        A: 100 units; alone for 0.5s (50 done), then shares (rate 50) until
+        its remaining 50 complete at t=1.5. B: 100 units at 50/s until A
+        leaves (50 done at 1.5), then full rate: done at 2.0.
+        """
+        link = SharedBandwidth(env, rate=100.0)
+        done = {}
+
+        def a():
+            yield link.transfer(100.0)
+            done["a"] = env.now
+
+        def b():
+            yield env.timeout(0.5)
+            yield link.transfer(100.0)
+            done["b"] = env.now
+
+        env.process(a())
+        env.process(b())
+        env.run()
+        assert done["a"] == pytest.approx(1.5)
+        assert done["b"] == pytest.approx(2.0)
+
+    def test_weighted_sharing(self, env):
+        """Weight-3 transfer gets 3x the share of a weight-1 transfer."""
+        link = SharedBandwidth(env, rate=100.0)
+        done = {}
+
+        def proc(tag, work, weight):
+            yield link.transfer(work, weight=weight)
+            done[tag] = env.now
+
+        env.process(proc("heavy", 75.0, 3.0))
+        env.process(proc("light", 100.0, 1.0))
+        env.run()
+        # heavy runs at 75/s until done at t=1.0; light gets 25 done by then,
+        # then 75 more at full rate: t = 1.0 + 0.75.
+        assert done["heavy"] == pytest.approx(1.0)
+        assert done["light"] == pytest.approx(1.75)
+
+    def test_invalid_weight(self, env):
+        link = SharedBandwidth(env, rate=10.0)
+        with pytest.raises(ValueError):
+            link.transfer(1.0, weight=0.0)
+
+    def test_n_active(self, env):
+        link = SharedBandwidth(env, rate=1.0)
+        link.transfer(10.0)
+        link.transfer(10.0)
+        assert link.n_active == 2
+
+    def test_many_concurrent_total_time(self, env):
+        """N equal transfers take N times one transfer (work conservation)."""
+        link = SharedBandwidth(env, rate=10.0)
+        for _ in range(5):
+            link.transfer(10.0)
+        env.run()
+        assert env.now == pytest.approx(5.0)

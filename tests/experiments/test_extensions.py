@@ -1,0 +1,133 @@
+"""Shape tests for the extension experiments (convergence, future, weak)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestConvergence:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("convergence")
+
+    def test_second_order(self, result):
+        order = next(r[2] for r in result.rows if r[0] == "fitted order")
+        assert 1.7 < order < 2.3
+
+    def test_errors_shrink_with_resolution(self, result):
+        errs = result.series["l2_error"]
+        ns = sorted(errs)
+        for a, b in zip(ns, ns[1:]):
+            assert errs[b] < errs[a]
+
+    def test_stability_boundary(self, result):
+        g = result.series["amplification"]
+        assert g[0.5] <= 1 + 1e-9
+        assert g[1.0] <= 1 + 1e-9
+        assert g[1.1] > 1 + 1e-6
+        assert g[1.25] > g[1.1]
+
+
+class TestFutureMachines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("future", fast=True)
+
+    def test_more_gpus_help(self, result):
+        g = result.series["gpus_per_node"]
+        ks = sorted(g)
+        assert g[ks[-1]] > 1.3 * g[ks[0]]
+
+    def test_pcie_speedup_helps_bulk_most(self, result):
+        bulk = result.series["pcie_gpu_bulk"]
+        hybrid = result.series["pcie_hybrid"]
+        fs = sorted(bulk)
+        bulk_gain = bulk[fs[-1]] / bulk[fs[0]]
+        hybrid_gain = hybrid[fs[-1]] / hybrid[fs[0]]
+        # The serialized code gains more from a faster link than the
+        # overlap code, which had already hidden its transfers.
+        assert bulk_gain > hybrid_gain
+
+    def test_hybrid_stays_ahead(self, result):
+        for f, v in result.series["pcie_hybrid"].items():
+            assert v > result.series["pcie_gpu_streams"][f]
+
+
+class TestWeakScaling:
+    def test_near_constant_per_core_rate(self):
+        res = run_experiment("weak")
+        bulk = res.series["bulk"]
+        per_core = {c: v / c for c, v in bulk.items()}
+        vals = list(per_core.values())
+        # Weak scaling holds the per-core rate within a modest band.
+        assert max(vals) < 1.5 * min(vals)
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("sensitivity")
+
+    def test_mostly_robust(self, result):
+        for claim, frac in result.series["robustness"].items():
+            assert frac >= 0.85
+
+    def test_all_constants_covered_both_ways(self, result):
+        from repro.experiments.sensitivity import PERTURBED
+
+        assert len(result.rows) == 2 * len(PERTURBED)
+
+    def test_ladder_fully_robust(self, result):
+        """The §V-E ordering survives every +/-20% perturbation."""
+        assert result.series["robustness"]["ladder"] == 1.0
+
+
+class TestText5BThreads:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("text5b")
+
+    def test_yona_best_increases_with_cores(self, result):
+        yona = [(r[1], int(r[2].split()[0])) for r in result.rows if r[0] == "Yona"]
+        yona.sort()
+        assert yona[-1][1] > yona[0][1]
+
+    def test_yona_best_in_paper_set(self, result):
+        for r in result.rows:
+            if r[0] == "Yona":
+                assert int(r[2].split()[0]) in (1, 2, 3, 6)
+
+    def test_yona_never_max_threads(self, result):
+        for r in result.rows:
+            if r[0] == "Yona":
+                assert int(r[2].split()[0]) != 12
+
+    def test_lens_spread_is_small(self, result):
+        """Paper: 'no clear correlation' — the thread choice barely matters
+        on Lens. Among 1-8 threads the model's spread stays within ~12%;
+        the 16-thread (4-NUMA-spanning) option trails by design. The
+        paper's occasional 16-thread wins are a documented partial
+        reproduction (see the experiment docstring)."""
+        lens_series = {k: v for k, v in result.series.items()
+                       if k.startswith("Lens") and not k.endswith("16 thr")}
+        cores = sorted(next(iter(lens_series.values())))
+        for c in cores:
+            vals = [pts[c] for pts in lens_series.values() if c in pts]
+            assert max(vals) < 1.12 * min(vals)
+
+
+class TestProtocols:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("protocols", fast=True)
+
+    def test_both_protocols_produce_series(self, result):
+        assert len(result.series) == 4
+
+    def test_direct_moves_fewer_bytes(self, result):
+        msg_row = next(r for r in result.rows if r[0].startswith("bytes"))
+        assert msg_row[3] < msg_row[2]  # direct < serialized volume
+
+    def test_message_counts(self, result):
+        msg_row = next(r for r in result.rows if r[0].startswith("messages"))
+        assert (msg_row[2], msg_row[3]) == (6, 26)

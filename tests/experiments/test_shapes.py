@@ -1,0 +1,221 @@
+"""Shape assertions: every qualitative claim of the paper's evaluation.
+
+Each fixture runs one experiment (full sweep — the simulator is fast) and
+the tests assert the claims listed in DESIGN.md §4.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_experiment("fig3")
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_experiment("fig4")
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_experiment("fig5")
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_experiment("fig6")
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_experiment("fig9")
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_experiment("fig10")
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_experiment("fig11")
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return run_experiment("fig12")
+
+
+class TestFig3JaguarPF:
+    def test_nonblocking_wins_somewhere_below_4000(self, fig3):
+        s = fig3.series
+        assert any(
+            s["nonblocking"][c] > s["bulk"][c]
+            for c in s["bulk"]
+            if c < 4000 and c in s["nonblocking"]
+        )
+
+    def test_bulk_wins_at_6000_plus(self, fig3):
+        s = fig3.series
+        for c in s["bulk"]:
+            if c >= 6000:
+                assert s["bulk"][c] > s["nonblocking"][c]
+
+    def test_bulk_advantage_grows_with_scale(self, fig3):
+        s = fig3.series
+        cores = sorted(s["bulk"])
+        ratio_top = s["nonblocking"][cores[-1]] / s["bulk"][cores[-1]]
+        ratio_mid = s["nonblocking"][cores[3]] / s["bulk"][cores[3]]
+        assert ratio_top < ratio_mid
+
+    def test_thread_overlap_consistently_lags(self, fig3):
+        s = fig3.series
+        for c in s["thread_overlap"]:
+            assert s["thread_overlap"][c] < max(s["bulk"][c], s["nonblocking"][c])
+
+    def test_scaling_is_monotonic(self, fig3):
+        vals = [fig3.series["bulk"][c] for c in sorted(fig3.series["bulk"])]
+        assert vals == sorted(vals)
+
+
+class TestFig4Hopper:
+    def test_crossover_an_order_of_magnitude_higher(self, fig3, fig4):
+        def crossover(series):
+            cores = sorted(series["bulk"])
+            for c in cores:
+                if c in series["nonblocking"] and series["nonblocking"][c] > series["bulk"][c]:
+                    last_win = c
+            wins = [
+                c for c in cores
+                if c in series["nonblocking"]
+                and series["nonblocking"][c] > series["bulk"][c]
+            ]
+            return max(wins) if wins else 0
+
+        assert crossover(fig4.series) >= 4 * crossover(fig3.series)
+
+    def test_scales_to_49152(self, fig4):
+        s = fig4.series["bulk"]
+        assert 49152 in s
+        assert s[49152] > s[24576]
+
+    def test_thread_overlap_lags(self, fig4):
+        s = fig4.series
+        for c in s["thread_overlap"]:
+            assert s["thread_overlap"][c] < max(s["bulk"][c], s["nonblocking"][c])
+
+
+class TestFig5Fig6Threads:
+    def _winners(self, result):
+        out = {}
+        for cores in sorted(next(iter(result.series.values()))):
+            out[cores] = result.best_series_at(cores)
+        return out
+
+    def test_jaguarpf_each_count_best_somewhere(self, fig5):
+        winners = set(self._winners(fig5).values())
+        assert winners == {"1 thr", "2 thr", "3 thr", "6 thr", "12 thr"} or len(winners) >= 4
+
+    def test_jaguarpf_best_increases_with_cores(self, fig5):
+        winners = self._winners(fig5)
+        cores = sorted(winners)
+        first = int(winners[cores[0]].split()[0])
+        last = int(winners[cores[-1]].split()[0])
+        assert last > first
+
+    def test_hopper_24_never_best(self, fig6):
+        winners = self._winners(fig6)
+        assert "24 thr" not in winners.values()
+
+    def test_hopper_large_counts_best_at_scale(self, fig6):
+        winners = self._winners(fig6)
+        top = max(winners)
+        assert int(winners[top].split()[0]) >= 6
+
+
+class TestFig9Lens:
+    def test_hybrid_overlap_best_at_every_count(self, fig9):
+        s = fig9.series
+        for cores in s["hybrid_overlap"]:
+            best = max(
+                pts[cores] for key, pts in s.items() if cores in pts
+            )
+            assert s["hybrid_overlap"][cores] == best
+
+    def test_sum_property_holds_somewhere(self, fig9):
+        s = fig9.series
+        found = False
+        for cores in s["hybrid_overlap"]:
+            cpu = max(s[k].get(cores, 0) for k in ("bulk", "nonblocking", "thread_overlap"))
+            gpu = max(s[k].get(cores, 0) for k in ("gpu_bulk", "gpu_streams"))
+            if s["hybrid_overlap"][cores] > cpu + gpu:
+                found = True
+        assert found
+
+    def test_cpu_overlap_benefit_small(self, fig9):
+        """Paper: 'CPU-only implementations benefit little from overlap'."""
+        s = fig9.series
+        for cores in s["bulk"]:
+            assert s["nonblocking"][cores] < 1.1 * s["bulk"][cores]
+
+    def test_streams_beat_gpu_bulk(self, fig9):
+        s = fig9.series
+        wins = sum(
+            1 for c in s["gpu_streams"] if s["gpu_streams"][c] > s["gpu_bulk"][c]
+        )
+        assert wins >= len(s["gpu_streams"]) - 1
+
+
+class TestFig10Yona:
+    def test_hybrid_over_4x_cpu_at_full_machine(self, fig10):
+        s = fig10.series
+        top = max(s["hybrid_overlap"])
+        cpu = max(s[k][top] for k in ("bulk", "nonblocking", "thread_overlap"))
+        assert s["hybrid_overlap"][top] > 4.0 * cpu
+
+    def test_hybrid_best_everywhere(self, fig10):
+        s = fig10.series
+        for cores in s["hybrid_overlap"]:
+            others = [pts[cores] for k, pts in s.items()
+                      if k != "hybrid_overlap" and cores in pts]
+            assert s["hybrid_overlap"][cores] > max(others)
+
+    def test_gpu_larger_fraction_than_lens(self, fig9, fig10):
+        """Paper: GPUs are a larger share of Yona's power than Lens's."""
+        def gpu_to_cpu(result):
+            s = result.series
+            c = min(s["bulk"])
+            return s["hybrid_overlap"][c] / s["bulk"][c]
+
+        assert gpu_to_cpu(fig10) > gpu_to_cpu(fig9)
+
+
+class TestFig11Fig12Balance:
+    def test_lens_thickness_decreases_with_cores(self, fig11):
+        rows = fig11.rows  # [cores, best threads, tasks/node, best T, GF]
+        first_T = rows[0][3]
+        last_T = rows[-1][3]
+        assert last_T < first_T
+
+    def test_yona_few_tasks_per_node(self, fig12):
+        for row in fig12.rows:
+            assert row[2] <= 2  # tasks/node
+
+    def test_yona_thin_box_at_scale(self, fig12):
+        top = max(fig12.rows, key=lambda r: r[0])
+        assert top[3] <= 2  # veneer
+
+    def test_winning_combos_are_reported_as_series(self, fig12):
+        assert len(fig12.series) >= 1
+        for name in fig12.series:
+            assert name.startswith("thr=")
+
+
+class TestSec5E:
+    def test_all_ratios_within_band(self):
+        res = run_experiment("sec5e")
+        for _, paper, measured, ratio in res.rows:
+            assert 0.75 <= ratio <= 1.25, f"paper {paper} vs measured {measured}"

@@ -1,0 +1,86 @@
+"""Tests for the table experiments and the experiment plumbing."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+
+
+class TestRegistry:
+    def test_every_table_and_figure_covered(self):
+        expected = {"table1", "table2", "fig2"} | {f"fig{i}" for i in range(3, 13)}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table1")
+
+    def test_27_rows(self, result):
+        assert len(result.rows) == 27
+
+    def test_transcription_agrees(self, result):
+        for _, _, diff in result.rows:
+            assert abs(diff) < 1e-14
+
+    def test_consistency_sum(self, result):
+        assert result.series["consistency_sum"][0] == pytest.approx(1.0)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table2")
+
+    def test_four_machines(self, result):
+        assert result.columns == ["property", "JaguarPF", "Hopper II", "Lens", "Yona"]
+
+    def test_published_values(self, result):
+        rows = {r[0]: r[1:] for r in result.rows}
+        assert rows["Compute nodes"] == [18688, 6392, 31, 16]
+        assert rows["Opteron clock (GHz)"] == [2.6, 2.1, 2.3, 2.6]
+        assert rows["NVIDIA Tesla GPU"] == ["-", "-", "Tesla C1060", "Tesla C2050"]
+        assert rows["GPU memory (GB)"] == ["-", "-", 4, 3]
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig2")
+
+    def test_both_languages_reported(self, result):
+        assert "fortran" in result.series and "python" in result.series
+
+    def test_python_complexity_ordering_matches_paper(self, result):
+        """Relative complexity holds for this repo's Python too: the
+        hybrid-overlap code is the largest implementation module."""
+        py = result.series["python"]
+        assert py["hybrid_overlap"] == max(py.values())
+        assert py["single"] == min(py.values())
+
+    def test_to_text_renders(self, result):
+        text = result.to_text()
+        assert "860" in text and "215" in text
+
+
+class TestWeakScalingExtension:
+    def test_runs_and_hybrid_wins(self):
+        res = run_experiment("weak", fast=True)
+        for cores, pts in res.series["hybrid_overlap"].items():
+            assert pts > res.series["bulk"][cores]
+
+
+class TestExperimentResult:
+    def test_best_series_at(self):
+        r = ExperimentResult(
+            exp_id="x", title="t", paper_claim="c",
+            columns=["a"], rows=[],
+            series={"s1": {1: 5.0}, "s2": {1: 7.0}},
+        )
+        assert r.best_series_at(1) == "s2"
+        with pytest.raises(KeyError):
+            r.best_series_at(2)

@@ -1,0 +1,104 @@
+"""Calibration anchors: the paper's quantitative results, with bands.
+
+These tests pin the simulator to the paper's reported numbers so model
+refactors cannot silently drift the reproduction. Anchors from §V-E are
+held within +/-25%; structural optima (block sizes) are exact.
+"""
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.runner import run
+from repro.machines import LENS, YONA
+from repro.perf.sweep import best_over_threads
+from repro.simgpu.blockmodel import best_block, kernel_rate_gflops
+
+
+def band(measured, paper, tol=0.25):
+    assert paper * (1 - tol) <= measured <= paper * (1 + tol), (
+        f"measured {measured:.1f} GF outside +/-{tol:.0%} of paper {paper} GF"
+    )
+
+
+class TestSec5EAnchors:
+    """§V-E single-node Yona: 86 / 24 / 35 / 82 GF."""
+
+    def test_gpu_resident_86(self):
+        r = run(RunConfig(machine=YONA, implementation="gpu_resident",
+                          cores=12, threads_per_task=12))
+        assert r.gflops == pytest.approx(86.0, rel=0.02)
+
+    def test_gpu_bulk_24(self):
+        r = best_over_threads(YONA, "gpu_bulk", 12)
+        band(r.gflops, 24.0)
+
+    def test_gpu_streams_35(self):
+        r = best_over_threads(YONA, "gpu_streams", 12)
+        band(r.gflops, 35.0)
+
+    def test_hybrid_overlap_82(self):
+        r = best_over_threads(YONA, "hybrid_overlap", 12)
+        band(r.gflops, 82.0)
+
+    def test_ordering(self):
+        """resident > hybrid >> streams > bulk (the section's storyline)."""
+        resident = run(RunConfig(machine=YONA, implementation="gpu_resident",
+                                 cores=12, threads_per_task=12)).gflops
+        bulk = best_over_threads(YONA, "gpu_bulk", 12).gflops
+        streams = best_over_threads(YONA, "gpu_streams", 12).gflops
+        hybrid = best_over_threads(YONA, "hybrid_overlap", 12).gflops
+        assert bulk < streams < hybrid <= resident
+        # hybrid "nearly matches" resident:
+        assert hybrid > 0.85 * resident
+        # moving the boundary exchange to the CPUs costs > 2x:
+        assert resident / bulk > 2.0
+
+
+class TestBlockAnchors:
+    def test_lens_block_32x11(self):
+        assert best_block(LENS.gpu) == (32, 11)
+
+    def test_yona_block_32x8(self):
+        assert best_block(YONA.gpu) == (32, 8)
+
+    def test_yona_peak_86(self):
+        assert kernel_rate_gflops(YONA.gpu, (32, 8)) == pytest.approx(86.0)
+
+
+class TestHeadlineClaims:
+    def test_abstract_factor_of_two(self):
+        """Abstract: overlap 'can provide improvements of more than 2x'."""
+        cores = 48
+        hybrid = best_over_threads(YONA, "hybrid_overlap", cores).gflops
+        others = [
+            best_over_threads(YONA, key, cores).gflops
+            for key in ("bulk", "nonblocking", "thread_overlap", "gpu_bulk", "gpu_streams")
+        ]
+        assert hybrid > 2.0 * max(others)
+
+    def test_yona_hybrid_over_4x_cpu(self):
+        """§V-D: best CPU-GPU > 4x best CPU-only on Yona (full machine)."""
+        cores = 192
+        hybrid = best_over_threads(YONA, "hybrid_overlap", cores).gflops
+        cpu = max(
+            best_over_threads(YONA, k, cores).gflops
+            for k in ("bulk", "nonblocking", "thread_overlap")
+        )
+        assert hybrid > 4.0 * cpu
+
+    def test_lens_sum_property(self):
+        """§V-D: best CPU-GPU exceeds best-CPU + best-GPU-only on Lens."""
+        satisfied = False
+        for cores in (128, 256):
+            hybrid = best_over_threads(LENS, "hybrid_overlap", cores).gflops
+            cpu = max(
+                best_over_threads(LENS, k, cores).gflops
+                for k in ("bulk", "nonblocking")
+            )
+            gpu = max(
+                best_over_threads(LENS, k, cores).gflops
+                for k in ("gpu_bulk", "gpu_streams")
+            )
+            if hybrid > cpu + gpu:
+                satisfied = True
+        assert satisfied

@@ -1,0 +1,80 @@
+"""Tests for the derived performance metrics."""
+
+import pytest
+
+from repro import RunConfig, JAGUARPF, YONA, run
+from repro.perf.analysis import (
+    exposed_wait_fraction,
+    host_fraction,
+    overlap_efficiency,
+    parallel_efficiency,
+    speedup_series,
+)
+
+
+class TestSeriesMetrics:
+    def test_speedup_base_is_one(self):
+        s = speedup_series({12: 10.0, 24: 18.0, 48: 30.0})
+        assert s[12] == 1.0
+        assert s[24] == pytest.approx(1.8)
+
+    def test_efficiency_ideal(self):
+        s = parallel_efficiency({12: 10.0, 24: 20.0})
+        assert s[24] == pytest.approx(1.0)
+
+    def test_efficiency_degrades(self):
+        s = parallel_efficiency({12: 10.0, 48: 30.0})
+        assert s[48] == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert speedup_series({}) == {}
+        assert parallel_efficiency({}) == {}
+
+    def test_bad_baseline(self):
+        with pytest.raises(ValueError):
+            speedup_series({1: 0.0})
+
+    def test_real_strong_scaling_efficiency_below_one(self):
+        series = {}
+        for cores in (12, 192, 1536):
+            series[cores] = run(
+                RunConfig(machine=JAGUARPF, implementation="bulk",
+                          cores=cores, threads_per_task=6)
+            ).gflops
+        eff = parallel_efficiency(series)
+        assert eff[12] == 1.0
+        assert 0.3 < eff[1536] < 1.0  # strong scaling loses efficiency
+
+
+class TestResultMetrics:
+    @pytest.fixture(scope="class")
+    def bulk_result(self):
+        return run(RunConfig(machine=JAGUARPF, implementation="bulk",
+                             cores=3072, threads_per_task=6))
+
+    def test_host_fractions_sane(self, bulk_result):
+        compute = host_fraction(bulk_result, "compute")
+        assert 0.1 < compute < 1.0
+
+    def test_exposed_wait_positive_at_scale(self, bulk_result):
+        """At 3072 cores a visible share of the step is exposed comm."""
+        wait = exposed_wait_fraction(bulk_result)
+        assert 0.0 < wait < 0.9
+
+    def test_unknown_phase_is_zero(self, bulk_result):
+        assert host_fraction(bulk_result, "quantum") == 0.0
+
+
+class TestOverlapEfficiency:
+    def test_hybrid_overlap_hides_host_work(self):
+        r = run(RunConfig(machine=YONA, implementation="hybrid_overlap",
+                          cores=12, threads_per_task=12, box_thickness=2,
+                          trace=True))
+        eff = overlap_efficiency(r.tracer)
+        assert eff is not None
+        assert eff > 0.5  # most host work hidden under the GPU
+
+    def test_missing_lane_returns_none(self):
+        r = run(RunConfig(machine=JAGUARPF, implementation="bulk",
+                          cores=12, threads_per_task=6, trace=True))
+        assert overlap_efficiency(r.tracer) is None

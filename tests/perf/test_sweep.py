@@ -1,0 +1,68 @@
+"""Tests for the sweep/best-of harness."""
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.machines import HOPPER, JAGUARPF, LENS, YONA
+from repro.perf.sweep import (
+    best_over_threads,
+    sweep_configs,
+    valid_thread_counts,
+)
+
+
+class TestValidThreadCounts:
+    def test_filters_by_divisibility(self):
+        # 48 cores on JaguarPF: every measured option divides 48 and 12.
+        assert valid_thread_counts(JAGUARPF, 48) == [1, 2, 3, 6, 12]
+
+    def test_small_core_counts(self):
+        assert valid_thread_counts(JAGUARPF, 6) == [1, 2, 3, 6]
+
+    def test_hopper_includes_24(self):
+        assert 24 in valid_thread_counts(HOPPER, 48)
+
+    def test_lens_options(self):
+        assert valid_thread_counts(LENS, 16) == [1, 2, 4, 8, 16]
+
+
+class TestSweep:
+    def test_invalid_configs_skipped(self):
+        cfgs = [
+            RunConfig(machine=YONA, implementation="bulk", cores=12,
+                      threads_per_task=6),
+        ]
+        results = sweep_configs(cfgs)
+        assert len(results) == 1
+
+    def test_best_over_threads_returns_max(self):
+        best = best_over_threads(JAGUARPF, "bulk", 48)
+        for t in valid_thread_counts(JAGUARPF, 48):
+            from repro.core.runner import run
+
+            r = run(RunConfig(machine=JAGUARPF, implementation="bulk",
+                              cores=48, threads_per_task=t))
+            assert r.gflops <= best.gflops + 1e-9
+
+    def test_single_task_uses_all_cores_as_threads(self):
+        best = best_over_threads(JAGUARPF, "single", 12)
+        assert best.config.threads_per_task == 12
+        assert best.config.ntasks == 1
+
+    def test_single_task_beyond_node_returns_none(self):
+        assert best_over_threads(JAGUARPF, "single", 24) is None
+
+    def test_hybrid_sweeps_thickness(self):
+        best = best_over_threads(
+            YONA, "hybrid_overlap", 12, thicknesses=(1, 2, 3)
+        )
+        assert best.config.box_thickness in (1, 2, 3)
+
+    def test_impossible_thickness_skipped(self):
+        # Thickness 50 cannot fit a 420-point subdomain halved repeatedly,
+        # but small thicknesses still produce a result.
+        best = best_over_threads(
+            YONA, "hybrid_overlap", 192, thicknesses=(1, 200)
+        )
+        assert best is not None
+        assert best.config.box_thickness == 1

@@ -1,0 +1,102 @@
+"""Tests for the 2-D thread-block performance model (Figs. 7/8)."""
+
+import pytest
+
+from repro.machines import LENS, YONA
+from repro.simgpu.blockmodel import (
+    X_CANDIDATES,
+    admissible_blocks,
+    best_block,
+    block_efficiency,
+    kernel_rate_gflops,
+    stencil_kernel_time,
+)
+
+
+class TestAdmissibleBlocks:
+    def test_respects_max_threads(self):
+        for gpu, limit in ((LENS.gpu, 512), (YONA.gpu, 1024)):
+            for bx, by in admissible_blocks(gpu):
+                assert bx * by <= limit
+                assert bx in X_CANDIDATES
+
+    def test_c2050_has_larger_space(self):
+        n_lens = sum(1 for _ in admissible_blocks(LENS.gpu))
+        n_yona = sum(1 for _ in admissible_blocks(YONA.gpu))
+        assert n_yona > n_lens
+
+
+class TestPaperOptima:
+    def test_lens_best_is_32x11(self):
+        assert best_block(LENS.gpu) == (32, 11)
+
+    def test_yona_best_is_32x8(self):
+        assert best_block(YONA.gpu) == (32, 8)
+
+    def test_x32_column_dominates(self):
+        """Paper: 'an x dimension of 32 ... tends to provide the best'."""
+        for gpu in (LENS.gpu, YONA.gpu):
+            best_per_x = {}
+            for bx in X_CANDIDATES:
+                best_per_x[bx] = max(
+                    block_efficiency(gpu, (bx, by))
+                    for by in range(1, gpu.max_threads_per_block // bx + 1)
+                )
+            assert max(best_per_x, key=best_per_x.get) == 32
+
+    def test_calibrated_peaks(self):
+        assert kernel_rate_gflops(YONA.gpu, (32, 8)) == pytest.approx(86.0, rel=1e-6)
+        assert kernel_rate_gflops(LENS.gpu, (32, 11)) == pytest.approx(22.0, rel=1e-6)
+
+    def test_best_block_is_argmax_of_rate(self):
+        for gpu in (LENS.gpu, YONA.gpu):
+            bb = best_block(gpu)
+            rate_bb = kernel_rate_gflops(gpu, bb)
+            for blk in admissible_blocks(gpu):
+                assert kernel_rate_gflops(gpu, blk) <= rate_bb + 1e-9
+
+
+class TestEfficiencyShape:
+    def test_half_warp_penalized(self):
+        assert block_efficiency(YONA.gpu, (16, 8)) < block_efficiency(YONA.gpu, (32, 8))
+
+    def test_wide_blocks_penalized(self):
+        assert block_efficiency(YONA.gpu, (128, 4)) < block_efficiency(YONA.gpu, (32, 8))
+
+    def test_inadmissible_block_zero(self):
+        assert block_efficiency(LENS.gpu, (32, 32)) == 0.0  # 1024 > 512
+        assert block_efficiency(LENS.gpu, (0, 8)) == 0.0
+
+    def test_inadmissible_block_rate_raises(self):
+        with pytest.raises(ValueError):
+            kernel_rate_gflops(LENS.gpu, (32, 32))
+
+    def test_remainder_waste(self):
+        """A y extent not divisible by the block's y wastes threads."""
+        e_even = block_efficiency(YONA.gpu, (32, 10), (420, 420, 420))
+        e_odd = block_efficiency(YONA.gpu, (32, 10), (420, 421, 420))
+        assert e_odd < e_even
+
+
+class TestKernelTime:
+    def test_zero_points(self):
+        assert stencil_kernel_time(YONA.gpu, 0) == 0.0
+
+    def test_linear_in_points(self):
+        t1 = stencil_kernel_time(YONA.gpu, 10**6)
+        t2 = stencil_kernel_time(YONA.gpu, 2 * 10**6)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_default_block_is_best(self):
+        t_default = stencil_kernel_time(YONA.gpu, 10**6)
+        t_best = stencil_kernel_time(YONA.gpu, 10**6, block=best_block(YONA.gpu))
+        assert t_default == t_best
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            best_block(YONA.gpu, (420, 420))
+
+    def test_resident_420_step_time(self):
+        """Whole-domain step at 86 GF: 420^3 * 53 / 86e9 seconds."""
+        t = stencil_kernel_time(YONA.gpu, 420**3)
+        assert t == pytest.approx(420**3 * 53 / 86e9, rel=1e-6)

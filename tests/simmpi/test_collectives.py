@@ -1,0 +1,139 @@
+"""Tests for the message-passing collective algorithms."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment
+from repro.machines import JAGUARPF
+from repro.simmpi.collectives import (
+    allreduce,
+    broadcast,
+    gather_to_root,
+    reduce_to_root,
+)
+from repro.simmpi.world import World
+
+
+def run_collective(nranks, program_factory, tasks_per_node=4):
+    env = Environment()
+    world = World(env, nranks, JAGUARPF.interconnect, JAGUARPF.node, tasks_per_node)
+    results = {}
+
+    def main(rank):
+        comm = world.comm(rank)
+        results[rank] = yield from program_factory(comm, rank)
+
+    for r in range(nranks):
+        env.process(main(r))
+    env.run()
+    return results, env.now
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 7, 8, 13])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_all_ranks_get_root_value(self, nranks, root):
+        if root >= nranks:
+            pytest.skip("root out of range")
+
+        def prog(comm, rank):
+            return (yield from broadcast(comm, rank * 10 if rank == root else None,
+                                         root=root))
+
+        results, _ = run_collective(nranks, prog)
+        assert all(v == root * 10 for v in results.values())
+
+    def test_log_depth_timing(self):
+        def prog(comm, rank):
+            return (yield from broadcast(comm, 42 if rank == 0 else None))
+
+        _, t8 = run_collective(8, prog)
+        _, t64 = run_collective(64, prog)
+        # binomial tree: 3 vs 6 rounds -> roughly 2x, certainly not 8x
+        assert t64 < 4 * t8
+
+
+class TestReduce:
+    @pytest.mark.parametrize("nranks", [1, 2, 5, 8, 11])
+    def test_sum_to_root(self, nranks):
+        def prog(comm, rank):
+            return (yield from reduce_to_root(comm, rank + 1, operator.add))
+
+        results, _ = run_collective(nranks, prog)
+        assert results[0] == nranks * (nranks + 1) // 2
+        assert all(v is None for r, v in results.items() if r != 0)
+
+    def test_max(self):
+        def prog(comm, rank):
+            return (yield from reduce_to_root(comm, float(rank % 5), max))
+
+        results, _ = run_collective(9, prog)
+        assert results[0] == 4.0
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8, 16])
+    def test_recursive_doubling_powers_of_two(self, nranks):
+        def prog(comm, rank):
+            return (yield from allreduce(comm, rank + 1, operator.add))
+
+        results, _ = run_collective(nranks, prog)
+        expected = nranks * (nranks + 1) // 2
+        assert all(v == expected for v in results.values())
+
+    @pytest.mark.parametrize("nranks", [3, 5, 6, 7, 12])
+    def test_non_power_of_two(self, nranks):
+        def prog(comm, rank):
+            return (yield from allreduce(comm, rank + 1, operator.add))
+
+        results, _ = run_collective(nranks, prog)
+        expected = nranks * (nranks + 1) // 2
+        assert all(v == expected for v in results.values())
+
+    @given(values=st.lists(st.integers(-100, 100), min_size=2, max_size=9))
+    @settings(max_examples=15, deadline=None)
+    def test_property_max_allreduce(self, values):
+        def prog(comm, rank):
+            return (yield from allreduce(comm, values[rank], max))
+
+        results, _ = run_collective(len(values), prog)
+        assert all(v == max(values) for v in results.values())
+
+    def test_matches_builtin_shortcut(self):
+        """The algorithmic allreduce agrees with the analytic-cost one."""
+        def prog(comm, rank):
+            real = yield from allreduce(comm, float(rank), max)
+            magic = yield from comm.allreduce_max(float(rank))
+            return (real, magic)
+
+        results, _ = run_collective(8, prog)
+        for real, magic in results.values():
+            assert real == magic == 7.0
+
+
+class TestGather:
+    @pytest.mark.parametrize("nranks", [1, 3, 8])
+    def test_rank_order(self, nranks):
+        def prog(comm, rank):
+            return (yield from gather_to_root(comm, rank * rank))
+
+        results, _ = run_collective(nranks, prog)
+        assert results[0] == [r * r for r in range(nranks)]
+
+
+class TestGlobalNormUseCase:
+    def test_distributed_error_norm(self):
+        """The paper's verification: a global norm from per-rank pieces."""
+        import numpy as np
+
+        local_sq = {0: 1.0, 1: 4.0, 2: 9.0, 3: 2.0}
+
+        def prog(comm, rank):
+            total = yield from allreduce(comm, local_sq[rank], operator.add)
+            return np.sqrt(total)
+
+        results, _ = run_collective(4, prog)
+        assert all(v == pytest.approx(4.0) for v in results.values())

@@ -1,0 +1,138 @@
+"""Tests for Table I coefficients, stability, and the 1-D building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stencil.coefficients import (
+    FLOPS_PER_POINT,
+    StencilCoefficients,
+    amplification_factor,
+    lax_wendroff_1d,
+    max_stable_nu,
+    table1_coefficients,
+    tensor_product_coefficients,
+)
+
+velocities = st.tuples(
+    st.floats(-2.0, 2.0), st.floats(-2.0, 2.0), st.floats(-2.0, 2.0)
+)
+nus = st.floats(0.01, 1.5)
+
+
+class TestLaxWendroff1D:
+    def test_coefficients_sum_to_one(self):
+        a = lax_wendroff_1d(0.7, 0.9)
+        assert sum(a) == pytest.approx(1.0)
+
+    def test_zero_velocity_is_identity(self):
+        assert lax_wendroff_1d(0.0, 0.5) == (0.0, 1.0, 0.0)
+
+    def test_unit_cfl_is_pure_shift(self):
+        assert lax_wendroff_1d(1.0, 1.0) == (1.0, 0.0, 0.0)
+        assert lax_wendroff_1d(-1.0, 1.0) == (0.0, 0.0, 1.0)
+
+    @given(c=st.floats(-3, 3), nu=nus)
+    def test_consistency_property(self, c, nu):
+        a = lax_wendroff_1d(c, nu)
+        assert sum(a) == pytest.approx(1.0, abs=1e-12)
+        # First moment reproduces the advection distance -c*nu (in cells).
+        first_moment = -a[0] + a[2]
+        assert first_moment == pytest.approx(-c * nu, abs=1e-9)
+
+
+class TestTable1:
+    @given(velocity=velocities, nu=nus)
+    @settings(max_examples=200)
+    def test_literal_matches_tensor_product(self, velocity, nu):
+        lit = table1_coefficients(velocity, nu)
+        ten = tensor_product_coefficients(velocity, nu)
+        assert np.allclose(lit.a, ten.a, atol=1e-14)
+
+    @given(velocity=velocities, nu=nus)
+    def test_consistency_sum_is_one(self, velocity, nu):
+        assert tensor_product_coefficients(velocity, nu).consistency_sum == pytest.approx(
+            1.0, abs=1e-10
+        )
+
+    def test_getitem_matches_array(self):
+        c = tensor_product_coefficients((1.0, 0.5, 0.25), 0.8)
+        for (i, j, k), v in c.items():
+            assert c[(i, j, k)] == v
+
+    def test_items_yields_27(self):
+        c = tensor_product_coefficients((1.0, 0.5, 0.25), 0.8)
+        assert len(list(c.items())) == 27
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            StencilCoefficients(a=np.zeros((2, 3, 3)), velocity=(1, 1, 1), nu=0.5)
+
+    def test_axis_aligned_unit_cfl_collapses_to_shift(self):
+        c = tensor_product_coefficients((1.0, 0.0, 0.0), 1.0)
+        expected = np.zeros((3, 3, 3))
+        expected[0, 1, 1] = 1.0  # a_{-1,0,0}
+        assert np.allclose(c.a, expected)
+
+    @given(velocity=velocities, nu=nus)
+    def test_separability(self, velocity, nu):
+        """Summing over two axes recovers the 1-D coefficients."""
+        c = tensor_product_coefficients(velocity, nu)
+        ax = c.a.sum(axis=(1, 2))
+        assert np.allclose(ax, lax_wendroff_1d(velocity[0], nu), atol=1e-12)
+
+    def test_flops_constant_is_papers(self):
+        # 27 multiplications + 26 additions (paper §II).
+        assert FLOPS_PER_POINT == 53
+
+
+class TestStability:
+    def test_max_stable_nu(self):
+        assert max_stable_nu((2.0, 1.0, 0.5)) == pytest.approx(0.5)
+        assert max_stable_nu((-2.0, 1.0, 0.5)) == pytest.approx(0.5)
+
+    def test_zero_velocity_rejected(self):
+        with pytest.raises(ValueError):
+            max_stable_nu((0.0, 0.0, 0.0))
+
+    @pytest.mark.parametrize("velocity", [(1.0, 0.5, 0.25), (0.3, -0.9, 0.7)])
+    def test_stable_at_max_nu(self, velocity):
+        nu = max_stable_nu(velocity)
+        thetas = np.linspace(0, np.pi, 7)
+        gmax = max(
+            abs(amplification_factor(velocity, nu, (tx, ty, tz)))
+            for tx in thetas
+            for ty in thetas
+            for tz in thetas
+        )
+        assert gmax <= 1.0 + 1e-12
+
+    @pytest.mark.parametrize("velocity", [(1.0, 0.5, 0.25), (0.3, -0.9, 0.7)])
+    def test_unstable_beyond_max_nu(self, velocity):
+        nu = 1.2 * max_stable_nu(velocity)
+        thetas = np.linspace(0, np.pi, 17)
+        gmax = max(
+            abs(amplification_factor(velocity, nu, (tx, ty, tz)))
+            for tx in thetas
+            for ty in thetas
+            for tz in thetas
+        )
+        assert gmax > 1.0 + 1e-6
+
+    def test_amplification_at_zero_wavenumber_is_one(self):
+        g = amplification_factor((1.0, 0.9, 0.8), 0.7, (0.0, 0.0, 0.0))
+        assert g == pytest.approx(1.0)
+
+    @given(velocity=velocities, nu=st.floats(0.05, 1.0))
+    @settings(max_examples=50)
+    def test_amplification_consistent_with_coefficients(self, velocity, nu):
+        """g(theta) equals the DFT of the coefficient stencil."""
+        theta = (0.7, 1.1, 2.0)
+        c = tensor_product_coefficients(velocity, nu)
+        g_direct = 0.0 + 0.0j
+        for (i, j, k), a in c.items():
+            phase = i * theta[0] + j * theta[1] + k * theta[2]
+            g_direct += a * np.exp(1j * phase)
+        g_symbol = amplification_factor(velocity, nu, theta)
+        assert g_direct == pytest.approx(g_symbol, abs=1e-9)

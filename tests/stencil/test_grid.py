@@ -1,0 +1,82 @@
+"""Tests for the grid and the Gaussian initial condition."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.grid import Grid3D, allocate_field, gaussian_initial_condition
+
+
+class TestGrid3D:
+    def test_int_becomes_cube(self):
+        g = Grid3D(16)
+        assert g.n == (16, 16, 16)
+
+    def test_spacing(self):
+        g = Grid3D((10, 20, 40), length=2.0)
+        assert g.spacing == pytest.approx((0.2, 0.1, 0.05))
+        assert g.min_spacing == pytest.approx(0.05)
+
+    def test_total_points(self):
+        assert Grid3D((4, 5, 6)).total_points == 120
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Grid3D(2)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            Grid3D(8, length=0.0)
+
+    def test_coordinates_are_cell_centered(self):
+        g = Grid3D(4, length=1.0)
+        x, _, _ = g.coordinates()
+        assert np.allclose(x, [0.125, 0.375, 0.625, 0.875])
+
+    def test_mesh_broadcasts(self):
+        g = Grid3D((4, 5, 6))
+        x, y, z = g.mesh()
+        assert (x + y + z).shape == (4, 5, 6)
+
+    def test_paper_grid(self):
+        g = Grid3D(420)
+        assert g.total_points == 420**3
+
+
+class TestAllocateField:
+    def test_halo_shape(self):
+        f = allocate_field((4, 5, 6))
+        assert f.shape == (6, 7, 8)
+
+    def test_zero_initialized(self):
+        assert allocate_field((3, 3, 3)).sum() == 0.0
+
+
+class TestGaussian:
+    def test_peak_at_center(self):
+        g = Grid3D(21)
+        u = gaussian_initial_condition(g, sigma=0.1)
+        # The center cell (10,10,10) is closest to (0.5,0.5,0.5).
+        assert np.unravel_index(np.argmax(u), u.shape) == (10, 10, 10)
+
+    def test_amplitude(self):
+        g = Grid3D(21)
+        u = gaussian_initial_condition(g, sigma=0.1, amplitude=3.0)
+        assert 2.9 < u.max() <= 3.0
+
+    def test_symmetry(self):
+        g = Grid3D(16)
+        u = gaussian_initial_condition(g, sigma=0.12)
+        assert np.allclose(u, u[::-1, :, :])
+        assert np.allclose(u, np.swapaxes(u, 0, 2))
+
+    def test_periodic_wrap_center_on_boundary(self):
+        """A Gaussian centered at the domain edge wraps around periodically."""
+        g = Grid3D(16)
+        u = gaussian_initial_condition(g, sigma=0.1, center=(0.0, 0.5, 0.5))
+        # Maximum mass sits near x = 0 and equally near x = L.
+        assert u[0].sum() == pytest.approx(u[-1].sum(), rel=1e-10)
+
+    def test_decays_away_from_center(self):
+        g = Grid3D(16)
+        u = gaussian_initial_condition(g, sigma=0.05)
+        assert u[0, 0, 0] < 1e-10 * u.max()

@@ -1,0 +1,62 @@
+"""Tests for the auto-tuning extension."""
+
+import pytest
+
+from repro.autotune import (
+    TuningPoint,
+    TuningSpace,
+    exhaustive_search,
+    greedy_search,
+)
+from repro.machines import JAGUARPF, YONA
+
+
+class TestTuningSpace:
+    def test_cpu_space_has_no_gpu_axes(self):
+        space = TuningSpace(JAGUARPF, "bulk", 48)
+        assert space.block_axis == [None]
+        assert space.thickness_axis == [1]
+        assert space.thread_axis == [1, 2, 3, 6, 12]
+
+    def test_hybrid_space_has_all_axes(self):
+        space = TuningSpace(YONA, "hybrid_overlap", 24)
+        assert len(space.thickness_axis) > 1
+        assert len(space.block_axis) > 1
+
+    def test_single_task_space(self):
+        space = TuningSpace(JAGUARPF, "single", 12)
+        assert space.thread_axis == [12]
+
+    def test_points_enumeration(self):
+        space = TuningSpace(JAGUARPF, "bulk", 48)
+        pts = list(space.points())
+        assert len(pts) == len(space.thread_axis)
+        assert all(isinstance(p, TuningPoint) for p in pts)
+
+
+class TestSearches:
+    def test_exhaustive_finds_thread_optimum(self):
+        res = exhaustive_search(JAGUARPF, "bulk", 3072)
+        # Fig. 5 regime: 6 threads/task wins at 3072 cores.
+        assert res.best_point.threads_per_task == 6
+
+    def test_greedy_close_to_exhaustive(self):
+        ex = exhaustive_search(YONA, "hybrid_overlap", 24)
+        gr = greedy_search(YONA, "hybrid_overlap", 24)
+        assert gr.best_gflops >= 0.95 * ex.best_gflops
+
+    def test_greedy_cheaper_than_exhaustive(self):
+        ex = exhaustive_search(YONA, "hybrid_overlap", 24)
+        gr = greedy_search(YONA, "hybrid_overlap", 24, sweeps=1)
+        assert gr.evaluations < ex.evaluations
+
+    def test_trace_recorded(self):
+        res = greedy_search(JAGUARPF, "bulk", 48)
+        assert res.best_point in res.trace
+        assert res.trace[res.best_point] == res.best_gflops
+
+    def test_gpu_block_tuning_picks_good_block(self):
+        res = exhaustive_search(YONA, "gpu_resident", 12)
+        blk = res.best_point.block
+        # None (device best) or the paper's 32x8 both deliver the optimum.
+        assert blk in (None, (32, 8))

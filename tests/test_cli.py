@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "--machine", "yona", "--impl", "bulk", "--cores", "12"]
+        )
+        assert args.machine == "yona"
+        assert args.threads == 1
+
+    def test_bad_impl_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--machine", "yona", "--impl", "nope", "--cores", "12"]
+            )
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid_overlap" in out and "JaguarPF" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table1" in out
+
+    def test_run(self, capsys):
+        rc = main(
+            ["run", "--machine", "yona", "--impl", "gpu_resident",
+             "--cores", "12", "--threads", "12"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GF" in out
+
+    def test_run_functional(self, capsys):
+        rc = main(
+            ["run", "--machine", "jaguarpf", "--impl", "bulk", "--cores", "12",
+             "--threads", "6", "--domain", "16", "--functional"]
+        )
+        assert rc == 0
+        assert "norms" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "Tesla C2050" in capsys.readouterr().out
+
+    def test_experiment_fast(self, capsys):
+        assert main(["experiment", "fig8", "--fast"]) == 0
+        assert "32x8" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        rc = main(
+            ["tune", "--machine", "jaguarpf", "--impl", "bulk", "--cores", "48"]
+        )
+        assert rc == 0
+        assert "best:" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Tests for the CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.common import ExperimentResult
+from repro.export import to_csv, to_json, write_csv, write_json
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ExperimentResult(
+        exp_id="demo", title="Demo", paper_claim="claim",
+        columns=["a", "b"], rows=[[1, 2.5], [3, "x"]],
+        series={"s1": {12: 10.0, 24: 20.0}, "s2": {12: 1.0}},
+        notes="n",
+    )
+
+
+class TestJson:
+    def test_roundtrip(self, result):
+        doc = json.loads(to_json(result))
+        assert doc["experiment"] == "demo"
+        assert doc["rows"] == [[1, 2.5], [3, "x"]]
+        assert doc["series"]["s1"]["24"] == 20.0
+
+    def test_write(self, result, tmp_path):
+        p = tmp_path / "out.json"
+        write_json(result, str(p))
+        assert json.loads(p.read_text())["title"] == "Demo"
+
+
+class TestCsv:
+    def test_long_form(self, result):
+        rows = list(csv.reader(io.StringIO(to_csv(result))))
+        assert rows[0] == ["series", "x", "y"]
+        assert ["s1", "12", "10.0"] in rows
+        assert len(rows) == 1 + 3
+
+    def test_write(self, result, tmp_path):
+        p = tmp_path / "out.csv"
+        write_csv(result, str(p))
+        assert p.read_text().startswith("series,x,y")
+
+
+class TestCliIntegration:
+    def test_experiment_export_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        j = tmp_path / "fig8.json"
+        c = tmp_path / "fig8.csv"
+        rc = main(["experiment", "fig8", "--fast", "--json", str(j),
+                   "--csv", str(c)])
+        assert rc == 0
+        doc = json.loads(j.read_text())
+        assert doc["experiment"] == "fig8"
+        assert "series,x,y" in c.read_text()
+
+    def test_real_experiment_exports(self, tmp_path):
+        res = run_experiment("fig8", fast=True)
+        doc = json.loads(to_json(res))
+        assert any(k.startswith("x=32") for k in doc["series"])

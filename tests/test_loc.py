@@ -1,0 +1,44 @@
+"""Tests for the Fig. 2 line-counting rule."""
+
+from repro.loc import count_loc_text, fortran_loc, implementation_loc
+
+
+class TestCountingRule:
+    def test_blank_lines_excluded(self):
+        assert count_loc_text("a = 1\n\n\nb = 2\n") == 2
+
+    def test_comment_only_lines_excluded(self):
+        assert count_loc_text("# comment\na = 1  # trailing ok\n#x\n") == 1
+
+    def test_docstrings_excluded(self):
+        src = '"""Module\ndocstring.\n"""\nx = 1\n'
+        assert count_loc_text(src) == 1
+
+    def test_single_line_docstring(self):
+        src = '"""one-liner"""\nx = 1\n'
+        assert count_loc_text(src) == 1
+
+    def test_empty(self):
+        assert count_loc_text("") == 0
+
+
+class TestImplementationLoc:
+    def test_all_implementations_counted(self):
+        from repro.core.registry import IMPLEMENTATIONS
+
+        locs = implementation_loc()
+        assert set(locs) == set(IMPLEMENTATIONS)
+        assert all(v > 10 for v in locs.values())
+
+    def test_relative_complexity_matches_paper_direction(self):
+        """The paper's complexity ordering holds in this repo's Python:
+        hybrid overlap is the biggest, single-task the smallest, and the
+        GPU+MPI codes sit well above the CPU ones."""
+        locs = implementation_loc()
+        assert locs["hybrid_overlap"] > locs["gpu_bulk"] > locs["bulk"]
+        assert min(locs, key=locs.get) == "single"
+
+    def test_fortran_loc_matches_registry(self):
+        f = fortran_loc()
+        assert f["single"] == 215
+        assert f["hybrid_overlap"] == 860

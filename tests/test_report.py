@@ -1,0 +1,48 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.report import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert "no plottable" in ascii_plot({})
+
+    def test_markers_and_legend(self):
+        out = ascii_plot({"alpha": {1: 10.0, 10: 100.0}, "beta": {1: 5.0, 10: 20.0}})
+        assert "o alpha" in out
+        assert "x beta" in out
+        assert out.count("o") >= 2 + 1  # two points + legend
+
+    def test_title(self):
+        out = ascii_plot({"s": {1: 1.0, 2: 2.0}}, title="My Chart")
+        assert out.startswith("My Chart")
+
+    def test_monotonic_series_renders_monotonic(self):
+        """Higher y lands on an earlier (higher) row."""
+        out = ascii_plot({"s": {1: 1.0, 100: 1000.0}}, width=40, height=10)
+        lines = [l for l in out.split("\n") if "|" in l]
+        rows = [i for i, l in enumerate(lines) if "o" in l.split("|")[1]]
+        cols = [lines[i].split("|")[1].index("o") for i in rows]
+        # larger x (later column) pairs with larger y (earlier row)
+        assert rows[0] < rows[-1] and cols[0] > cols[-1]
+
+    def test_nonpositive_points_skipped_in_log(self):
+        out = ascii_plot({"s": {1: 0.0, 2: 10.0}})
+        assert "no plottable" not in out
+
+    def test_single_point(self):
+        out = ascii_plot({"s": {5: 7.0}})
+        assert "o s" in out
+
+    def test_linear_axes(self):
+        out = ascii_plot({"s": {0: 1.0, 10: 2.0}}, logx=False, logy=False)
+        assert "o s" in out
+
+    def test_experiment_integration(self):
+        from repro.experiments import run_experiment
+
+        res = run_experiment("fig8", fast=True)
+        out = ascii_plot(res.series, title=res.title)
+        assert "x=32" in out

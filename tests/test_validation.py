@@ -1,0 +1,61 @@
+"""Tests for the high-level validation module."""
+
+import pytest
+
+from repro.machines import JAGUARPF, YONA
+from repro.validation import validate_implementation
+
+
+class TestValidateImplementation:
+    @pytest.mark.parametrize("key", ["bulk", "hybrid_overlap"])
+    def test_oracles_pass(self, key):
+        report = validate_implementation(key)
+        assert report.passed
+        assert report.bit_exact_max_diff == 0.0
+        assert report.shift_max_error < 1e-12
+        assert report.analytic_norms["linf"] < 0.1
+
+    def test_machine_autoselection(self):
+        assert validate_implementation("single").machine == "JaguarPF"
+        assert validate_implementation("gpu_resident").machine == "Yona"
+
+    def test_explicit_machine(self):
+        report = validate_implementation("bulk", machine=YONA)
+        assert report.machine == "Yona"
+        assert report.passed
+
+    def test_report_text(self):
+        report = validate_implementation("nonblocking")
+        text = report.to_text()
+        assert "PASS" in text
+        assert "nonblocking" in text
+
+    def test_three_checks(self):
+        report = validate_implementation("gpu_streams")
+        assert len(report.checks) == 3
+
+
+class TestCliIntegration:
+    def test_validate_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate", "--impl", "thread_overlap"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 3
+
+    def test_plot_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "fig8", "--fast", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "x=32" in out and "|" in out
+
+    def test_trace_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(["run", "--machine", "yona", "--impl", "hybrid_overlap",
+                   "--cores", "12", "--threads", "12", "--thickness", "2",
+                   "--trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gpu-kernel" in out and "overlapped" in out
