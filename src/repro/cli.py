@@ -6,6 +6,8 @@
     advection-repro run --machine yona --impl hybrid_overlap \\
         --cores 12 --threads 6 --thickness 3
     advection-repro experiment fig9            # regenerate one figure/table
+    advection-repro experiment fig9 fig10 --jobs 4   # several, in parallel
+    advection-repro experiment all --jobs 8    # the full report
     advection-repro experiments                # list experiment ids
     advection-repro tune --machine yona --impl hybrid_overlap --cores 48
 """
@@ -55,15 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print an execution timeline of the representative rank",
     )
 
-    expp = sub.add_parser("experiment", help="regenerate one table/figure")
-    expp.add_argument("id", choices=sorted(EXPERIMENTS))
+    expp = sub.add_parser("experiment", help="regenerate tables/figures")
+    expp.add_argument("ids", metavar="id", nargs="+",
+                      choices=sorted(EXPERIMENTS) + ["all"],
+                      help="experiment ids, or 'all' for the full report")
     expp.add_argument("--fast", action="store_true", help="trimmed sweep")
+    expp.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="regenerate independent experiments in a process "
+                           "pool with N workers (experiments are pure "
+                           "functions of their id)")
     expp.add_argument("--plot", action="store_true",
                       help="also render the series as an ASCII chart")
     expp.add_argument("--json", metavar="PATH", default=None,
-                      help="write the full result as JSON")
+                      help="write the full result as JSON (with several ids "
+                           "the id is suffixed onto the file name)")
     expp.add_argument("--csv", metavar="PATH", default=None,
-                      help="write the series as long-form CSV")
+                      help="write the series as long-form CSV (suffixed as "
+                           "for --json)")
 
     valp = sub.add_parser("validate", help="run every correctness oracle")
     valp.add_argument("--impl", default="all",
@@ -128,24 +138,43 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _suffixed(path: str, exp_id: str, multiple: bool) -> str:
+    """Insert ``-{exp_id}`` before the extension when exporting several ids."""
+    if not multiple:
+        return path
+    import os.path
+
+    root, ext = os.path.splitext(path)
+    return f"{root}-{exp_id}{ext}"
+
+
 def _cmd_experiment(args) -> int:
-    result = run_experiment(args.id, fast=args.fast)
-    print(result.to_text())
-    if getattr(args, "plot", False) and result.series:
-        from repro.report import ascii_plot
+    from repro.experiments import run_experiments
 
-        print()
-        print(ascii_plot(result.series, title=result.title))
-    if getattr(args, "json", None):
-        from repro.export import write_json
+    ids = list(dict.fromkeys(  # dedupe, keep order
+        sorted(EXPERIMENTS) if "all" in args.ids else args.ids
+    ))
+    results = run_experiments(ids, fast=args.fast, jobs=getattr(args, "jobs", 1))
+    multiple = len(results) > 1
+    for result in results:
+        print(result.to_text())
+        if getattr(args, "plot", False) and result.series:
+            from repro.report import ascii_plot
 
-        write_json(result, args.json)
-        print(f"wrote {args.json}")
-    if getattr(args, "csv", None):
-        from repro.export import write_csv
+            print()
+            print(ascii_plot(result.series, title=result.title))
+        if getattr(args, "json", None):
+            from repro.export import write_json
 
-        write_csv(result, args.csv)
-        print(f"wrote {args.csv}")
+            path = _suffixed(args.json, result.exp_id, multiple)
+            write_json(result, path)
+            print(f"wrote {path}")
+        if getattr(args, "csv", None):
+            from repro.export import write_csv
+
+            path = _suffixed(args.csv, result.exp_id, multiple)
+            write_csv(result, path)
+            print(f"wrote {path}")
     return 0
 
 

@@ -9,6 +9,7 @@ from repro.core.context import RankContext
 from repro.core.gpu_common import box_points
 from repro.decomp.halo import pack_face, unpack_face
 from repro.simmpi.api import halo_tag
+from repro.stencil.arena import ScratchArena
 from repro.stencil.kernels import apply_stencil_block, interior
 
 __all__ = ["GpuBulkMPI"]
@@ -37,6 +38,7 @@ class GpuBulkMPI(Implementation):
         gpu = ctx.gpu
         st = ctx.state
         st["stream"] = gpu.stream("main")
+        st["arena"] = ScratchArena()  # device-side separable-sweep scratch
         shape = [s + 2 for s in ctx.sub.shape]
         st["u"] = gpu.memory.allocate(f"u{ctx.sub.rank}", shape, ctx.cfg.functional)
         st["unew"] = gpu.memory.allocate(f"unew{ctx.sub.rank}", shape, ctx.cfg.functional)
@@ -101,6 +103,7 @@ class GpuBulkMPI(Implementation):
         # Face kernels (one per pair of boundary faces per dimension).
         slabs = data.boundary_slabs()
         coeffs = data.coeffs
+        arena = st["arena"]
         for dim in range(3):
             pair = slabs[2 * dim : 2 * dim + 2]
             pts = sum(box_points(b) for b in pair)
@@ -108,7 +111,8 @@ class GpuBulkMPI(Implementation):
             def face_action(pair=pair):
                 if u_dev.functional:
                     for lo, hi in pair:
-                        apply_stencil_block(u_dev.data, coeffs, unew_dev.data, lo, hi)
+                        apply_stencil_block(u_dev.data, coeffs, unew_dev.data,
+                                            lo, hi, arena=arena)
 
             yield ctx.launch_cost(1)
             ctx.face_kernel(stream, pts, dim, face_action)
@@ -118,7 +122,8 @@ class GpuBulkMPI(Implementation):
 
         def interior_action():
             if u_dev.functional:
-                apply_stencil_block(u_dev.data, coeffs, unew_dev.data, core_lo, core_hi)
+                apply_stencil_block(u_dev.data, coeffs, unew_dev.data,
+                                    core_lo, core_hi, arena=arena)
 
         yield ctx.launch_cost(1)
         ctx.stencil_kernel(stream, data.core_points(), shape=ctx.sub.shape,

@@ -11,6 +11,7 @@ from repro.core.context import RankContext
 from repro.core.gpu_common import box_points
 from repro.decomp.halo import pack_face, unpack_face
 from repro.simmpi.api import halo_tag
+from repro.stencil.arena import ScratchArena
 from repro.stencil.kernels import apply_stencil_block, interior
 
 __all__ = ["GpuStreamsMPI"]
@@ -80,6 +81,7 @@ class GpuStreamsMPI(Implementation):
         st = ctx.state
         st["s1"] = gpu.stream("interior")
         st["s2"] = gpu.stream("boundary")
+        st["arena"] = ScratchArena()  # device-side separable-sweep scratch
         shape = [s + 2 for s in ctx.sub.shape]
         st["u"] = gpu.memory.allocate(f"u{ctx.sub.rank}", shape, ctx.cfg.functional)
         st["unew"] = gpu.memory.allocate(f"unew{ctx.sub.rank}", shape, ctx.cfg.functional)
@@ -105,10 +107,12 @@ class GpuStreamsMPI(Implementation):
 
         # Interior kernel to stream 1.
         core_lo, core_hi = data.core_box()
+        arena = st["arena"]
 
         def interior_action():
             if u_dev.functional:
-                apply_stencil_block(u_dev.data, coeffs, unew_dev.data, core_lo, core_hi)
+                apply_stencil_block(u_dev.data, coeffs, unew_dev.data,
+                                    core_lo, core_hi, arena=arena)
 
         yield ctx.launch_cost(1)
         ctx.stencil_kernel(s1, data.core_points(), shape=ctx.sub.shape,
@@ -164,7 +168,8 @@ class GpuStreamsMPI(Implementation):
             def face_action(pair=pair):
                 if u_dev.functional:
                     for lo, hi in pair:
-                        apply_stencil_block(u_dev.data, coeffs, unew_dev.data, lo, hi)
+                        apply_stencil_block(u_dev.data, coeffs, unew_dev.data,
+                                            lo, hi, arena=arena)
 
             ctx.face_kernel(s2, pts, dim, face_action)
 

@@ -6,6 +6,7 @@ from repro.core.base import Implementation
 from repro.core.context import RankContext
 from repro.core.gpu_common import copy_box_dev_to_host, copy_box_host_to_dev
 from repro.decomp.boxdecomp import BoxDecomposition
+from repro.stencil.arena import ScratchArena
 
 __all__ = ["hybrid_setup", "hybrid_drain"]
 
@@ -18,6 +19,9 @@ def hybrid_setup(impl: Implementation, ctx: RankContext):
     st["box"] = box
     st["s1"] = gpu.stream("block")
     st["s2"] = gpu.stream("edges")
+    # Device-side scratch arena for the separable sweeps over the GPU block
+    # (the CPU walls use the rank's own arena via ctx.data.apply_block).
+    st["arena"] = ScratchArena()
     shape = [s + 2 for s in box.block_shape]
     st["u"] = gpu.memory.allocate(f"blk{ctx.sub.rank}", shape, ctx.cfg.functional)
     st["unew"] = gpu.memory.allocate(f"blknew{ctx.sub.rank}", shape, ctx.cfg.functional)

@@ -72,11 +72,13 @@ class HybridOverlapMPI(Implementation):
         # 1) Block-interior kernel to stream 1 (no halo dependency).
         bx, by, bz = box.block_shape
         interior_pts = max(0, bx - 2) * max(0, by - 2) * max(0, bz - 2)
+        arena = st["arena"]
 
         def block_interior_action():
             if u_dev.functional:
                 apply_stencil_block(
-                    u_dev.data, coeffs, unew_dev.data, (1, 1, 1), (bx - 1, by - 1, bz - 1)
+                    u_dev.data, coeffs, unew_dev.data, (1, 1, 1),
+                    (bx - 1, by - 1, bz - 1), arena=arena
                 )
 
         yield ctx.launch_cost(1)
@@ -106,7 +108,8 @@ class HybridOverlapMPI(Implementation):
                     # apply_stencil_block wants block-interior coordinates.
                     dlo = tuple(l - b for l, b in zip(lo, box.block_lo))
                     dhi = tuple(h - b for h, b in zip(hi, box.block_lo))
-                    apply_stencil_block(u_dev.data, coeffs, unew_dev.data, dlo, dhi)
+                    apply_stencil_block(u_dev.data, coeffs, unew_dev.data,
+                                        dlo, dhi, arena=arena)
 
         ctx.thin_kernel(s2, shell_pts, action=boundary_action)
 

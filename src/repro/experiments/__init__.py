@@ -10,6 +10,11 @@ Use :data:`EXPERIMENTS` to enumerate them or
 :func:`run_experiment` to run one by id (e.g. ``"fig9"``).
 """
 
-from repro.experiments.common import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.experiments.common import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+    run_experiments,
+)
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment", "run_experiments"]

@@ -1,12 +1,12 @@
-"""Shared experiment plumbing: result container and registry."""
+"""Shared experiment plumbing: result container, registry, parallel driver."""
 
 from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "run_experiments"]
 
 
 @dataclass
@@ -87,3 +87,36 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
         raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
     mod = importlib.import_module(EXPERIMENTS[exp_id])
     return mod.run(fast=fast)
+
+
+def _run_one(args: Tuple[str, bool]) -> ExperimentResult:
+    """Top-level (picklable) worker for the process pool."""
+    exp_id, fast = args
+    return run_experiment(exp_id, fast=fast)
+
+
+def run_experiments(
+    exp_ids: Sequence[str], fast: bool = False, jobs: int = 1
+) -> List[ExperimentResult]:
+    """Regenerate several experiments, optionally in a process pool.
+
+    Experiments are pure functions of their id (the simulator is
+    deterministic and shares no mutable state across ids), so they can be
+    regenerated independently: with ``jobs > 1`` they run in a
+    :class:`concurrent.futures.ProcessPoolExecutor` with ``jobs`` workers.
+    Results are returned in the order of ``exp_ids`` regardless of
+    completion order. Unknown ids raise :class:`KeyError` before any work
+    is dispatched.
+    """
+    exp_ids = list(exp_ids)
+    for exp_id in exp_ids:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(exp_ids) <= 1:
+        return [run_experiment(e, fast=fast) for e in exp_ids]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(exp_ids))) as pool:
+        return list(pool.map(_run_one, [(e, fast) for e in exp_ids]))

@@ -1,0 +1,109 @@
+"""Reusable scratch-buffer arena for the separable stencil engine.
+
+The separable execution path in :mod:`repro.stencil.kernels` runs three 1-D
+sweeps per step and needs intermediate full-field buffers (``t1``, ``t2``)
+plus one tap buffer for in-place fused multiply-accumulate emulation
+(``np.multiply(..., out=tap)`` followed by ``np.add(acc, tap, out=acc)``).
+Allocating those per call would dominate the runtime of the functional
+kernels (a 256^3 haloed double field is ~137 MB), so all scratch space is
+leased from a :class:`ScratchArena`: buffers are keyed by ``(name, shape,
+dtype)`` and reused verbatim on every subsequent request, making the
+steady-state time step allocation-free.
+
+Buffers are handed out *uninitialized* (contents are whatever the previous
+lease left behind); callers must fully overwrite the region they read back.
+
+A process-wide default arena (:func:`default_arena`) backs the public kernel
+entry points when no explicit arena is passed. The simulator executes rank
+programs sequentially inside one discrete-event loop, so sharing the default
+arena across simulated ranks is safe — a sweep never spans two events — and
+is what keeps the memory footprint bounded by the largest field shape rather
+than by the rank count. Code that wants isolation (or deterministic
+accounting, like :class:`repro.core.data.RankData` and the GPU
+implementations) can carry its own arena instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+__all__ = ["ScratchArena", "default_arena", "reset_default_arena"]
+
+
+class ScratchArena:
+    """A cache of named, shaped scratch arrays with zero steady-state allocation.
+
+    ``get(name, shape)`` returns the same array object every time it is
+    called with the same ``(name, shape, dtype)`` triple; a request for the
+    same name with a *different* shape or dtype retires the old buffer and
+    allocates a fresh one (fields of several shapes can coexist under
+    different names, e.g. per-block keys).
+    """
+
+    __slots__ = ("_buffers", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Hashable, np.ndarray] = {}
+        #: number of get() calls served from cache / requiring allocation
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        name: Hashable,
+        shape: Tuple[int, ...],
+        dtype: np.dtype = np.float64,
+    ) -> np.ndarray:
+        """Lease the scratch buffer ``name`` with ``shape`` (uninitialized)."""
+        shape = tuple(int(s) for s in shape)
+        buf = self._buffers.get(name)
+        if buf is not None and buf.shape == shape and buf.dtype == dtype:
+            self.hits += 1
+            return buf
+        self.misses += 1
+        buf = np.empty(shape, dtype=dtype)
+        self._buffers[name] = buf
+        return buf
+
+    def zeros(
+        self,
+        name: Hashable,
+        shape: Tuple[int, ...],
+        dtype: np.dtype = np.float64,
+    ) -> np.ndarray:
+        """Like :meth:`get`, but the returned buffer is zero-filled."""
+        buf = self.get(name, shape, dtype)
+        buf.fill(0.0)
+        return buf
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._buffers
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self) -> None:
+        """Release every buffer (and reset the hit/miss counters)."""
+        self._buffers.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_DEFAULT = ScratchArena()
+
+
+def default_arena() -> ScratchArena:
+    """The process-wide arena used when kernels receive ``arena=None``."""
+    return _DEFAULT
+
+
+def reset_default_arena() -> None:
+    """Drop all buffers held by the process-wide arena (tests, memory pressure)."""
+    _DEFAULT.clear()

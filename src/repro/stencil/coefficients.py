@@ -28,7 +28,7 @@ lets tests verify this via the von Neumann symbol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ __all__ = [
     "FLOPS_PER_POINT",
     "StencilCoefficients",
     "lax_wendroff_1d",
+    "factor_rank1",
     "tensor_product_coefficients",
     "table1_coefficients",
     "max_stable_nu",
@@ -56,6 +57,41 @@ def lax_wendroff_1d(c: float, nu: float) -> Tuple[float, float, float]:
     return (cn * (1.0 + cn) / 2.0, 1.0 - cn * cn, cn * (cn - 1.0) / 2.0)
 
 
+def factor_rank1(
+    a: np.ndarray, rtol: float = 1e-12, atol: float = 1e-14
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Attempt an exact rank-1 (separable) factorization of a 3x3x3 tensor.
+
+    Returns 1-D factor triples ``(ax, ay, az)`` with
+    ``a[i, j, k] == ax[i] * ay[j] * az[k]`` (within ``rtol``/``atol``), or
+    ``None`` when ``a`` is not separable. For a true rank-1 tensor the
+    factors are recovered from the pivot cross-sections
+
+    .. math:: a_{ijk} = a_{i j_0 k_0} \\, a_{i_0 j k_0} \\, a_{i_0 j_0 k} / p^2
+
+    where ``p = a[i0, j0, k0]`` is the largest-magnitude entry. The returned
+    factors are only determined up to scale (only their outer product is
+    meaningful); :func:`tensor_product_coefficients` bypasses this recovery
+    and stores the canonical 1-D Lax-Wendroff triples directly.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.shape != (3, 3, 3):
+        raise ValueError(f"expected a (3,3,3) tensor, got {a.shape}")
+    scale = float(np.abs(a).max())
+    if scale == 0.0:
+        z = np.zeros(3)
+        return z, z.copy(), z.copy()
+    i0, j0, k0 = np.unravel_index(int(np.abs(a).argmax()), a.shape)
+    p = a[i0, j0, k0]
+    ax = a[:, j0, k0].copy()
+    ay = a[i0, :, k0] / p
+    az = a[i0, j0, :] / p
+    recon = np.einsum("i,j,k->ijk", ax, ay, az)
+    if np.allclose(recon, a, rtol=rtol, atol=atol * scale):
+        return ax, ay, az
+    return None
+
+
 @dataclass(frozen=True)
 class StencilCoefficients:
     """The 27 coefficients ``a[i+1, j+1, k+1] = a_{ijk}`` for Equation 2.
@@ -68,15 +104,40 @@ class StencilCoefficients:
         The velocity ``(c_x, c_y, c_z)`` the coefficients were built for.
     nu:
         The ratio ``Delta/delta`` they were built for.
+    factors:
+        Optional 1-D factor triples ``(ax, ay, az)`` with
+        ``a[i, j, k] = ax[i] * ay[j] * az[k]``. When present, the stencil is
+        *separable* and :mod:`repro.stencil.kernels` applies it as three 1-D
+        sweeps instead of the dense 27-point sum. Populated automatically:
+        :func:`tensor_product_coefficients` stores the exact 1-D
+        Lax-Wendroff triples, and any other construction (e.g. the literal
+        Table I transcription) gets a :func:`factor_rank1` recovery attempt
+        with a dense (``factors=None``) fallback for non-separable tensors.
     """
 
     a: np.ndarray
     velocity: Tuple[float, float, float]
     nu: float
+    factors: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def __post_init__(self):
         if self.a.shape != (3, 3, 3):
             raise ValueError(f"coefficient array must be (3,3,3), got {self.a.shape}")
+        if self.factors is None:
+            # Rank-1 recovery attempt; stays None for non-separable tensors
+            # (the kernels then fall back to the dense 27-point reference).
+            object.__setattr__(self, "factors", factor_rank1(self.a))
+        else:
+            fx, fy, fz = (np.asarray(f, dtype=np.float64) for f in self.factors)
+            for f in (fx, fy, fz):
+                if f.shape != (3,):
+                    raise ValueError(f"factor triples must be (3,), got {f.shape}")
+            object.__setattr__(self, "factors", (fx, fy, fz))
+
+    @property
+    def is_separable(self) -> bool:
+        """True when 1-D factor triples are available (tensor-product form)."""
+        return self.factors is not None
 
     def __getitem__(self, offsets: Tuple[int, int, int]) -> float:
         """Coefficient ``a_{ijk}`` for offsets ``i, j, k`` in ``{-1, 0, +1}``."""
@@ -105,7 +166,9 @@ def tensor_product_coefficients(
     ay = np.array(lax_wendroff_1d(cy, nu))
     az = np.array(lax_wendroff_1d(cz, nu))
     a = np.einsum("i,j,k->ijk", ax, ay, az)
-    return StencilCoefficients(a=a, velocity=(cx, cy, cz), nu=float(nu))
+    return StencilCoefficients(
+        a=a, velocity=(cx, cy, cz), nu=float(nu), factors=(ax, ay, az)
+    )
 
 
 def table1_coefficients(velocity: Sequence[float], nu: float) -> StencilCoefficients:

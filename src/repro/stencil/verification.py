@@ -46,7 +46,7 @@ def run_reference(
     coeffs = tensor_product_coefficients(velocity, nu)
     u = allocate_field(grid.n)
     interior(u)[...] = gaussian_initial_condition(grid, sigma=sigma)
-    advance(u, coeffs, steps=steps)
+    u = advance(u, coeffs, steps=steps)
     dt = nu * grid.min_spacing
     exact = analytic_solution(grid, velocity, time=steps * dt, sigma=sigma)
     return interior(u).copy(), error_norms(interior(u), exact)
@@ -95,7 +95,7 @@ def exact_shift_steps(
     u = allocate_field(grid.n)
     u0 = gaussian_initial_condition(grid, sigma=sigma)
     interior(u)[...] = u0
-    advance(u, coeffs, steps=steps)
+    u = advance(u, coeffs, steps=steps)
     # Positive velocity moves the wave in +axis; grid values shift by +steps.
     expected = np.roll(u0, sign * steps, axis=axis)
     return float(np.abs(interior(u) - expected).max())

@@ -65,7 +65,7 @@ def _reference(domain, velocity, nu_fraction, steps, sigma):
     coeffs = tensor_product_coefficients(velocity, nu)
     u = allocate_field(grid.n)
     interior(u)[...] = gaussian_initial_condition(grid, sigma=sigma)
-    advance(u, coeffs, steps=steps)
+    u = advance(u, coeffs, steps=steps)
     return interior(u).copy()
 
 

@@ -89,7 +89,7 @@ class TestMultiGpuNodes:
         coeffs = tensor_product_coefficients(vel, max_stable_nu(vel))
         u = allocate_field((16, 16, 16))
         interior(u)[...] = gaussian_initial_condition(Grid3D(16), sigma=0.08)
-        advance(u, coeffs, steps=3)
+        u = advance(u, coeffs, steps=3)
         machine = replace(YONA, gpus_per_node=2)
         r = run(RunConfig(machine=machine, implementation="hybrid_overlap",
                           cores=12, threads_per_task=6, box_thickness=2,

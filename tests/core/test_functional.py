@@ -29,7 +29,7 @@ def reference():
     coeffs = tensor_product_coefficients(VELOCITY, nu)
     u = allocate_field(grid.n)
     interior(u)[...] = gaussian_initial_condition(grid, sigma=0.08)
-    advance(u, coeffs, steps=STEPS)
+    u = advance(u, coeffs, steps=STEPS)
     return interior(u).copy()
 
 

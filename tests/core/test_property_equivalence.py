@@ -22,7 +22,7 @@ def reference_field(domain, velocity, nu_fraction, steps, sigma):
     coeffs = tensor_product_coefficients(velocity, nu)
     u = allocate_field(grid.n)
     interior(u)[...] = gaussian_initial_condition(grid, sigma=sigma)
-    advance(u, coeffs, steps=steps)
+    u = advance(u, coeffs, steps=steps)
     return interior(u).copy()
 
 

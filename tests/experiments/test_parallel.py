@@ -1,0 +1,38 @@
+"""The parallel experiment driver: pure-function regeneration in a pool."""
+
+import pytest
+
+from repro.experiments import run_experiments
+from repro.experiments.common import run_experiment
+
+IDS = ["table1", "table2"]
+
+
+class TestRunExperiments:
+    def test_order_preserved(self):
+        results = run_experiments(IDS)
+        assert [r.exp_id for r in results] == IDS
+
+    def test_pool_matches_serial(self):
+        """Experiments are pure functions of their id: a process pool must
+        reproduce the serial results exactly."""
+        serial = run_experiments(IDS, jobs=1)
+        pooled = run_experiments(IDS, jobs=2)
+        for a, b in zip(serial, pooled):
+            assert a.exp_id == b.exp_id
+            assert a.columns == b.columns
+            assert a.rows == b.rows
+            assert a.series == b.series
+
+    def test_fast_flag_propagates(self):
+        (r,) = run_experiments(["fig2"], fast=True, jobs=1)
+        assert r.exp_id == "fig2"
+        assert r.rows == run_experiment("fig2", fast=True).rows
+
+    def test_unknown_id_raises_before_dispatch(self):
+        with pytest.raises(KeyError):
+            run_experiments(["table1", "nope"], jobs=2)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(IDS, jobs=0)

@@ -72,7 +72,7 @@ class TestApplyStencil:
         coeffs = tensor_product_coefficients((1.0, 0.9, 0.8), 1.0)
         u = make_field(10)
         total0 = interior(u).sum()
-        advance(u, coeffs, steps=5)
+        u = advance(u, coeffs, steps=5)
         assert interior(u).sum() == pytest.approx(total0, rel=1e-12)
 
     def test_out_reused(self):
@@ -151,13 +151,25 @@ class TestAdvance:
         coeffs = tensor_product_coefficients((1.0, 0.9, 0.8), 1.0)
         u1 = make_field(8, seed=7)
         u2 = u1.copy()
-        advance(u1, coeffs, steps=3)
+        u1 = advance(u1, coeffs, steps=3)
         for _ in range(3):
-            advance(u2, coeffs, steps=1)
+            u2 = advance(u2, coeffs, steps=1)
         assert np.array_equal(interior(u1), interior(u2))
 
-    def test_result_written_back_to_input(self):
+    def test_returns_flip_buffer_without_copy(self):
+        """Odd step counts return the scratch buffer, not ``u`` (no copy)."""
         coeffs = tensor_product_coefficients((1.0, 0.9, 0.8), 1.0)
         u = make_field(8, seed=9)
-        out = advance(u, coeffs, steps=1)
-        assert out is u
+        scratch = np.zeros_like(u)
+        out = advance(u, coeffs, steps=1, scratch=scratch)
+        assert out is scratch
+        out2 = advance(u, coeffs, steps=2, scratch=scratch)
+        assert out2 is u
+
+    def test_scratch_aliasing_input_is_replaced(self):
+        """Passing ``scratch is u`` must not corrupt the step."""
+        coeffs = tensor_product_coefficients((1.0, 0.9, 0.8), 1.0)
+        u = make_field(8, seed=11)
+        ref = advance(u.copy(), coeffs, steps=2)
+        out = advance(u, coeffs, steps=2, scratch=u)
+        assert np.array_equal(interior(out), interior(ref))

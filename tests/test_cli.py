@@ -60,6 +60,33 @@ class TestCommands:
         assert main(["experiment", "fig8", "--fast"]) == 0
         assert "32x8" in capsys.readouterr().out
 
+    def test_experiment_multiple_ids(self, capsys):
+        assert main(["experiment", "table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "Tesla C2050" in out
+
+    def test_experiment_jobs_pool(self, capsys):
+        """--jobs N regenerates independent experiments in a process pool."""
+        assert main(["experiment", "table1", "table2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        # both results printed, in id order
+        assert out.index("table1") < out.index("table2")
+
+    def test_experiment_jobs_single_id(self, capsys):
+        assert main(["experiment", "table2", "--jobs", "4"]) == 0
+        assert "Tesla C2050" in capsys.readouterr().out
+
+    def test_experiment_bad_id_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nope"])
+
+    def test_experiment_multi_export_suffixed(self, tmp_path, capsys):
+        out_json = tmp_path / "exp.json"
+        assert main(["experiment", "table2", "fig2", "--fast",
+                     "--json", str(out_json)]) == 0
+        assert (tmp_path / "exp-table2.json").exists()
+        assert (tmp_path / "exp-fig2.json").exists()
+
     def test_tune(self, capsys):
         rc = main(
             ["tune", "--machine", "jaguarpf", "--impl", "bulk", "--cores", "48"]

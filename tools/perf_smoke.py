@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Perf smoke: time the functional kernels and one experiment regeneration.
+
+Run from the repository root::
+
+    python tools/perf_smoke.py [--out BENCH_PR1.json] [--size 256] [--steps 3]
+
+Measures, on the current machine:
+
+* dense 27-point ``advance`` throughput at ``size``^3 (the seed's path),
+* separable 3x1-D ``advance`` throughput at ``size``^3 (the production
+  path) and the speedup between them,
+* maximum relative disagreement between the two paths (must sit within
+  the ``rtol=1e-12`` acceptance band),
+* wall-clock of a full ``fig9`` regeneration (the paper's headline
+  figure) as an end-to-end simulator smoke.
+
+Results are written as JSON (default ``BENCH_PR1.json``) so each PR can
+record its perf point and the trajectory stays auditable. The committed
+numbers come from the reference container; regenerate locally before
+comparing machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.stencil.arena import ScratchArena
+from repro.stencil.coefficients import max_stable_nu, tensor_product_coefficients
+from repro.stencil.grid import allocate_field
+from repro.stencil.kernels import (
+    advance,
+    apply_stencil,
+    apply_stencil_dense,
+    fill_periodic_halo,
+    interior,
+)
+
+VELOCITY = (0.9, -0.6, 0.4)
+
+
+def _field(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    u = allocate_field((n, n, n))
+    interior(u)[...] = rng.random((n, n, n))
+    fill_periodic_halo(u)
+    return u
+
+
+def time_advance(n: int, steps: int, method: str) -> float:
+    """Best-of-2 Mpts/s for ``advance`` at ``n``^3 on the given path."""
+    coeffs = tensor_product_coefficients(VELOCITY, 0.8 * max_stable_nu(VELOCITY))
+    u = _field(n)
+    arena = ScratchArena()
+    scratch = np.zeros_like(u)
+    advance(u.copy(), coeffs, steps=1, scratch=scratch, arena=arena,
+            method=method)  # warm arena + caches
+    best = 0.0
+    for _ in range(2):
+        t0 = time.perf_counter()
+        advance(u.copy(), coeffs, steps=steps, scratch=scratch, arena=arena,
+                method=method)
+        best = max(best, steps * n**3 / (time.perf_counter() - t0) / 1e6)
+    return best
+
+
+RTOL, ATOL = 1e-12, 1e-14
+
+
+def agreement(n: int) -> float:
+    """Worst-point margin against the ``rtol=1e-12, atol=1e-14`` band.
+
+    This is the exact criterion ``np.testing.assert_allclose`` applies in
+    ``tests/perf/test_kernel_throughput.py``: values < 1 are inside the
+    band, with the returned number telling how much of it is used.
+    """
+    coeffs = tensor_product_coefficients(VELOCITY, 0.8 * max_stable_nu(VELOCITY))
+    u = _field(n, seed=1)
+    sep = interior(apply_stencil(u, coeffs, method="separable"))
+    dense = interior(apply_stencil_dense(u, coeffs))
+    return float(np.max(np.abs(sep - dense) / (ATOL + RTOL * np.abs(dense))))
+
+
+def time_fig9() -> float:
+    from repro.experiments import run_experiment
+
+    t0 = time.perf_counter()
+    result = run_experiment("fig9")
+    elapsed = time.perf_counter() - t0
+    assert result.exp_id == "fig9" and result.series, "fig9 regeneration failed"
+    return elapsed
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="BENCH_PR1.json", metavar="PATH")
+    ap.add_argument("--size", type=int, default=256, help="grid points per dim")
+    ap.add_argument("--steps", type=int, default=3)
+    args = ap.parse_args(argv)
+
+    n, steps = args.size, args.steps
+    print(f"kernel throughput at {n}^3 ({steps} steps each) ...")
+    dense = time_advance(n, steps, "dense")
+    print(f"  dense 27-point : {dense:8.2f} Mpts/s")
+    sep = time_advance(n, steps, "separable")
+    print(f"  separable 3x1-D: {sep:8.2f} Mpts/s  ({sep / dense:.2f}x)")
+    rel = agreement(min(n, 128))
+    print(f"  agreement margin used: {rel:.3f} of the rtol=1e-12/atol=1e-14 band")
+    fig9_s = time_fig9()
+    print(f"fig9 regeneration: {fig9_s:.2f} s")
+
+    payload = {
+        "pr": 1,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "kernel": {
+            "size": n,
+            "steps": steps,
+            "dense_mpts_per_s": round(dense, 2),
+            "separable_mpts_per_s": round(sep, 2),
+            "speedup": round(sep / dense, 2),
+            "agreement_margin_used": round(rel, 4),
+            "agreement_band": {"rtol": RTOL, "atol": ATOL},
+            "acceptance_floor_mpts_per_s": 14.0,
+        },
+        "experiments": {"fig9_seconds": round(fig9_s, 2)},
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    ok = sep >= 14.0 and rel <= 1.0
+    if not ok:
+        print("FAIL: below acceptance floor or outside agreement band")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
