@@ -1,0 +1,264 @@
+"""DES engine throughput: fast-path scheduler vs the pre-PR legacy engine.
+
+The sweep engine pumps millions of events through ``repro.des`` per
+report regeneration, so PR 2 rebuilt its hot path (ready deque for
+zero-delay scheduling, bare callback slots, no relay-Event allocation
+on already-processed yields) and converted the transfer machinery from
+per-transfer generator processes to callback chains. This benchmark
+simulates the same halo-transfer workload both ways — the seed idiom
+on a faithful copy of the seed engine, the callback-slot idiom on the
+production engine — and asserts the new stack moves at least
+:data:`MIN_SPEEDUP` times as many events per second.
+
+The *legacy* engine below is a trimmed copy of the seed scheduler
+(single heapq for everything, a bootstrap Event per process, and a
+fresh relay Event allocated whenever a process yields an
+already-processed event). It exists only as the comparison baseline;
+the production engine lives in :mod:`repro.des.engine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Any, Callable, Generator, Optional
+
+from repro.des import Environment
+
+#: Acceptance floor: new engine events/s over legacy events/s.
+MIN_SPEEDUP = 2.0
+
+#: Workload shape (kept moderate so the benchmark suite stays quick).
+N_TRANSFERS = 20_000
+
+#: Nominal scheduler operations per simulated transfer (hops + triggers
+#: + waiter resumes), used to express throughput in events/s. The same
+#: constant applies to both engines, so the *ratio* is exact regardless
+#: of this nominal value.
+OPS_PER_TRANSFER = 8
+
+
+# --------------------------------------------------------------------------
+# Legacy engine (seed behaviour): one heap, relay events, bootstrap events.
+# --------------------------------------------------------------------------
+
+_PENDING, _TRIGGERED, _PROCESSED = 0, 1, 2
+
+
+class _LegacyEvent:
+    __slots__ = ("env", "callbacks", "_state", "_ok", "_value")
+
+    def __init__(self, env: "_LegacyEnvironment"):
+        self.env = env
+        self.callbacks: list[Callable[["_LegacyEvent"], None]] = []
+        self._state = _PENDING
+        self._ok = True
+        self._value: Any = None
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    def succeed(self, value: Any = None) -> "_LegacyEvent":
+        if self._state != _PENDING:
+            raise RuntimeError("event already triggered")
+        self._state = _TRIGGERED
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class _LegacyTimeout(_LegacyEvent):
+    __slots__ = ()
+
+    def __init__(self, env: "_LegacyEnvironment", delay: float, value: Any = None):
+        super().__init__(env)
+        self._state = _TRIGGERED
+        self._value = value
+        env._enqueue(self, delay)
+
+
+class _LegacyProcess(_LegacyEvent):
+    __slots__ = ("_generator",)
+
+    def __init__(self, env: "_LegacyEnvironment", generator: Generator):
+        super().__init__(env)
+        self._generator = generator
+        bootstrap = _LegacyEvent(env)  # per-process bootstrap allocation
+        bootstrap._state = _TRIGGERED
+        bootstrap.callbacks.append(self._resume)
+        env._enqueue(bootstrap)
+
+    def _resume(self, trigger: "_LegacyEvent") -> None:
+        try:
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
+            else:
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if target._state == _PROCESSED:
+            # Seed behaviour: allocate a fresh relay event per stale yield.
+            relay = _LegacyEvent(self.env)
+            relay._state = _TRIGGERED
+            relay._ok = target._ok
+            relay._value = target._value
+            relay.callbacks.append(self._resume)
+            self.env._enqueue(relay)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _LegacyEnvironment:
+    """Seed scheduler: every occurrence is an Event pushed on one heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, _LegacyEvent]] = []
+        self._counter = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def event(self) -> _LegacyEvent:
+        return _LegacyEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> _LegacyTimeout:
+        return _LegacyTimeout(self, delay, value)
+
+    def process(self, generator: Generator) -> _LegacyProcess:
+        return _LegacyProcess(self, generator)
+
+    def _enqueue(self, event: _LegacyEvent, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._counter, event))
+        self._counter += 1
+
+    def run(self) -> None:
+        queue = self._queue
+        while queue:
+            when, _, event = heapq.heappop(queue)
+            self._now = when
+            event._run_callbacks()
+
+
+# --------------------------------------------------------------------------
+# Workload: N simulated halo transfers (the exchange machinery's shape)
+# --------------------------------------------------------------------------
+
+#: Per-hop constants of the simulated transfer (values are irrelevant to
+#: the comparison; both engines advance the same simulated clock).
+_LAT, _WIRE = 1e-6, 3e-6
+
+
+def _drive_legacy(env: "_LegacyEnvironment", n: int = N_TRANSFERS) -> int:
+    """Seed idiom: one generator process (``mover``) per transfer.
+
+    This is exactly how the pre-PR ``World._wire`` moved bytes: spawn a
+    process, yield a latency timeout, yield a wire timeout, trigger the
+    completion event. Each transfer costs a Process + bootstrap Event +
+    two Timeouts + generator resumes, all through one heap.
+    """
+
+    def mover(done):
+        yield env.timeout(_LAT)
+        yield env.timeout(_WIRE)
+        done.succeed()
+
+    def waiter(done):
+        yield done
+        yield env.timeout(0.0)  # zero-delay turnaround after completion
+
+    for _ in range(n):
+        done = env.event()
+        env.process(mover(done))
+        env.process(waiter(done))
+    env.run()
+    return n * OPS_PER_TRANSFER
+
+
+def _drive_fast(env: Environment, n: int = N_TRANSFERS) -> int:
+    """Post-PR idiom: callback-chained slots, no mover process.
+
+    Matches the rewritten ``World._wire``/``_start_background``: the
+    latency hop is a bare ``schedule`` slot whose callback schedules the
+    wire hop, which triggers the completion event — no generator, no
+    bootstrap, and the zero-delay turnaround rides the ready deque.
+    """
+
+    def waiter(done):
+        yield done
+        yield env.timeout(0.0)
+
+    for _ in range(n):
+        done = env.event()
+
+        def after_latency(_arg, done=done):
+            env.schedule(_WIRE, done.succeed)
+
+        env.schedule(_LAT, after_latency)
+        env.process(waiter(done))
+    env.run()
+    return n * OPS_PER_TRANSFER
+
+
+def _events_per_second(env_factory, drive, repeats: int = 3) -> float:
+    best = 0.0
+    for _ in range(repeats):
+        env = env_factory()
+        t0 = time.perf_counter()
+        ops = drive(env)
+        best = max(best, ops / (time.perf_counter() - t0))
+    return best
+
+
+def legacy_events_per_second() -> float:
+    """Throughput of the embedded seed-era engine + seed transfer idiom."""
+    return _events_per_second(_LegacyEnvironment, _drive_legacy)
+
+
+def engine_events_per_second() -> float:
+    """Throughput of :mod:`repro.des` + the callback-slot transfer idiom."""
+    return _events_per_second(Environment, _drive_fast)
+
+
+# --------------------------------------------------------------------------
+# Benchmarks
+# --------------------------------------------------------------------------
+
+
+def test_engines_agree_on_final_time():
+    """Same workload, same simulated clock on both engines (sanity)."""
+    legacy, new = _LegacyEnvironment(), Environment()
+    _drive_legacy(legacy, n=500)
+    _drive_fast(new, n=500)
+    assert legacy.now == new.now == _LAT + _WIRE
+
+
+def test_bench_des_event_throughput(benchmark):
+    """Fast-path engine ≥2x the legacy engine on the transfer workload."""
+    legacy = legacy_events_per_second()
+
+    def regenerate():
+        return _drive_fast(Environment())
+
+    ops = benchmark(regenerate)
+    if getattr(benchmark, "stats", None):
+        new = ops / benchmark.stats.stats.min
+    else:  # --benchmark-disable: fall back to a direct measurement
+        new = engine_events_per_second()
+    benchmark.extra_info["legacy_events_per_s"] = round(legacy)
+    benchmark.extra_info["engine_events_per_s"] = round(new)
+    benchmark.extra_info["speedup"] = round(new / legacy, 2)
+    assert new >= MIN_SPEEDUP * legacy, (
+        f"engine throughput regressed: {new:.0f} ev/s vs legacy "
+        f"{legacy:.0f} ev/s ({new / legacy:.2f}x < {MIN_SPEEDUP}x)"
+    )

@@ -1,0 +1,236 @@
+"""Content-addressed persistent cache for simulation run results.
+
+The experiment sweeps behind the paper's figures re-simulate hundreds of
+:class:`~repro.core.config.RunConfig` points, and many configs recur across
+figures (e.g. the best Lens configs appear in fig9, fig11 *and* sec5e).
+Because the simulator is deterministic, a run's outcome is a pure function
+of its configuration — so each distinct config needs to be simulated **once
+per model version** and can be replayed from disk afterwards.
+
+Cache key
+---------
+``sha256`` over a canonical JSON rendering of
+
+* the full :class:`RunConfig` (every field, including the nested
+  :class:`~repro.machines.spec.MachineSpec` — node, interconnect and GPU
+  calibration constants), and
+* :data:`MODEL_VERSION`, a hand-bumped tag naming the performance model's
+  behaviour generation.
+
+Any change to a machine's calibrated constants changes the key directly;
+any change to the *model code* (engine scheduling, implementation logic,
+cost formulas) must bump :data:`MODEL_VERSION`, which invalidates every
+prior entry at once (old files are simply never addressed again; ``prune``
+removes them). Floats are rendered with ``repr`` (shortest round-trip), so
+keys are stable across processes and sessions.
+
+Entries store ``elapsed_s``/``phases``/``comm_stats`` as plain JSON floats
+(exact round-trip in CPython), so a cache *hit reproduces the uncached
+RunResult bit-for-bit*. Runs that carry non-scalar artifacts (functional
+fields, tracers) bypass the cache.
+
+The cache is **opt-in**: nothing is read or written unless
+:func:`configure` installs an active cache (the CLI does this for
+``experiment`` runs unless ``--no-cache``). Writes are atomic
+(temp file + ``os.replace``), so concurrent sweep workers sharing a
+directory are safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.config import RunConfig, RunResult
+
+__all__ = [
+    "MODEL_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "RunCache",
+    "config_key",
+    "configure",
+    "active_cache",
+    "stats",
+    "merge_stats",
+    "reset_stats",
+]
+
+#: Behaviour generation of the performance model. Bump whenever a code
+#: change (engine, implementations, cost formulas) alters any simulated
+#: result; every cached entry from older versions becomes unaddressable.
+MODEL_VERSION = "pr2-des-fastpath-1"
+
+#: Default on-disk location (relative to the working directory) used by the
+#: CLI; override with ``--cache-dir`` or ``REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _canonical(obj: Any) -> Any:
+    """Recursively convert to JSON-stable primitives (sorted, tuple->list)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)  # shortest round-trip, platform-stable
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for the cache key")
+
+
+def config_key(cfg: "RunConfig", model_version: Optional[str] = None) -> str:
+    """Stable content hash of (config, machine spec, model version)."""
+    if model_version is None:
+        model_version = MODEL_VERSION  # dynamic lookup: bumps take effect
+    doc = {"model_version": model_version, "config": _canonical(cfg)}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cacheable(cfg: "RunConfig") -> bool:
+    """Whether a config's result is scalar-only (cache-representable)."""
+    return not cfg.functional and not cfg.trace
+
+
+class RunCache:
+    """A directory of content-addressed run results (one JSON file each)."""
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- addressing ---------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    # -- lookup -------------------------------------------------------------
+    def get(self, cfg: "RunConfig") -> Optional["RunResult"]:
+        """Return the cached result for ``cfg``, or ``None`` on a miss."""
+        if not cacheable(cfg):
+            return None
+        key = config_key(cfg)
+        try:
+            with open(self._path(key), "r") as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("model_version") != MODEL_VERSION:
+            # Defense in depth: the version is part of the key, so this only
+            # triggers on a corrupted/forged entry.
+            self.misses += 1
+            return None
+        self.hits += 1
+        from repro.core.config import RunResult
+
+        return RunResult(
+            config=cfg,
+            elapsed_s=float(payload["elapsed_s"]),
+            phases={k: float(v) for k, v in payload["phases"].items()},
+            comm_stats={k: int(v) for k, v in payload["comm_stats"].items()},
+        )
+
+    def put(self, cfg: "RunConfig", result: "RunResult") -> bool:
+        """Store ``result``; returns False when the config is not cacheable."""
+        if not cacheable(cfg):
+            return False
+        key = config_key(cfg)
+        payload = {
+            "model_version": MODEL_VERSION,
+            "machine": cfg.machine.name,
+            "implementation": cfg.implementation,
+            "cores": cfg.cores,
+            "elapsed_s": result.elapsed_s,
+            "phases": dict(result.phases),
+            "comm_stats": dict(result.comm_stats),
+        }
+        # Atomic publish so concurrent sweep workers never see torn files.
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return True
+
+    # -- maintenance --------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for n in os.listdir(self.directory) if n.endswith(".json"))
+
+    def prune(self) -> int:
+        """Delete entries from other model versions; returns count removed."""
+        removed = 0
+        for name in os.listdir(self.directory):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "r") as fh:
+                    if json.load(fh).get("model_version") == MODEL_VERSION:
+                        continue
+            except (OSError, json.JSONDecodeError):
+                pass
+            os.unlink(path)
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters since construction."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+#: The process-wide cache consulted by :func:`repro.core.runner.run`.
+_active: Optional[RunCache] = None
+
+
+def configure(directory: Optional[str]) -> Optional[RunCache]:
+    """Install (or, with ``None``, remove) the process-wide run cache."""
+    global _active
+    _active = RunCache(directory) if directory is not None else None
+    return _active
+
+
+def active_cache() -> Optional[RunCache]:
+    """The currently installed cache, if any."""
+    return _active
+
+
+def stats() -> Dict[str, int]:
+    """Counters of the active cache (zeros when no cache is installed)."""
+    if _active is None:
+        return {"hits": 0, "misses": 0, "stores": 0}
+    return _active.stats()
+
+
+def merge_stats(extra: Dict[str, int]) -> None:
+    """Fold a worker's counters into the active cache's (process pools)."""
+    if _active is None:
+        return
+    _active.hits += int(extra.get("hits", 0))
+    _active.misses += int(extra.get("misses", 0))
+    _active.stores += int(extra.get("stores", 0))
+
+
+def reset_stats() -> None:
+    """Zero the active cache's counters."""
+    if _active is not None:
+        _active.hits = _active.misses = _active.stores = 0

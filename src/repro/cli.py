@@ -74,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
     expp.add_argument("--csv", metavar="PATH", default=None,
                       help="write the series as long-form CSV (suffixed as "
                            "for --json)")
+    expp.add_argument("--no-cache", action="store_true",
+                      help="always re-simulate; do not read or write the "
+                           "run-result cache")
+    expp.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="run-result cache directory (default: "
+                           "$REPRO_CACHE_DIR or .repro-cache); shared "
+                           "configs are simulated once per model version "
+                           "and replayed bit-identically afterwards")
 
     valp = sub.add_parser("validate", help="run every correctness oracle")
     valp.add_argument("--impl", default="all",
@@ -148,13 +156,27 @@ def _suffixed(path: str, exp_id: str, multiple: bool) -> str:
     return f"{root}-{exp_id}{ext}"
 
 
+def _resolve_cache_dir(args) -> Optional[str]:
+    """Cache directory for an ``experiment`` invocation (None = disabled)."""
+    import os
+
+    from repro.cache import DEFAULT_CACHE_DIR
+
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache_dir", None)
+    return explicit or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments import run_experiments
 
     ids = list(dict.fromkeys(  # dedupe, keep order
         sorted(EXPERIMENTS) if "all" in args.ids else args.ids
     ))
-    results = run_experiments(ids, fast=args.fast, jobs=getattr(args, "jobs", 1))
+    cache_dir = _resolve_cache_dir(args)
+    results = run_experiments(ids, fast=args.fast, jobs=getattr(args, "jobs", 1),
+                              cache_dir=cache_dir)
     multiple = len(results) > 1
     for result in results:
         print(result.to_text())
@@ -175,6 +197,16 @@ def _cmd_experiment(args) -> int:
             path = _suffixed(args.csv, result.exp_id, multiple)
             write_csv(result, path)
             print(f"wrote {path}")
+    if cache_dir is not None:
+        from repro.cache import stats
+
+        s = stats()
+        looked_up = s["hits"] + s["misses"]
+        rate = 100.0 * s["hits"] / looked_up if looked_up else 0.0
+        print(
+            f"run cache: {s['hits']} hits / {s['misses']} misses "
+            f"({rate:.0f}% hit rate), {s['stores']} stored -> {cache_dir}"
+        )
     return 0
 
 

@@ -262,16 +262,18 @@ class RankContext:
         )
         self.phases[phase] += t
         env = self.env
+        done = env.event()
+        lock = gpu.sync_copy_lock.request()
 
-        def mover():
-            lock = gpu.sync_copy_lock.request()
-            yield lock
-            try:
-                yield env.timeout(t)
-            finally:
+        def granted(_ev):
+            def finish(_a):
                 gpu.sync_copy_lock.release(lock)
+                done.succeed()
 
-        return env.process(mover(), name="pcie-sync")
+            env.schedule(t, finish)
+
+        lock.callbacks.append(granted)
+        return done
 
     # -- topology helpers --------------------------------------------------------
     def neighbor(self, dim: int, side: int) -> int:

@@ -155,19 +155,21 @@ class SharedBandwidth:
                 t.done_event.succeed()
 
     def _reschedule(self) -> None:
-        """Schedule a wakeup at the earliest projected completion."""
+        """Schedule a wakeup at the earliest projected completion.
+
+        Uses the engine's slot-based scheduling path: a bare callback on the
+        time heap instead of a waker process (which cost a Process, a
+        bootstrap slot, and a Timeout per membership change).
+        """
         self._wakeup_id += 1
         if not self._active:
             return
-        my_id = self._wakeup_id
         total_w = self._total_weight()
         next_done = min(t.remaining / (self.rate * t.weight / total_w) for t in self._active)
+        self.env.schedule(next_done, self._wake, self._wakeup_id)
 
-        def waker():
-            yield self.env.timeout(next_done)
-            if my_id != self._wakeup_id:
-                return  # superseded by a newer membership change
-            self._advance()
-            self._reschedule()
-
-        self.env.process(waker(), name=f"{self.name}-waker")
+    def _wake(self, my_id: int) -> None:
+        if my_id != self._wakeup_id:
+            return  # superseded by a newer membership change
+        self._advance()
+        self._reschedule()

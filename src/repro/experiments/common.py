@@ -89,14 +89,27 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
     return mod.run(fast=fast)
 
 
-def _run_one(args: Tuple[str, bool]) -> ExperimentResult:
-    """Top-level (picklable) worker for the process pool."""
-    exp_id, fast = args
-    return run_experiment(exp_id, fast=fast)
+def _run_one(args: Tuple[str, bool, Optional[str]]):
+    """Top-level (picklable) worker for the process pool.
+
+    Installs the run cache in the worker process (caches are per-process;
+    the directory is shared and writes are atomic) and ships the worker's
+    hit/miss counters back so the parent can report aggregate stats.
+    """
+    exp_id, fast, cache_dir = args
+    from repro import cache as run_cache
+
+    if cache_dir is not None:
+        run_cache.configure(cache_dir)
+    result = run_experiment(exp_id, fast=fast)
+    return result, run_cache.stats()
 
 
 def run_experiments(
-    exp_ids: Sequence[str], fast: bool = False, jobs: int = 1
+    exp_ids: Sequence[str],
+    fast: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Regenerate several experiments, optionally in a process pool.
 
@@ -107,6 +120,12 @@ def run_experiments(
     Results are returned in the order of ``exp_ids`` regardless of
     completion order. Unknown ids raise :class:`KeyError` before any work
     is dispatched.
+
+    ``cache_dir`` installs the content-addressed run cache
+    (:mod:`repro.cache`) for the regeneration — in this process and in
+    every pool worker; configs already simulated under the current model
+    version are replayed from disk, bit-identically. ``None`` leaves the
+    current cache configuration (usually: no cache) untouched.
     """
     exp_ids = list(exp_ids)
     for exp_id in exp_ids:
@@ -114,9 +133,16 @@ def run_experiments(
             raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    from repro import cache as run_cache
+
+    if cache_dir is not None:
+        run_cache.configure(cache_dir)
     if jobs == 1 or len(exp_ids) <= 1:
         return [run_experiment(e, fast=fast) for e in exp_ids]
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(exp_ids))) as pool:
-        return list(pool.map(_run_one, [(e, fast) for e in exp_ids]))
+        out = list(pool.map(_run_one, [(e, fast, cache_dir) for e in exp_ids]))
+    for _result, worker_stats in out:
+        run_cache.merge_stats(worker_stats)
+    return [result for result, _stats in out]

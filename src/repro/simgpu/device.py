@@ -32,7 +32,13 @@ Action = Optional[Callable[[], None]]
 
 
 class Stream:
-    """A CUDA stream: an in-order queue of device operations."""
+    """A CUDA stream: an in-order queue of device operations.
+
+    Operations are sequenced by callback chaining on the previous tail
+    event rather than by spawning a driver process per operation (the seed
+    engine's per-op ``runner()`` generators): issuing an op costs one
+    completion :class:`Event` and one scheduling slot.
+    """
 
     def __init__(self, gpu: "Gpu", name: str):
         self.gpu = gpu
@@ -44,19 +50,15 @@ class Stream:
         """Completion event of the most recently enqueued operation."""
         return self._tail
 
-    def _chain(self, body_factory: Callable[[], object], name: str) -> Event:
+    def _issue(self, begin: Callable[[object], None], done: Event) -> Event:
+        """Sequence ``begin`` after the current tail; ``done`` is the new tail."""
         prev = self._tail
-        env = self.gpu.env
-
-        def runner():
-            if prev is not None and not prev.processed:
-                yield prev
-            result = yield from body_factory()
-            return result
-
-        proc = env.process(runner(), name=f"{self.name}:{name}")
-        self._tail = proc
-        return proc
+        self._tail = done
+        if prev is None or prev.processed:
+            self.gpu.env.schedule_now(begin)
+        else:
+            prev.callbacks.append(begin)
+        return done
 
     def synchronize(self) -> Event:
         """Event that fires when all work issued to this stream is done."""
@@ -120,43 +122,60 @@ class Gpu:
         if duration_s < 0:
             raise ValueError("kernel duration must be non-negative")
         self.kernels_launched += 1
+        env = self.env
+        done = Event(env)
 
-        def body():
+        def begin(_arg):
             slot = self._kernel_slot.request()
-            yield slot
-            start = self.env.now
-            try:
-                yield self.env.timeout(duration_s)
-            finally:
-                self._kernel_slot.release(slot)
-            if self.tracer is not None:
-                self.tracer.record("gpu-kernel", name, start, self.env.now)
-            if action is not None:
-                action()
 
-        return stream._chain(body, name)
+            def granted(_ev):
+                start = env.now
+
+                def finish(_a):
+                    self._kernel_slot.release(slot)
+                    if self.tracer is not None:
+                        self.tracer.record("gpu-kernel", name, start, env.now)
+                    if action is not None:
+                        action()
+                    done.succeed()
+
+                env.schedule(duration_s, finish)
+
+            slot.callbacks.append(granted)
+
+        return stream._issue(begin, done)
 
     def _memcpy(
         self, stream: Stream, nbytes: int, action: Action, name: str
     ) -> Event:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        env = self.env
+        done = Event(env)
 
-        def body():
+        def begin(_arg):
             engine = self._copy_engines.request()
-            yield engine
-            start = self.env.now
-            try:
-                yield self.env.timeout(self.spec.pcie_latency_s)
-                yield self.pcie.transfer(nbytes)
-            finally:
-                self._copy_engines.release(engine)
-            if self.tracer is not None:
-                self.tracer.record("gpu-copy", name, start, self.env.now)
-            if action is not None:
-                action()
 
-        return stream._chain(body, name)
+            def granted(_ev):
+                start = env.now
+
+                def finish(_ev2):
+                    self._copy_engines.release(engine)
+                    if self.tracer is not None:
+                        self.tracer.record("gpu-copy", name, start, env.now)
+                    if action is not None:
+                        action()
+                    done.succeed()
+
+                def after_latency(_a):
+                    wire = self.pcie.transfer(nbytes)
+                    wire.callbacks.append(finish)
+
+                env.schedule(self.spec.pcie_latency_s, after_latency)
+
+            engine.callbacks.append(granted)
+
+        return stream._issue(begin, done)
 
     def memcpy_h2d(
         self, stream: Stream, nbytes: int, action: Action = None, name: str = "h2d"

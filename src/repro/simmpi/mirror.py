@@ -158,14 +158,19 @@ class MirrorComm(RankComm):
             lat = 2.0 * ic.latency_s
         if not ready or xfer.bg_done.triggered:
             return
+        # Callback-chained completion (latency slot, then wire slot) replaces
+        # the bg() generator process. Two separate slots — not one at
+        # ``lat + wire`` — so the time arithmetic ``(now + lat) + wire``
+        # matches the seed engine bit-for-bit.
+        if frac > 0:
+            def after_latency(_a, *, xfer=xfer, frac=frac):
+                self.env.schedule(
+                    frac * xfer.nbytes / self._wire_rate(xfer), xfer.bg_done.succeed
+                )
 
-        def bg():
-            yield self.env.timeout(lat)
-            if frac > 0:
-                yield self.env.timeout(frac * xfer.nbytes / self._wire_rate(xfer))
-            xfer.bg_done.succeed()
-
-        self.env.process(bg(), name=f"mirror-bg#{xfer.tag}")
+            self.env.schedule(lat, after_latency)
+        else:
+            self.env.schedule(lat, xfer.bg_done.succeed)
 
     def _ensure_foreground(self, xfer: _MirrorXfer) -> Event:
         if xfer.fg_done is None:
@@ -175,13 +180,10 @@ class MirrorComm(RankComm):
             bg_frac = 0.0 if xfer.eager else self.profile.interconnect.overlap_fraction
             remainder = (1.0 - bg_frac) * xfer.nbytes
             done = xfer.fg_done
-
-            def fg():
-                if remainder > 0:
-                    yield self.env.timeout(remainder / self._wire_rate(xfer))
+            if remainder > 0:
+                self.env.schedule(remainder / self._wire_rate(xfer), done.succeed)
+            else:
                 done.succeed()
-
-            self.env.process(fg(), name=f"mirror-fg#{xfer.tag}")
         return xfer.fg_done
 
     # -- API ---------------------------------------------------------------

@@ -106,17 +106,18 @@ class World:
         """Move ``nbytes`` (through the sender's NIC if off-node)."""
         if local:
             done = self.env.event()
-
-            def mover():
-                yield self.env.timeout(nbytes / self._memcpy_rate())
-                done.succeed()
-
-            self.env.process(mover(), name="localwire")
+            # Slot-scheduled completion — no mover process per on-node copy.
+            self.env.schedule(nbytes / self._memcpy_rate(), done.succeed)
             return done
         return self._nics[self.node_of(src)].transfer(nbytes)
 
     def _start_background(self, xfer: _Xfer) -> None:
-        """Launch the background part of a transfer (latency + RDMA share)."""
+        """Launch the background part of a transfer (latency + RDMA share).
+
+        Callback-chained timeouts (a latency slot, then a wire completion
+        callback) replace the per-transfer ``bg()`` generator process of the
+        seed engine.
+        """
         if xfer.local:
             frac = 1.0  # on-node: a plain memcpy, fully asynchronous is moot
             lat = 0.5e-6
@@ -130,13 +131,15 @@ class World:
             frac = self.ic.overlap_fraction
             lat = 2.0 * self.ic.latency_s  # rendezvous handshake round trip
 
-        def bg():
-            yield self.env.timeout(lat)
-            if frac > 0:
-                yield self._wire(xfer.src, frac * xfer.nbytes, xfer.local)
-            xfer.bg_done.succeed()
+        bg_done = xfer.bg_done
+        if frac > 0:
+            def after_latency(_arg, *, xfer=xfer, frac=frac):
+                wire = self._wire(xfer.src, frac * xfer.nbytes, xfer.local)
+                wire.callbacks.append(lambda _ev: bg_done.succeed())
 
-        self.env.process(bg(), name=f"bg-{xfer.src}->{xfer.dst}#{xfer.tag}")
+            self.env.schedule(lat, after_latency)
+        else:
+            self.env.schedule(lat, bg_done.succeed)
 
     def _ensure_foreground(self, xfer: _Xfer) -> Event:
         """Start (once) the in-wait remainder of a rendezvous transfer."""
@@ -147,13 +150,11 @@ class World:
             bg_frac = 0.0 if xfer.eager else self.ic.overlap_fraction
             remainder = (1.0 - bg_frac) * xfer.nbytes
             done = xfer.fg_done
-
-            def fg():
-                if remainder > 0:
-                    yield self._wire(xfer.src, remainder, xfer.local)
+            if remainder > 0:
+                wire = self._wire(xfer.src, remainder, xfer.local)
+                wire.callbacks.append(lambda _ev: done.succeed())
+            else:
                 done.succeed()
-
-            self.env.process(fg(), name=f"fg-{xfer.src}->{xfer.dst}#{xfer.tag}")
         return xfer.fg_done
 
     # -- matching ---------------------------------------------------------------

@@ -14,10 +14,23 @@ class TestMessageCounts:
     @pytest.mark.parametrize("network", ["mirror", "full"])
     def test_six_messages_per_step(self, impl, network):
         steps = 3
-        r = run(RunConfig(machine=JAGUARPF, implementation=impl, cores=48,
-                          threads_per_task=6, steps=steps, network=network))
-        assert r.comm_stats["messages_sent"] == 6 * steps
-        assert r.comm_stats["messages_received"] == 6 * steps
+        cfg = RunConfig(machine=JAGUARPF, implementation=impl, cores=48,
+                        threads_per_task=6, steps=steps, network=network)
+        r = run(cfg)
+        # comm_stats aggregates over every simulated rank: the representative
+        # alone in mirror mode, all ranks in full-network mode.
+        nranks = cfg.ntasks if network == "full" else 1
+        assert r.comm_stats["messages_sent"] == 6 * steps * nranks
+        assert r.comm_stats["messages_received"] == 6 * steps * nranks
+
+    def test_full_network_global_sent_equals_received(self):
+        """Global conservation: every sent message/byte is received."""
+        r = run(RunConfig(machine=JAGUARPF, implementation="nonblocking",
+                          cores=96, threads_per_task=12, steps=2,
+                          network="full"))
+        assert r.comm_stats["messages_sent"] > 0
+        assert r.comm_stats["messages_sent"] == r.comm_stats["messages_received"]
+        assert r.comm_stats["bytes_sent"] == r.comm_stats["bytes_received"]
 
     def test_gpu_implementations_also_six(self):
         for impl in ("gpu_bulk", "gpu_streams", "hybrid_bulk", "hybrid_overlap"):

@@ -1,0 +1,179 @@
+"""Tests for the content-addressed run-result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro import cache as run_cache
+from repro.cache import MODEL_VERSION, RunCache, cacheable, config_key
+from repro.core.config import RunConfig
+from repro.core.runner import run
+from repro.machines import JAGUARPF, YONA
+
+
+@pytest.fixture
+def cfg():
+    return RunConfig(machine=JAGUARPF, implementation="bulk", cores=24,
+                     threads_per_task=6, steps=2)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    c = run_cache.configure(str(tmp_path / "cache"))
+    yield c
+    run_cache.configure(None)
+
+
+class TestKey:
+    def test_stable_across_equal_configs(self, cfg):
+        assert config_key(cfg) == config_key(cfg.with_())
+
+    def test_differs_across_any_field(self, cfg):
+        assert config_key(cfg) != config_key(cfg.with_(steps=3))
+        assert config_key(cfg) != config_key(cfg.with_(threads_per_task=12))
+        assert config_key(cfg) != config_key(cfg.with_(domain=(64, 64, 64)))
+
+    def test_machine_spec_is_part_of_the_key(self, cfg):
+        import dataclasses
+
+        warped_node = dataclasses.replace(
+            cfg.machine.node, memcpy_bandwidth_gbs=cfg.machine.node.memcpy_bandwidth_gbs * 2
+        )
+        warped = dataclasses.replace(cfg.machine, node=warped_node)
+        assert config_key(cfg) != config_key(cfg.with_(machine=warped))
+
+    def test_model_version_is_part_of_the_key(self, cfg):
+        assert config_key(cfg) != config_key(cfg, model_version="other-version")
+
+    def test_functional_and_trace_runs_are_not_cacheable(self, cfg):
+        assert cacheable(cfg)
+        assert not cacheable(cfg.with_(trace=True))
+        assert not cacheable(
+            cfg.with_(functional=True, network="full", domain=(12, 12, 12))
+        )
+
+
+class TestRoundTrip:
+    def test_hit_is_bit_identical(self, cfg, cache):
+        cold = run(cfg)
+        assert cache.stats() == {"hits": 0, "misses": 1, "stores": 1}
+        warm = run(cfg)
+        assert cache.stats()["hits"] == 1
+        assert warm.elapsed_s == cold.elapsed_s  # exact, not approx
+        assert warm.phases == cold.phases
+        assert warm.comm_stats == cold.comm_stats
+        assert warm.config == cold.config
+
+    def test_gpu_run_round_trips(self, cache):
+        cfg = RunConfig(machine=YONA, implementation="hybrid_overlap",
+                        cores=12, threads_per_task=6, box_thickness=2)
+        cold = run(cfg)
+        warm = run(cfg)
+        assert cache.stats()["hits"] == 1
+        assert warm.elapsed_s == cold.elapsed_s
+        assert warm.gflops == cold.gflops
+
+    def test_uncacheable_runs_bypass(self, cfg, cache):
+        traced = cfg.with_(trace=True)
+        r = run(traced)
+        assert r.tracer is not None
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+        r2 = run(traced)
+        assert r2.tracer is not None  # simulated again, artifacts intact
+
+    def test_no_cache_installed_means_no_files(self, cfg, tmp_path):
+        assert run_cache.active_cache() is None
+        run(cfg)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestInvalidation:
+    def test_model_version_bump_invalidates(self, cfg, cache, monkeypatch):
+        run(cfg)
+        assert cache.stats()["stores"] == 1
+        monkeypatch.setattr(run_cache, "MODEL_VERSION", "pr999-bumped")
+        run(cfg)
+        # Different version -> different key -> miss + fresh store.
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["stores"] == 2
+
+    def test_prune_removes_foreign_versions(self, cfg, cache):
+        run(cfg)
+        # Forge an entry from an older model version.
+        stale = os.path.join(cache.directory, "deadbeef.json")
+        with open(stale, "w") as fh:
+            json.dump({"model_version": "pr0-ancient", "elapsed_s": 1.0,
+                       "phases": {}, "comm_stats": {}}, fh)
+        assert len(cache) == 2
+        assert cache.prune() == 1
+        assert len(cache) == 1
+        assert not os.path.exists(stale)
+
+    def test_corrupt_entry_is_a_miss(self, cfg, cache):
+        run(cfg)
+        key = config_key(cfg)
+        path = os.path.join(cache.directory, f"{key}.json")
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        r = run(cfg)  # falls back to simulation, re-stores
+        assert r.elapsed_s > 0
+        assert cache.stats()["stores"] == 2
+        with open(path) as fh:
+            assert json.load(fh)["model_version"] == MODEL_VERSION
+
+    def test_wrong_version_payload_is_a_miss(self, cfg, cache):
+        run(cfg)
+        key = config_key(cfg)
+        path = os.path.join(cache.directory, f"{key}.json")
+        with open(path) as fh:
+            payload = json.load(fh)
+        payload["model_version"] = "pr0-forged"
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        run(cfg)
+        assert cache.stats()["hits"] == 0
+
+
+class TestExperimentIntegration:
+    def test_warm_regeneration_is_identical_and_hits(self, tmp_path):
+        from repro.experiments import run_experiment
+
+        run_cache.configure(str(tmp_path / "c"))
+        try:
+            cold = run_experiment("sec5e", fast=True)
+            stats_cold = run_cache.stats()
+            assert stats_cold["hits"] == 0 and stats_cold["stores"] > 0
+            run_cache.reset_stats()
+            warm = run_experiment("sec5e", fast=True)
+            stats_warm = run_cache.stats()
+            assert stats_warm["hits"] > 0 and stats_warm["stores"] == 0
+            assert cold.rows == warm.rows
+            assert cold.series == warm.series
+        finally:
+            run_cache.configure(None)
+
+    def test_cross_experiment_sharing(self, tmp_path):
+        """Configs shared between experiments hit on the second figure."""
+        from repro.experiments import run_experiment
+
+        run_cache.configure(str(tmp_path / "c"))
+        try:
+            run_experiment("fig9", fast=True)
+            run_cache.reset_stats()
+            run_experiment("fig11", fast=True)  # Lens again: shared configs
+            assert run_cache.stats()["hits"] > 0
+        finally:
+            run_cache.configure(None)
+
+    def test_run_experiments_parallel_uses_cache(self, tmp_path):
+        from repro.experiments import run_experiments
+
+        d = str(tmp_path / "c")
+        a = run_experiments(["fig9", "sec5e"], fast=True, jobs=2, cache_dir=d)
+        warm_stats_before = run_cache.stats()
+        assert warm_stats_before["stores"] > 0  # merged from workers
+        b = run_experiments(["fig9", "sec5e"], fast=True, jobs=2, cache_dir=d)
+        assert run_cache.stats()["hits"] > warm_stats_before["hits"]
+        assert [r.rows for r in a] == [r.rows for r in b]
+        run_cache.configure(None)

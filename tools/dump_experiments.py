@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Dump every experiment's rows/series at full float precision (repr).
+
+Used to verify that engine refactors keep every figure bit-identical::
+
+    PYTHONPATH=src python tools/dump_experiments.py --fast out.json
+    PYTHONPATH=src python tools/dump_experiments.py out_full.json
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("out")
+    ap.add_argument("--fast", action="store_true")
+    ap.add_argument("--ids", nargs="*", default=None)
+    args = ap.parse_args(argv)
+    payload = {}
+    for eid in (args.ids or sorted(EXPERIMENTS)):
+        r = run_experiment(eid, fast=args.fast)
+        payload[eid] = {
+            "columns": r.columns,
+            "rows": [[repr(v) for v in row] for row in r.rows],
+            "series": {
+                name: {repr(k): repr(v) for k, v in pts.items()}
+                for name, pts in r.series.items()
+            },
+        }
+        print(f"{eid} ok", flush=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Perf smoke: time the functional kernels and one experiment regeneration.
+"""Perf smoke: kernels, DES engine throughput, and cache-backed sweeps.
 
 Run from the repository root::
 
-    python tools/perf_smoke.py [--out BENCH_PR1.json] [--size 256] [--steps 3]
+    python tools/perf_smoke.py [--out BENCH_PR2.json] [--check]
 
 Measures, on the current machine:
 
@@ -12,25 +12,41 @@ Measures, on the current machine:
   path) and the speedup between them,
 * maximum relative disagreement between the two paths (must sit within
   the ``rtol=1e-12`` acceptance band),
+* DES engine event throughput on the transfer-shaped microbenchmark
+  (``benchmarks/bench_des.py``) against the embedded pre-PR engine,
+* wall-clock of the full fast report (``experiment all --fast``) cold
+  (empty cache, every config simulated) and warm (replayed from the
+  content-addressed run cache), with the warm hit rate — the warm pass
+  must also reproduce the cold rows/series bit-identically,
 * wall-clock of a full ``fig9`` regeneration (the paper's headline
   figure) as an end-to-end simulator smoke.
 
-Results are written as JSON (default ``BENCH_PR1.json``) so each PR can
+Results are written as JSON (default ``BENCH_PR2.json``) so each PR can
 record its perf point and the trajectory stays auditable. The committed
 numbers come from the reference container; regenerate locally before
 comparing machines.
+
+``--check`` exits non-zero unless every acceptance floor holds:
+separable kernel >= 14 Mpts/s, kernel agreement inside the band, DES
+engine >= 2x the legacy engine, warm sweep >= 40% faster than cold,
+and warm results identical to cold.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from datetime import datetime, timezone
 
 import numpy as np
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))  # bench_des reuse
 
 from repro.stencil.arena import ScratchArena
 from repro.stencil.coefficients import max_stable_nu, tensor_product_coefficients
@@ -44,6 +60,11 @@ from repro.stencil.kernels import (
 )
 
 VELOCITY = (0.9, -0.6, 0.4)
+
+# Acceptance floors (--check).
+FLOOR_KERNEL_MPTS = 14.0
+FLOOR_DES_SPEEDUP = 2.0
+FLOOR_WARM_CUT = 0.40
 
 
 def _field(n: int, seed: int = 0) -> np.ndarray:
@@ -88,6 +109,54 @@ def agreement(n: int) -> float:
     return float(np.max(np.abs(sep - dense) / (ATOL + RTOL * np.abs(dense))))
 
 
+def time_des() -> dict:
+    """Engine events/s vs the embedded pre-PR engine (bench_des workload)."""
+    from bench_des import engine_events_per_second, legacy_events_per_second
+
+    legacy = legacy_events_per_second()
+    new = engine_events_per_second()
+    return {
+        "legacy_events_per_s": round(legacy),
+        "engine_events_per_s": round(new),
+        "speedup": round(new / legacy, 2),
+        "acceptance_floor_speedup": FLOOR_DES_SPEEDUP,
+    }
+
+
+def time_sweep_cold_warm() -> dict:
+    """Cold vs warm ``experiment all --fast`` through the run cache."""
+    from repro import cache as run_cache
+    from repro.experiments import EXPERIMENTS, run_experiments
+
+    ids = sorted(EXPERIMENTS)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        run_cache.configure(tmp)
+        try:
+            t0 = time.perf_counter()
+            cold = run_experiments(ids, fast=True)
+            cold_s = time.perf_counter() - t0
+            run_cache.reset_stats()
+            t0 = time.perf_counter()
+            warm = run_experiments(ids, fast=True)
+            warm_s = time.perf_counter() - t0
+            stats = run_cache.stats()
+        finally:
+            run_cache.configure(None)
+    identical = all(
+        a.rows == b.rows and a.series == b.series for a, b in zip(cold, warm)
+    )
+    looked_up = stats["hits"] + stats["misses"]
+    return {
+        "experiments": len(ids),
+        "cold_seconds": round(cold_s, 2),
+        "warm_seconds": round(warm_s, 2),
+        "warm_cut": round(1.0 - warm_s / cold_s, 3),
+        "warm_hit_rate": round(stats["hits"] / looked_up, 3) if looked_up else 0.0,
+        "warm_identical_to_cold": identical,
+        "acceptance_floor_warm_cut": FLOOR_WARM_CUT,
+    }
+
+
 def time_fig9() -> float:
     from repro.experiments import run_experiment
 
@@ -100,9 +169,11 @@ def time_fig9() -> float:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_PR1.json", metavar="PATH")
+    ap.add_argument("--out", default="BENCH_PR2.json", metavar="PATH")
     ap.add_argument("--size", type=int, default=256, help="grid points per dim")
     ap.add_argument("--steps", type=int, default=3)
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero unless every acceptance floor holds")
     args = ap.parse_args(argv)
 
     n, steps = args.size, args.steps
@@ -113,11 +184,27 @@ def main(argv=None) -> int:
     print(f"  separable 3x1-D: {sep:8.2f} Mpts/s  ({sep / dense:.2f}x)")
     rel = agreement(min(n, 128))
     print(f"  agreement margin used: {rel:.3f} of the rtol=1e-12/atol=1e-14 band")
+
+    des = time_des()
+    print(
+        f"DES engine: {des['engine_events_per_s']:,} ev/s vs legacy "
+        f"{des['legacy_events_per_s']:,} ev/s ({des['speedup']:.2f}x)"
+    )
+
+    sweep = time_sweep_cold_warm()
+    print(
+        f"fast report ({sweep['experiments']} experiments): cold "
+        f"{sweep['cold_seconds']:.2f} s, warm {sweep['warm_seconds']:.2f} s "
+        f"({100 * sweep['warm_cut']:.0f}% cut, "
+        f"{100 * sweep['warm_hit_rate']:.0f}% hit rate, "
+        f"identical={sweep['warm_identical_to_cold']})"
+    )
+
     fig9_s = time_fig9()
     print(f"fig9 regeneration: {fig9_s:.2f} s")
 
     payload = {
-        "pr": 1,
+        "pr": 2,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -130,8 +217,10 @@ def main(argv=None) -> int:
             "speedup": round(sep / dense, 2),
             "agreement_margin_used": round(rel, 4),
             "agreement_band": {"rtol": RTOL, "atol": ATOL},
-            "acceptance_floor_mpts_per_s": 14.0,
+            "acceptance_floor_mpts_per_s": FLOOR_KERNEL_MPTS,
         },
+        "des_engine": des,
+        "sweep_cache": sweep,
         "experiments": {"fig9_seconds": round(fig9_s, 2)},
     }
     with open(args.out, "w") as fh:
@@ -139,10 +228,26 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"wrote {args.out}")
 
-    ok = sep >= 14.0 and rel <= 1.0
-    if not ok:
-        print("FAIL: below acceptance floor or outside agreement band")
-    return 0 if ok else 1
+    failures = []
+    if sep < FLOOR_KERNEL_MPTS:
+        failures.append(f"separable kernel {sep:.2f} < {FLOOR_KERNEL_MPTS} Mpts/s")
+    if rel > 1.0:
+        failures.append(f"kernel agreement {rel:.3f} outside the band")
+    if des["speedup"] < FLOOR_DES_SPEEDUP:
+        failures.append(f"DES speedup {des['speedup']:.2f}x < {FLOOR_DES_SPEEDUP}x")
+    if sweep["warm_cut"] < FLOOR_WARM_CUT:
+        failures.append(
+            f"warm sweep cut {100 * sweep['warm_cut']:.0f}% < "
+            f"{100 * FLOOR_WARM_CUT:.0f}%"
+        )
+    if not sweep["warm_identical_to_cold"]:
+        failures.append("warm sweep results differ from cold")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1 if args.check else 0
+    print("all acceptance floors hold")
+    return 0
 
 
 if __name__ == "__main__":
