@@ -63,7 +63,7 @@ __all__ = [
 #: Behaviour generation of the performance model. Bump whenever a code
 #: change (engine, implementations, cost formulas) alters any simulated
 #: result; every cached entry from older versions becomes unaddressable.
-MODEL_VERSION = "pr2-des-fastpath-1"
+MODEL_VERSION = "pr3-obs-copy-engines-1"
 
 #: Default on-disk location (relative to the working directory) used by the
 #: CLI; override with ``--cache-dir`` or ``REPRO_CACHE_DIR``.

@@ -10,6 +10,8 @@
     advection-repro experiment all --jobs 8    # the full report
     advection-repro experiments                # list experiment ids
     advection-repro tune --machine yona --impl hybrid_overlap --cores 48
+    advection-repro trace --machine yona --impl hybrid_overlap --out t.json
+    advection-repro trace --experiments all --fast --check
 """
 
 from __future__ import annotations
@@ -92,6 +94,37 @@ def build_parser() -> argparse.ArgumentParser:
     tunep.add_argument("--impl", required=True, choices=sorted(IMPLEMENTATIONS))
     tunep.add_argument("--cores", type=int, required=True)
     tunep.add_argument("--strategy", choices=("greedy", "exhaustive"), default="greedy")
+
+    tracep = sub.add_parser(
+        "trace",
+        help="trace one run (Chrome-trace/Perfetto export, overlap metrics, "
+             "invariant checker) or check every run of whole experiments",
+    )
+    tracep.add_argument("--impl", choices=sorted(IMPLEMENTATIONS),
+                        help="implementation to trace (single-run mode)")
+    tracep.add_argument("--machine", help="jaguarpf|hopper|lens|yona")
+    tracep.add_argument("--cores", type=int, default=None,
+                        help="total cores (default: one full node)")
+    tracep.add_argument("--threads", type=int, default=1)
+    tracep.add_argument("--thickness", type=int, default=1)
+    tracep.add_argument("--steps", type=int, default=2)
+    tracep.add_argument("--domain", type=int, default=420,
+                        help="grid points per dimension")
+    tracep.add_argument("--network", choices=("mirror", "full"), default="mirror")
+    tracep.add_argument("--out", metavar="PATH", default=None,
+                        help="write Chrome-trace JSON (open at "
+                             "https://ui.perfetto.dev)")
+    tracep.add_argument("--ascii", action="store_true",
+                        help="print the ASCII timeline")
+    tracep.add_argument("--check", action="store_true",
+                        help="run the trace-invariant checker and fail on "
+                             "violations")
+    tracep.add_argument("--experiments", nargs="+", metavar="ID", default=None,
+                        help="instead of a single run, trace and check every "
+                             "run these experiments perform ('all' = full "
+                             "report); implies --check")
+    tracep.add_argument("--fast", action="store_true",
+                        help="trimmed sweeps in --experiments mode")
     return p
 
 
@@ -137,6 +170,8 @@ def _cmd_run(args) -> int:
                 f"  gpu-kernel busy {busy_k * 1e3:.2f} ms, host busy "
                 f"{busy_h * 1e3:.2f} ms, overlapped {hidden * 1e3:.2f} ms"
             )
+    if result.overlap is not None:
+        print("  " + result.overlap.summary())
     if result.norms is not None:
         print("  norms vs analytic: " + "  ".join(f"{k}={v:.3e}" for k, v in result.norms.items()))
     if result.phases:
@@ -235,6 +270,94 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import check_trace, write_chrome_trace
+
+    if args.experiments:
+        return _cmd_trace_experiments(args)
+    if not args.impl or not args.machine:
+        print("trace: --impl and --machine are required (or use --experiments)",
+              file=sys.stderr)
+        return 2
+    machine = get_machine(args.machine)
+    cores = args.cores if args.cores is not None else machine.node.cores
+    cfg = RunConfig(
+        machine=machine,
+        implementation=args.impl,
+        cores=cores,
+        threads_per_task=args.threads,
+        box_thickness=args.thickness,
+        steps=args.steps,
+        domain=(args.domain,) * 3,
+        network=args.network,
+        trace=True,
+    )
+    result = run_config(cfg)
+    print(result.summary())
+    if result.overlap is not None:
+        print("  " + result.overlap.summary())
+    if args.ascii and result.tracer is not None:
+        t0, t1 = result.tracer.span()
+        window_end = min(t1, t0 + result.seconds_per_step)
+        print(result.tracer.timeline_text(width=100, window=(t0, window_end)))
+    if args.out and result.tracer is not None:
+        write_chrome_trace(
+            result.tracer, args.out,
+            metadata={"overlap": result.overlap.to_dict() if result.overlap else None},
+        )
+        print(f"wrote {args.out} (open at https://ui.perfetto.dev)")
+    if args.check and result.tracer is not None:
+        violations = check_trace(result.tracer)
+        if violations:
+            for v in violations:
+                print(f"INVARIANT VIOLATION: {v}", file=sys.stderr)
+            return 1
+        print("trace invariants: OK")
+    return 0
+
+
+def _cmd_trace_experiments(args) -> int:
+    """Trace-and-check every run the named experiments perform."""
+    from repro.experiments import run_experiments
+    from repro.obs import check_trace, write_chrome_trace
+    from repro.obs.capture import capture_traces
+
+    ids = list(dict.fromkeys(
+        sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    ))
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"trace: unknown experiment id(s): {unknown}", file=sys.stderr)
+        return 2
+    state = {"runs": 0, "violations": [], "first_written": False}
+
+    def observe(result):
+        state["runs"] += 1
+        for v in check_trace(result.tracer):
+            state["violations"].append(
+                f"{result.config.implementation}"
+                f"@{result.config.machine.name}: {v}"
+            )
+        if args.out and not state["first_written"]:
+            state["first_written"] = True
+            write_chrome_trace(result.tracer, args.out)
+
+    with capture_traces(observe):
+        # jobs=1: the capture hook is process-global and must see every run.
+        run_experiments(ids, fast=args.fast, jobs=1, cache_dir=None)
+    print(
+        f"checked {state['runs']} traced run(s) across {len(ids)} experiment(s)"
+    )
+    if args.out and state["first_written"]:
+        print(f"wrote {args.out} (open at https://ui.perfetto.dev)")
+    if state["violations"]:
+        for v in state["violations"]:
+            print(f"INVARIANT VIOLATION: {v}", file=sys.stderr)
+        return 1
+    print("trace invariants: OK")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -252,6 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_validate(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError("unreachable")
 
 

@@ -155,8 +155,11 @@ class RunResult:
     global_field: Optional[np.ndarray] = None
     #: error norms vs the analytic solution (functional runs only)
     norms: Optional[Dict[str, float]] = None
-    #: execution timeline of the representative rank (trace=True runs only)
+    #: execution timeline of the run (trace=True runs only)
     tracer: Optional["Tracer"] = None
+    #: derived overlap metrics (:class:`repro.obs.metrics.OverlapMetrics`,
+    #: trace=True runs only)
+    overlap: Optional[object] = None
     #: representative rank's MPI counters (messages/bytes sent/received)
     comm_stats: Dict[str, int] = field(default_factory=dict)
 

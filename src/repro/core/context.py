@@ -69,7 +69,8 @@ class RankContext:
         self.node = cfg.machine.node
         self.threads = cfg.threads_per_task
         self.phases: Dict[str, float] = defaultdict(float)
-        #: optional execution tracer (RunConfig.trace); shared with the GPU.
+        #: optional repro.obs tracer (RunConfig.trace); shared with the GPU,
+        #: the communicator, and the shared links.
         self.tracer = None
         #: free-form per-implementation state (device arrays, streams, ...)
         self.state: Dict[str, object] = {}
@@ -78,7 +79,10 @@ class RankContext:
     def _charge(self, phase: str, seconds: float) -> Event:
         self.phases[phase] += seconds
         if self.tracer is not None and seconds > 0:
-            self.tracer.record("host", phase, self.env.now, self.env.now + seconds)
+            self.tracer.record(
+                "host", phase, self.env.now, self.env.now + seconds,
+                group=self.sub.rank, cat="host",
+            )
         return self.env.timeout(seconds)
 
     # -- CPU costs ---------------------------------------------------------------
@@ -264,10 +268,19 @@ class RankContext:
         env = self.env
         done = env.event()
         lock = gpu.sync_copy_lock.request()
+        tracer = self.tracer
+        rank = self.sub.rank
 
         def granted(_ev):
+            start = env.now
+
             def finish(_a):
                 gpu.sync_copy_lock.release(lock)
+                if tracer is not None:
+                    tracer.record(
+                        "pcie", phase, start, env.now, group=rank, cat="copy",
+                        args={"dev": gpu.name, "nbytes": nbytes},
+                    )
                 done.succeed()
 
             env.schedule(t, finish)

@@ -21,8 +21,8 @@ from repro.core.context import RankContext
 from repro.core.data import RankData
 from repro.core.registry import get_implementation
 from repro.decomp.partition import Decomposition
-from repro.des.trace import Tracer
 from repro.des import Environment
+from repro.obs.tracer import GPU_GROUP_BASE, LINK_GROUP_BASE, Tracer
 from repro.simgpu.device import Gpu
 from repro.simmpi.mirror import MirrorComm, MirrorProfile
 from repro.simmpi.world import World
@@ -100,6 +100,67 @@ def _build_mirror(env: Environment, cfg: RunConfig, impl: Implementation,
     return [RankContext(env, cfg, sub, decomp, comm, RankData(cfg, sub), gpu, gpu_share)]
 
 
+def _attach_tracer(
+    tracer: Tracer, cfg: RunConfig, contexts: List[RankContext]
+) -> None:
+    """Wire one tracer into every simulated component of this run.
+
+    Group ids follow the :mod:`repro.obs.tracer` conventions: MPI ranks
+    keep their rank number, GPU devices get ``GPU_GROUP_BASE + i``, and
+    shared links (NICs, PCIe wires) get ids from ``LINK_GROUP_BASE`` up.
+    Device capacities land in ``tracer.meta["gpus"]`` for the invariant
+    checker.
+    """
+    tracer.meta.update(
+        {
+            "implementation": cfg.implementation,
+            "machine": cfg.machine.name,
+            "network": cfg.network,
+            "ntasks": cfg.ntasks,
+            "threads_per_task": cfg.threads_per_task,
+            "domain": list(cfg.domain),
+            "steps": cfg.steps,
+        }
+    )
+    for ctx in contexts:
+        ctx.tracer = tracer
+        tracer.set_group_name(ctx.sub.rank, f"rank {ctx.sub.rank}")
+
+    next_link = LINK_GROUP_BASE
+    comm0 = contexts[0].comm
+    world = getattr(comm0, "world", None)
+    if world is not None:  # full backend: one World shared by all ranks
+        world.tracer = tracer
+        for nic in world._nics:
+            nic.tracer = tracer
+            nic.trace_group = next_link
+            tracer.set_group_name(next_link, nic.name)
+            next_link += 1
+    elif comm0 is not None:  # mirror backend
+        comm0.tracer = tracer
+
+    gpus: List[Gpu] = []
+    for ctx in contexts:
+        if ctx.gpu is not None and not any(ctx.gpu is g for g in gpus):
+            gpus.append(ctx.gpu)
+    gpus_meta: Dict[int, Dict[str, int]] = {}
+    for idx, gpu in enumerate(gpus):
+        group = GPU_GROUP_BASE + idx
+        gpu.tracer = tracer
+        gpu.trace_group = group
+        tracer.set_group_name(group, gpu.name)
+        gpus_meta[group] = {
+            "kernel_slots": 16 if gpu.spec.concurrent_kernels else 1,
+            "copy_engines": gpu.spec.copy_engines,
+        }
+        gpu.pcie.tracer = tracer
+        gpu.pcie.trace_group = next_link
+        tracer.set_group_name(next_link, gpu.pcie.name)
+        next_link += 1
+    if gpus_meta:
+        tracer.meta["gpus"] = gpus_meta
+
+
 def _gather_field(cfg: RunConfig, contexts: List[RankContext]) -> np.ndarray:
     out = np.zeros(cfg.domain)
     for ctx in contexts:
@@ -121,6 +182,15 @@ def run(cfg: RunConfig) -> RunResult:
     the cache stores exact floats).
     """
     from repro.cache import active_cache
+    from repro.obs.capture import active_capture
+
+    capture = active_capture()
+    if capture is not None:
+        # Trace capture observes every run: force tracing (bypassing the
+        # cache, which never stores traced runs) and feed the callback.
+        result = _run_uncached(cfg if cfg.trace else cfg.with_(trace=True))
+        capture(result)
+        return result
 
     cache = active_cache()
     if cache is not None:
@@ -148,9 +218,7 @@ def _run_uncached(cfg: RunConfig) -> RunResult:
     tracer = None
     if cfg.trace:
         tracer = Tracer()
-        contexts[0].tracer = tracer
-        if contexts[0].gpu is not None:
-            contexts[0].gpu.tracer = tracer
+        _attach_tracer(tracer, cfg, contexts)
 
     records: List[Dict[str, float]] = [dict() for _ in contexts]
     for ctx, rec in zip(contexts, records):
@@ -181,9 +249,17 @@ def _run_uncached(cfg: RunConfig) -> RunResult:
             "messages_received": sum(c.messages_received for c in comms),
             "bytes_received": sum(c.bytes_received for c in comms),
         }
+    overlap = None
+    if tracer is not None:
+        from repro.obs.metrics import compute_metrics
+
+        tracer.meta["t0"] = t0
+        tracer.meta["t1"] = t1
+        tracer.meta["elapsed_s"] = elapsed
+        overlap = compute_metrics(tracer)
     result = RunResult(
         config=cfg, elapsed_s=elapsed, phases=dict(contexts[0].phases),
-        tracer=tracer, comm_stats=comm_stats,
+        tracer=tracer, overlap=overlap, comm_stats=comm_stats,
     )
     if cfg.functional:
         field = _gather_field(cfg, contexts)

@@ -109,6 +109,12 @@ class SharedBandwidth:
         self._active: list[_Transfer] = []
         self._last_update = env.now
         self._wakeup_id = 0  # invalidates stale completion wakeups
+        #: optional repro.obs tracer: per-transfer wire intervals (lane =
+        #: the link's name) and an in-flight counter series. Zero-cost when
+        #: None (one attribute check per transfer).
+        self.tracer = None
+        #: trace group id for this link's lane (runner assigns).
+        self.trace_group = 0
 
     @property
     def n_active(self) -> int:
@@ -131,6 +137,18 @@ class SharedBandwidth:
             return done
         self._advance()
         self._active.append(_Transfer(float(work), done, float(weight)))
+        tracer = self.tracer
+        if tracer is not None:
+            start = self.env.now
+            tracer.counter(
+                f"{self.name}.in_flight", start, len(self._active), self.trace_group
+            )
+            done.callbacks.append(
+                lambda _ev, s=start: tracer.record(
+                    self.name, "xfer", s, self.env.now,
+                    group=self.trace_group, cat="wire", args={"work": work},
+                )
+            )
         self._reschedule()
         return done
 
@@ -153,6 +171,11 @@ class SharedBandwidth:
             self._active = [t for t in self._active if t not in finished]
             for t in finished:
                 t.done_event.succeed()
+            if self.tracer is not None:
+                self.tracer.counter(
+                    f"{self.name}.in_flight", now, len(self._active),
+                    self.trace_group,
+                )
 
     def _reschedule(self) -> None:
         """Schedule a wakeup at the earliest projected completion.

@@ -1,148 +1,18 @@
-"""Execution tracing: interval records and ASCII timelines.
+"""Execution tracing (compatibility shim).
 
-A :class:`Tracer` collects ``(lane, name, start, end)`` intervals from the
-host cost helpers, the GPU's kernel/copy bodies, and the MPI wait paths, so
-a run can show *what actually overlapped what* — the paper's entire subject
-— as a timeline::
+The tracer grew into a first-class observability subsystem and moved to
+:mod:`repro.obs.tracer` (structured lanes keyed by ``(group, resource)``,
+counters, Chrome-trace export, overlap metrics, invariant checking). This
+module re-exports the core types so historical imports keep working::
 
-    host       |==compute==|--pack--|           |==boundary==|
-    gpu-kernel    |=============interior=============|
-    gpu-copy      |--h2d--|              |--d2h--|
+    from repro.des.trace import TraceEvent, Tracer
 
-Tracing is off by default (it allocates per-operation records); enable it
-with ``RunConfig(trace=True)``.
+See :mod:`repro.obs` for the full subsystem and docs/MODEL.md §9 for the
+schema and metric definitions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from repro.obs.tracer import CounterSample, TraceEvent, Tracer
 
-__all__ = ["TraceEvent", "Tracer"]
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One traced interval."""
-
-    lane: str  # e.g. "host", "gpu-kernel", "gpu-copy", "mpi"
-    name: str  # e.g. "compute", "interior", "h2d"
-    start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        """Interval length in simulated seconds."""
-        return self.end - self.start
-
-
-class Tracer:
-    """Collects intervals and renders them as an ASCII timeline."""
-
-    def __init__(self):
-        self.events: List[TraceEvent] = []
-
-    def record(self, lane: str, name: str, start: float, end: float) -> None:
-        """Add one interval (end >= start required)."""
-        if end < start:
-            raise ValueError(f"interval ends before it starts: {start} > {end}")
-        self.events.append(TraceEvent(lane, name, start, end))
-
-    # -- analysis --------------------------------------------------------------
-    def lanes(self) -> List[str]:
-        """Distinct lanes in first-appearance order."""
-        seen: Dict[str, None] = {}
-        for ev in self.events:
-            seen.setdefault(ev.lane, None)
-        return list(seen)
-
-    def span(self) -> Tuple[float, float]:
-        """(earliest start, latest end) over all events."""
-        if not self.events:
-            return (0.0, 0.0)
-        return (
-            min(ev.start for ev in self.events),
-            max(ev.end for ev in self.events),
-        )
-
-    def busy_time(self, lane: str) -> float:
-        """Union length of a lane's intervals (overlaps merged)."""
-        ivals = sorted(
-            (ev.start, ev.end) for ev in self.events if ev.lane == lane
-        )
-        total = 0.0
-        cur_start: Optional[float] = None
-        cur_end = 0.0
-        for s, e in ivals:
-            if cur_start is None or s > cur_end:
-                if cur_start is not None:
-                    total += cur_end - cur_start
-                cur_start, cur_end = s, e
-            else:
-                cur_end = max(cur_end, e)
-        if cur_start is not None:
-            total += cur_end - cur_start
-        return total
-
-    def overlap_time(self, lane_a: str, lane_b: str) -> float:
-        """Time during which both lanes are simultaneously busy.
-
-        This is the quantity the paper's implementations try to maximize
-        (e.g. GPU-kernel time overlapped with host MPI time).
-        """
-
-        def merged(lane):
-            ivals = sorted((ev.start, ev.end) for ev in self.events if ev.lane == lane)
-            out = []
-            for s, e in ivals:
-                if out and s <= out[-1][1]:
-                    out[-1] = (out[-1][0], max(out[-1][1], e))
-                else:
-                    out.append((s, e))
-            return out
-
-        a, b = merged(lane_a), merged(lane_b)
-        total = 0.0
-        i = j = 0
-        while i < len(a) and j < len(b):
-            lo = max(a[i][0], b[j][0])
-            hi = min(a[i][1], b[j][1])
-            if hi > lo:
-                total += hi - lo
-            if a[i][1] < b[j][1]:
-                i += 1
-            else:
-                j += 1
-        return total
-
-    # -- rendering --------------------------------------------------------------
-    def timeline_text(
-        self,
-        width: int = 100,
-        window: Optional[Tuple[float, float]] = None,
-    ) -> str:
-        """ASCII Gantt chart: one row per lane, time left to right."""
-        if not self.events:
-            return "(no trace events)"
-        t0, t1 = window if window is not None else self.span()
-        if t1 <= t0:
-            return "(empty window)"
-        scale = width / (t1 - t0)
-        lane_width = max(len(l) for l in self.lanes()) + 1
-        lines = [
-            " " * lane_width
-            + f"t = [{t0 * 1e3:.3f} ms .. {t1 * 1e3:.3f} ms], {width} cols"
-        ]
-        for lane in self.lanes():
-            row = [" "] * width
-            for ev in self.events:
-                if ev.lane != lane or ev.end <= t0 or ev.start >= t1:
-                    continue
-                a = max(0, int((ev.start - t0) * scale))
-                b = min(width, max(a + 1, int((ev.end - t0) * scale)))
-                label = ev.name[: b - a]
-                for k in range(a, b):
-                    off = k - a
-                    row[k] = label[off] if off < len(label) else "="
-            lines.append(lane.ljust(lane_width) + "".join(row))
-        return "\n".join(lines)
+__all__ = ["TraceEvent", "Tracer", "CounterSample"]

@@ -1,0 +1,57 @@
+"""Observability: structured tracing, exporters, overlap metrics, invariants.
+
+The paper's subject is *which activities actually overlap*; this package
+turns that from prose into data. See docs/MODEL.md §9 for the trace
+schema, the metric definitions, and how the invariants map onto the
+paper's figures.
+
+* :mod:`repro.obs.tracer` — the structured :class:`Tracer` (lanes keyed by
+  ``(group, resource)``, counters, marks);
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON and ASCII views;
+* :mod:`repro.obs.metrics` — occupancy, overlap matrix, overlap fraction,
+  critical-path decomposition (attached to ``RunResult.overlap``);
+* :mod:`repro.obs.invariants` — the trace-invariant checker;
+* :mod:`repro.obs.capture` — process-global capture for checking whole
+  experiment sweeps.
+"""
+
+from repro.obs.capture import active_capture, capture_traces
+from repro.obs.export import ascii_timeline, chrome_trace, write_chrome_trace
+from repro.obs.invariants import TraceInvariantError, assert_invariants, check_trace
+from repro.obs.metrics import (
+    OverlapMetrics,
+    compute_metrics,
+    critical_path,
+    lane_occupancy,
+    overlap_fraction,
+    overlap_matrix,
+)
+from repro.obs.tracer import (
+    GPU_GROUP_BASE,
+    LINK_GROUP_BASE,
+    CounterSample,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "GPU_GROUP_BASE",
+    "LINK_GROUP_BASE",
+    "CounterSample",
+    "OverlapMetrics",
+    "TraceEvent",
+    "TraceInvariantError",
+    "Tracer",
+    "active_capture",
+    "ascii_timeline",
+    "assert_invariants",
+    "capture_traces",
+    "check_trace",
+    "chrome_trace",
+    "compute_metrics",
+    "critical_path",
+    "lane_occupancy",
+    "overlap_fraction",
+    "overlap_matrix",
+    "write_chrome_trace",
+]

@@ -1,0 +1,54 @@
+"""Process-global trace capture: observe every run without editing configs.
+
+The invariant checker wants to see the timeline of *every* run an
+experiment performs, but experiments build their own :class:`RunConfig`
+objects deep inside sweep helpers. ``capture_traces`` installs a
+process-global observer: while active, :func:`repro.core.runner.run`
+forces ``trace=True`` on every config (bypassing the run cache, which
+never stores traced runs) and hands each finished :class:`RunResult` to
+the callback before returning it.
+
+Scalar outcomes are unaffected — tracing only observes the simulation, it
+never schedules anything — so experiment rows regenerated under capture
+are identical to uncaptured ones (asserted in ``tests/obs``).
+
+Usage::
+
+    from repro.obs.capture import capture_traces
+
+    seen = []
+    with capture_traces(seen.append):
+        run_experiment("fig9", fast=True)
+    for result in seen:
+        assert_invariants(result.tracer)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import RunResult
+
+__all__ = ["capture_traces", "active_capture"]
+
+_active: Optional[Callable[["RunResult"], None]] = None
+
+
+def active_capture() -> Optional[Callable[["RunResult"], None]]:
+    """The installed capture callback, or ``None`` (the common case)."""
+    return _active
+
+
+@contextmanager
+def capture_traces(callback: Callable[["RunResult"], None]):
+    """Force tracing on every run inside the block; feed results to ``callback``."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("trace capture is already active (no nesting)")
+    _active = callback
+    try:
+        yield
+    finally:
+        _active = None

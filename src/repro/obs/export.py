@@ -1,0 +1,140 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON and the ASCII timeline.
+
+The Chrome trace format (the JSON array / object flavour read by
+``chrome://tracing`` and https://ui.perfetto.dev) maps naturally onto the
+tracer's structure:
+
+* a trace **group** (MPI rank, GPU device, shared link) becomes a
+  *process* (``pid``), named via ``process_name`` metadata;
+* a **resource lane** within a group becomes a *thread* (``tid``), named
+  via ``thread_name`` metadata;
+* intervals become complete events (``"ph": "X"``) with microsecond
+  ``ts``/``dur``; instantaneous marks become instant events
+  (``"ph": "i"``); counters become ``"ph": "C"`` events.
+
+``write_chrome_trace`` emits the object form (``{"traceEvents": [...]}``)
+so run-level metadata (config, metrics) rides along in ``"metadata"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.tracer import GPU_GROUP_BASE, LINK_GROUP_BASE, Tracer
+
+__all__ = ["chrome_trace", "write_chrome_trace", "ascii_timeline"]
+
+_S_TO_US = 1e6
+
+
+def _group_name(tracer: Tracer, group: int) -> str:
+    name = tracer.group_names.get(group)
+    if name:
+        return name
+    if group < GPU_GROUP_BASE:
+        return f"rank {group}"
+    if group < LINK_GROUP_BASE:
+        return f"gpu{group - GPU_GROUP_BASE}"
+    return f"link{group - LINK_GROUP_BASE}"
+
+
+def chrome_trace(
+    tracer: Tracer, metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Render a tracer as a Chrome-trace/Perfetto JSON document (a dict)."""
+    events: List[Dict[str, Any]] = []
+    # Stable tid assignment: lane order within each group.
+    tids: Dict[tuple, int] = {}
+    next_tid: Dict[int, int] = {}
+    for group, lane in tracer.lane_keys():
+        tid = next_tid.get(group, 0)
+        next_tid[group] = tid + 1
+        tids[(group, lane)] = tid
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": group,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+    for group in sorted(next_tid):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": group,
+                "tid": 0,
+                "args": {"name": _group_name(tracer, group)},
+            }
+        )
+    for ev in tracer.events:
+        tid = tids[(ev.group, ev.lane)]
+        entry: Dict[str, Any] = {
+            "name": ev.name,
+            "cat": ev.cat or ev.lane,
+            "pid": ev.group,
+            "tid": tid,
+            "ts": ev.start * _S_TO_US,
+        }
+        if ev.end > ev.start:
+            entry["ph"] = "X"
+            entry["dur"] = (ev.end - ev.start) * _S_TO_US
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+        if ev.args:
+            entry["args"] = dict(ev.args)
+        events.append(entry)
+    for c in tracer.counters:
+        events.append(
+            {
+                "ph": "C",
+                "name": c.name,
+                "pid": c.group,
+                "tid": 0,
+                "ts": c.time * _S_TO_US,
+                "args": {"value": c.value},
+            }
+        )
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    meta = dict(tracer.meta)
+    if metadata:
+        meta.update(metadata)
+    if meta:
+        doc["metadata"] = _jsonable(meta)
+    return doc
+
+
+def _jsonable(obj: Any) -> Any:
+    """Best-effort conversion to JSON-serializable primitives."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, metadata: Optional[Dict[str, Any]] = None
+) -> None:
+    """Write the Chrome-trace JSON for ``tracer`` to ``path``.
+
+    Load the file at https://ui.perfetto.dev (or ``chrome://tracing``) to
+    see the lanes as per-rank/per-device timelines.
+    """
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer, metadata), fh)
+        fh.write("\n")
+
+
+def ascii_timeline(tracer: Tracer, width: int = 100, window=None) -> str:
+    """The ASCII Gantt view (delegates to :meth:`Tracer.timeline_text`)."""
+    return tracer.timeline_text(width=width, window=window)

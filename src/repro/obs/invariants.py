@@ -1,0 +1,230 @@
+"""Trace-invariant checker: physical consistency, machine-checked.
+
+A timeline from the simulator must obey the physics of the machine it
+models. The checker asserts, from the trace alone:
+
+1. **well-formed events** — finite, non-negative intervals;
+2. **no double-booking** — each rank's ``host`` lane is a single CPU
+   timeline (max concurrency 1); GPU kernel/copy lanes respect the
+   device's kernel slots and copy-engine counts; the blocking pageable
+   PCIe path (``pcie`` lane) carries at most one transfer per device at a
+   time, and the async copy engines carry at most one transfer **per
+   direction** at a time (one engine each for H2D and D2H on devices with
+   two engines);
+3. **MPI matching** — every ``isend`` post has a matching ``irecv`` post
+   (per ``(src, dst, tag)`` in the full-network backend, per tag in the
+   mirror backend), with equal byte totals;
+4. **span consistency** — the measured window ``[t0, t1]`` is covered by
+   the trace (the run's barriers/syncs are themselves traced, so the span
+   must reach exactly to the timing reads) and ``elapsed == t1 - t0``;
+5. **non-degenerate** — something was busy inside the measured window.
+
+``check_trace`` returns a list of violation strings (empty = pass);
+``assert_invariants`` raises :class:`TraceInvariantError` instead. The CI
+job runs this over every run of ``experiment all --fast`` via
+:mod:`repro.obs.capture`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.tracer import GPU_GROUP_BASE, LINK_GROUP_BASE, TraceEvent, Tracer
+
+__all__ = ["TraceInvariantError", "check_trace", "assert_invariants"]
+
+#: Relative slack on span-vs-window comparisons (float accumulation only;
+#: the traced barriers end exactly at the timing reads).
+_REL_EPS = 1e-9
+
+
+class TraceInvariantError(AssertionError):
+    """A trace violated a physical-consistency invariant."""
+
+    def __init__(self, violations: List[str]):
+        self.violations = list(violations)
+        super().__init__(
+            f"{len(violations)} trace invariant violation(s):\n  "
+            + "\n  ".join(violations)
+        )
+
+
+def _max_concurrency(intervals: List[Tuple[float, float]]) -> int:
+    """Peak number of simultaneously open intervals (touching ≠ overlap)."""
+    points: List[Tuple[float, int]] = []
+    for s, e in intervals:
+        if e > s:  # zero-length marks occupy nothing
+            points.append((s, +1))
+            points.append((e, -1))
+    # Ends sort before starts at equal times, so back-to-back intervals
+    # (end == next start, the normal case for a sequential rank) count 1.
+    points.sort(key=lambda p: (p[0], p[1]))
+    cur = peak = 0
+    for _, delta in points:
+        cur += delta
+        peak = max(peak, cur)
+    return peak
+
+
+def _check_wellformed(tracer: Tracer, out: List[str]) -> None:
+    for ev in tracer.events:
+        if not (math.isfinite(ev.start) and math.isfinite(ev.end)):
+            out.append(f"non-finite interval {ev}")
+        elif ev.end < ev.start:
+            out.append(f"interval ends before it starts: {ev}")
+        elif ev.start < 0:
+            out.append(f"interval starts before t=0: {ev}")
+
+
+def _check_host_exclusive(tracer: Tracer, out: List[str]) -> None:
+    by_rank: Dict[int, List[Tuple[float, float]]] = defaultdict(list)
+    for ev in tracer.events:
+        if ev.lane == "host" and ev.group < GPU_GROUP_BASE:
+            by_rank[ev.group].append((ev.start, ev.end))
+    for rank, ivals in sorted(by_rank.items()):
+        peak = _max_concurrency(ivals)
+        if peak > 1:
+            out.append(
+                f"rank {rank} host lane double-booked "
+                f"({peak} concurrent intervals; a rank has one CPU timeline)"
+            )
+
+
+def _gpu_capacity(tracer: Tracer, group: int, key: str, default: int) -> int:
+    caps = tracer.meta.get("gpus", {})
+    return int(caps.get(group, caps.get(str(group), {})).get(key, default))
+
+
+def _check_gpu_lanes(tracer: Tracer, out: List[str]) -> None:
+    kernels: Dict[int, List[Tuple[float, float]]] = defaultdict(list)
+    copies: Dict[Tuple[int, str], List[Tuple[float, float]]] = defaultdict(list)
+    copies_all: Dict[int, List[Tuple[float, float]]] = defaultdict(list)
+    sync_pcie: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+    for ev in tracer.events:
+        if ev.lane == "gpu-kernel":
+            kernels[ev.group].append((ev.start, ev.end))
+        elif ev.lane == "gpu-copy":
+            direction = (ev.args or {}).get("dir") or (
+                "h2d" if ev.name.startswith("h2d") else (
+                    "d2h" if ev.name.startswith("d2h") else ev.name
+                )
+            )
+            copies[(ev.group, direction)].append((ev.start, ev.end))
+            copies_all[ev.group].append((ev.start, ev.end))
+        elif ev.lane == "pcie":
+            dev = (ev.args or {}).get("dev", str(ev.group))
+            sync_pcie[dev].append((ev.start, ev.end))
+    for group, ivals in sorted(kernels.items()):
+        slots = _gpu_capacity(tracer, group, "kernel_slots", 16)
+        peak = _max_concurrency(ivals)
+        if peak > slots:
+            out.append(
+                f"gpu group {group}: {peak} concurrent kernels exceed the "
+                f"device's {slots} kernel slot(s)"
+            )
+    for group, ivals in sorted(copies_all.items()):
+        engines = _gpu_capacity(tracer, group, "copy_engines", 2)
+        peak = _max_concurrency(ivals)
+        if peak > engines:
+            out.append(
+                f"gpu group {group}: {peak} concurrent async copies exceed "
+                f"{engines} copy engine(s)"
+            )
+    for (group, direction), ivals in sorted(copies.items()):
+        peak = _max_concurrency(ivals)
+        if peak > 1:
+            out.append(
+                f"gpu group {group}: {peak} concurrent {direction} transfers "
+                f"(PCIe carries at most one per direction at a time)"
+            )
+    for dev, ivals in sorted(sync_pcie.items()):
+        peak = _max_concurrency(ivals)
+        if peak > 1:
+            out.append(
+                f"device {dev}: {peak} concurrent blocking pageable copies "
+                f"(the driver serializes the synchronous path)"
+            )
+
+
+def _check_mpi_matching(tracer: Tracer, out: List[str]) -> None:
+    sends: Dict[tuple, List[int]] = defaultdict(list)
+    recvs: Dict[tuple, List[int]] = defaultdict(list)
+    mirror = tracer.meta.get("network") == "mirror"
+    for ev in tracer.events:
+        if ev.lane != "mpi" or ev.name not in ("isend", "irecv"):
+            continue
+        a = ev.args or {}
+        if mirror:
+            key = (a.get("tag"),)
+        else:
+            key = (a.get("src"), a.get("dst"), a.get("tag"))
+        (sends if ev.name == "isend" else recvs)[key].append(int(a.get("nbytes", 0)))
+    for key in sorted(set(sends) | set(recvs), key=str):
+        ns, nr = len(sends.get(key, [])), len(recvs.get(key, []))
+        if ns != nr:
+            out.append(
+                f"MPI matching broken for {key}: {ns} send(s) vs {nr} recv(s)"
+            )
+        elif sum(sends.get(key, [])) != sum(recvs.get(key, [])):
+            out.append(
+                f"MPI byte mismatch for {key}: "
+                f"{sum(sends[key])} sent vs {sum(recvs[key])} received"
+            )
+
+
+def _check_span(tracer: Tracer, out: List[str]) -> None:
+    t0 = tracer.meta.get("t0")
+    t1 = tracer.meta.get("t1")
+    elapsed = tracer.meta.get("elapsed_s")
+    if t0 is None or t1 is None:
+        return  # synthetic trace without a measured window
+    lo, hi = tracer.span()
+    tol = _REL_EPS * max(abs(t0), abs(t1), 1e-12)
+    if elapsed is not None and abs((t1 - t0) - elapsed) > tol:
+        out.append(
+            f"reported elapsed {elapsed!r} != t1 - t0 = {t1 - t0!r} "
+            f"(timeline and timer disagree)"
+        )
+    if lo > t0 + tol:
+        out.append(
+            f"trace span starts at {lo!r}, after the measurement began at "
+            f"{t0!r} (the pre-window barrier/sync should be traced)"
+        )
+    if hi < t1 - tol:
+        out.append(
+            f"trace span ends at {hi!r}, before the measurement ended at "
+            f"{t1!r} (timeline does not cover the reported runtime)"
+        )
+
+
+def _check_nondegenerate(tracer: Tracer, out: List[str]) -> None:
+    t0 = tracer.meta.get("t0")
+    t1 = tracer.meta.get("t1")
+    if t0 is None or t1 is None or t1 <= t0:
+        return
+    busy = any(
+        ev.end > ev.start and ev.start < t1 and ev.end > t0 for ev in tracer.events
+    )
+    if not busy:
+        out.append("no lane is ever busy inside the measured window")
+
+
+def check_trace(tracer: Tracer) -> List[str]:
+    """Run every invariant; returns the list of violations (empty = pass)."""
+    out: List[str] = []
+    _check_wellformed(tracer, out)
+    _check_host_exclusive(tracer, out)
+    _check_gpu_lanes(tracer, out)
+    _check_mpi_matching(tracer, out)
+    _check_span(tracer, out)
+    _check_nondegenerate(tracer, out)
+    return out
+
+
+def assert_invariants(tracer: Tracer) -> None:
+    """Raise :class:`TraceInvariantError` unless every invariant holds."""
+    violations = check_trace(tracer)
+    if violations:
+        raise TraceInvariantError(violations)

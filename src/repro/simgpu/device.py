@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 from repro.des import Environment, Event, Resource, SharedBandwidth
 from repro.machines.spec import GpuSpec
+from repro.obs.tracer import GPU_GROUP_BASE
 from repro.simgpu.memory import DeviceMemory
 
 __all__ = ["Stream", "Gpu"]
@@ -81,13 +82,28 @@ class Gpu:
         self.pcie = SharedBandwidth(env, spec.pcie_bandwidth_bps, name=f"{name}-pcie")
         kernel_slots = 16 if spec.concurrent_kernels else 1
         self._kernel_slot = Resource(env, capacity=kernel_slots)
-        self._copy_engines = Resource(env, capacity=spec.copy_engines)
+        # Copy engines are per-direction on two-engine devices (the C2050
+        # has one H2D and one D2H engine); a single-engine device (C1060)
+        # serves both directions through the same engine. Two same-direction
+        # copies therefore never overlap — the trace-invariant checker
+        # asserts exactly this.
+        if spec.copy_engines >= 2:
+            self._copy_engines = {
+                "h2d": Resource(env, capacity=1),
+                "d2h": Resource(env, capacity=1),
+            }
+        else:
+            shared = Resource(env, capacity=1)
+            self._copy_engines = {"h2d": shared, "d2h": shared}
         # Synchronous pageable copies are serviced one at a time by the
         # driver, regardless of how many host tasks issue them.
         self.sync_copy_lock = Resource(env, capacity=1)
         self._streams: List[Stream] = []
-        #: optional repro.des.trace.Tracer recording kernel/copy intervals.
+        #: optional repro.obs tracer recording kernel/copy intervals.
         self.tracer = None
+        #: trace group id for this device's lanes (runner assigns one per
+        #: device; see repro.obs.tracer group-id conventions).
+        self.trace_group = GPU_GROUP_BASE
         # Counters for tests and reports.
         self.kernels_launched = 0
         self.bytes_h2d = 0
@@ -134,7 +150,10 @@ class Gpu:
                 def finish(_a):
                     self._kernel_slot.release(slot)
                     if self.tracer is not None:
-                        self.tracer.record("gpu-kernel", name, start, env.now)
+                        self.tracer.record(
+                            "gpu-kernel", name, start, env.now,
+                            group=self.trace_group, cat="kernel",
+                        )
                     if action is not None:
                         action()
                     done.succeed()
@@ -146,7 +165,8 @@ class Gpu:
         return stream._issue(begin, done)
 
     def _memcpy(
-        self, stream: Stream, nbytes: int, action: Action, name: str
+        self, stream: Stream, nbytes: int, action: Action, name: str,
+        direction: str = "h2d",
     ) -> Event:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
@@ -154,15 +174,20 @@ class Gpu:
         done = Event(env)
 
         def begin(_arg):
-            engine = self._copy_engines.request()
+            engines = self._copy_engines[direction]
+            engine = engines.request()
 
             def granted(_ev):
                 start = env.now
 
                 def finish(_ev2):
-                    self._copy_engines.release(engine)
+                    engines.release(engine)
                     if self.tracer is not None:
-                        self.tracer.record("gpu-copy", name, start, env.now)
+                        self.tracer.record(
+                            "gpu-copy", name, start, env.now,
+                            group=self.trace_group, cat="copy",
+                            args={"dir": direction, "nbytes": nbytes},
+                        )
                     if action is not None:
                         action()
                     done.succeed()
@@ -182,14 +207,14 @@ class Gpu:
     ) -> Event:
         """Async host-to-device copy of ``nbytes``; returns completion event."""
         self.bytes_h2d += nbytes
-        return self._memcpy(stream, nbytes, action, name)
+        return self._memcpy(stream, nbytes, action, name, direction="h2d")
 
     def memcpy_d2h(
         self, stream: Stream, nbytes: int, action: Action = None, name: str = "d2h"
     ) -> Event:
         """Async device-to-host copy of ``nbytes``; returns completion event."""
         self.bytes_d2h += nbytes
-        return self._memcpy(stream, nbytes, action, name)
+        return self._memcpy(stream, nbytes, action, name, direction="d2h")
 
     # -- synchronization ------------------------------------------------------
     def synchronize(self, streams: Optional[List[Stream]] = None) -> Event:

@@ -125,6 +125,9 @@ class MirrorComm(RankComm):
         self.rank = profile.representative_rank
         self.nranks = profile.nranks
         self._open: Dict[int, deque] = {}  # tag -> xfers awaiting a send/recv claim
+        #: optional repro.obs tracer: transfer intervals on the "mpi" lane
+        #: plus isend/irecv marks (matched per tag by the invariant checker).
+        self.tracer = None
         # Statistics (protocol-conformance checks and reports).
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -158,6 +161,17 @@ class MirrorComm(RankComm):
             lat = 2.0 * ic.latency_s
         if not ready or xfer.bg_done.triggered:
             return
+        tracer = self.tracer
+        if tracer is not None:
+            start = self.env.now
+            xfer.bg_done.callbacks.append(
+                lambda _ev, s=start, x=xfer: tracer.record(
+                    "mpi", f"bg t{x.tag}", s, self.env.now,
+                    group=self.rank, cat="comm",
+                    args={"tag": x.tag, "nbytes": x.nbytes,
+                          "stage": "background"},
+                )
+            )
         # Callback-chained completion (latency slot, then wire slot) replaces
         # the bg() generator process. Two separate slots — not one at
         # ``lat + wire`` — so the time arithmetic ``(now + lat) + wire``
@@ -180,6 +194,17 @@ class MirrorComm(RankComm):
             bg_frac = 0.0 if xfer.eager else self.profile.interconnect.overlap_fraction
             remainder = (1.0 - bg_frac) * xfer.nbytes
             done = xfer.fg_done
+            tracer = self.tracer
+            if tracer is not None and remainder > 0:
+                start = self.env.now
+                done.callbacks.append(
+                    lambda _ev, s=start, x=xfer: tracer.record(
+                        "mpi", f"fg t{x.tag}", s, self.env.now,
+                        group=self.rank, cat="comm",
+                        args={"tag": x.tag, "nbytes": x.nbytes,
+                              "stage": "foreground"},
+                    )
+                )
             if remainder > 0:
                 self.env.schedule(remainder / self._wire_rate(xfer), done.succeed)
             else:
@@ -195,6 +220,11 @@ class MirrorComm(RankComm):
         xfer = self._claim(tag, "send")
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if self.tracer is not None:
+            self.tracer.mark(
+                "mpi", "isend", self.env.now, group=self.rank, cat="comm",
+                args={"tag": tag, "nbytes": nbytes},
+            )
         xfer.nbytes = nbytes
         xfer.eager = nbytes <= self.profile.interconnect.eager_threshold_bytes
         xfer.local = not self.profile.is_offnode(tag)
@@ -208,6 +238,11 @@ class MirrorComm(RankComm):
         xfer = self._claim(tag, "recv")
         self.messages_received += 1
         self.bytes_received += nbytes
+        if self.tracer is not None:
+            self.tracer.mark(
+                "mpi", "irecv", self.env.now, group=self.rank, cat="comm",
+                args={"tag": tag, "nbytes": nbytes},
+            )
         xfer.recv_posted = True
         if xfer.send_posted:
             self._maybe_start_background(xfer)
@@ -244,13 +279,25 @@ class MirrorComm(RankComm):
 
     def barrier(self):
         """Log-depth barrier cost (no peers to actually synchronize)."""
+        t_enter = self.env.now
         ic = self.profile.interconnect
         rounds = max(1, math.ceil(math.log2(max(2, self.nranks))))
         yield self.env.timeout(rounds * (ic.latency_s + ic.per_message_cpu_us * 1e-6))
+        if self.tracer is not None:
+            self.tracer.record(
+                "mpi-sync", "barrier", t_enter, self.env.now,
+                group=self.rank, cat="sync",
+            )
 
     def allreduce_max(self, value: float):
         """Reduction cost; the representative's value is the result."""
+        t_enter = self.env.now
         ic = self.profile.interconnect
         rounds = max(1, math.ceil(math.log2(max(2, self.nranks))))
         yield self.env.timeout(2 * rounds * (ic.latency_s + ic.per_message_cpu_us * 1e-6))
+        if self.tracer is not None:
+            self.tracer.record(
+                "mpi-sync", "allreduce", t_enter, self.env.now,
+                group=self.rank, cat="sync",
+            )
         return value

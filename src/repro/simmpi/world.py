@@ -69,6 +69,10 @@ class World:
         self.ic = interconnect
         self.node = node
         self.tasks_per_node = tasks_per_node
+        #: optional repro.obs tracer: in-flight message intervals on the
+        #: "mpi" lane (group = sender rank) plus isend/irecv marks for the
+        #: invariant checker. None (the default) costs one check per send.
+        self.tracer = None
         nnodes = math.ceil(nranks / tasks_per_node)
         self._nics = [
             SharedBandwidth(env, interconnect.bandwidth_bps, name=f"nic{i}")
@@ -132,6 +136,17 @@ class World:
             lat = 2.0 * self.ic.latency_s  # rendezvous handshake round trip
 
         bg_done = xfer.bg_done
+        tracer = self.tracer
+        if tracer is not None:
+            start = self.env.now
+            bg_done.callbacks.append(
+                lambda _ev, s=start, x=xfer: tracer.record(
+                    "mpi", f"bg d{x.dst} t{x.tag}", s, self.env.now,
+                    group=x.src, cat="comm",
+                    args={"src": x.src, "dst": x.dst, "tag": x.tag,
+                          "nbytes": x.nbytes, "stage": "background"},
+                )
+            )
         if frac > 0:
             def after_latency(_arg, *, xfer=xfer, frac=frac):
                 wire = self._wire(xfer.src, frac * xfer.nbytes, xfer.local)
@@ -150,6 +165,17 @@ class World:
             bg_frac = 0.0 if xfer.eager else self.ic.overlap_fraction
             remainder = (1.0 - bg_frac) * xfer.nbytes
             done = xfer.fg_done
+            tracer = self.tracer
+            if tracer is not None and remainder > 0:
+                start = self.env.now
+                done.callbacks.append(
+                    lambda _ev, s=start, x=xfer: tracer.record(
+                        "mpi", f"fg d{x.dst} t{x.tag}", s, self.env.now,
+                        group=x.src, cat="comm",
+                        args={"src": x.src, "dst": x.dst, "tag": x.tag,
+                              "nbytes": x.nbytes, "stage": "foreground"},
+                    )
+                )
             if remainder > 0:
                 wire = self._wire(xfer.src, remainder, xfer.local)
                 wire.callbacks.append(lambda _ev: done.succeed())
@@ -221,6 +247,11 @@ class WorldRankComm(RankComm):
         xfer = _Xfer(self.rank, dst, tag, nbytes, payload, eager, local, self.env)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if w.tracer is not None:
+            w.tracer.mark(
+                "mpi", "isend", self.env.now, group=self.rank, cat="comm",
+                args={"src": self.rank, "dst": dst, "tag": tag, "nbytes": nbytes},
+            )
         w._post_send(xfer)
         return Request("send", self.rank, dst, tag, nbytes, payload, _xfer=xfer)
 
@@ -230,6 +261,11 @@ class WorldRankComm(RankComm):
         req = Request("recv", self.rank, src, tag, nbytes)
         self.messages_received += 1
         self.bytes_received += nbytes
+        if self.world.tracer is not None:
+            self.world.tracer.mark(
+                "mpi", "irecv", self.env.now, group=self.rank, cat="comm",
+                args={"src": src, "dst": self.rank, "tag": tag, "nbytes": nbytes},
+            )
         self.world._post_recv(req)
         return req
 
@@ -264,6 +300,7 @@ class WorldRankComm(RankComm):
 
     def barrier(self):
         """Dissemination barrier: completes after the last rank arrives."""
+        t_enter = self.env.now
         yield self._overhead()
         w = self.world
         ev = w._bar_event
@@ -274,9 +311,15 @@ class WorldRankComm(RankComm):
             ev.succeed()
         yield ev
         yield self.env.timeout(self._log_rounds() * w.ic.latency_s)
+        if w.tracer is not None:
+            w.tracer.record(
+                "mpi-sync", "barrier", t_enter, self.env.now,
+                group=self.rank, cat="sync",
+            )
 
     def allreduce_max(self, value: float):
         """Max-allreduce of a scalar across all ranks."""
+        t_enter = self.env.now
         yield self._overhead()
         w = self.world
         ev = w._red_event
@@ -290,4 +333,9 @@ class WorldRankComm(RankComm):
             ev.succeed(result)
         result = yield ev
         yield self.env.timeout(2 * self._log_rounds() * w.ic.latency_s)
+        if w.tracer is not None:
+            w.tracer.record(
+                "mpi-sync", "allreduce", t_enter, self.env.now,
+                group=self.rank, cat="sync",
+            )
         return result

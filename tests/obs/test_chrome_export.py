@@ -1,0 +1,114 @@
+"""Chrome-trace exporter: schema unit tests + a real-run round trip."""
+
+import json
+
+import pytest
+
+from repro.obs.export import ascii_timeline, chrome_trace, write_chrome_trace
+from repro.obs.tracer import GPU_GROUP_BASE, Tracer
+
+#: Chrome-trace phases this exporter may emit.
+_PHASES = {"X", "i", "C", "M"}
+
+
+def _synthetic_tracer() -> Tracer:
+    t = Tracer()
+    t.set_group_name(0, "rank 0")
+    t.set_group_name(GPU_GROUP_BASE, "gpu0")
+    t.record("host", "compute", 0.0, 1e-3, group=0, cat="host")
+    t.record("gpu-kernel", "stencil", 0.5e-3, 2e-3, group=GPU_GROUP_BASE,
+             cat="kernel")
+    t.mark("mpi", "isend", 0.2e-3, group=0, cat="comm",
+           args={"src": 0, "dst": 1, "tag": 3, "nbytes": 64})
+    t.counter("nic.in_flight", 0.1e-3, 2, group=0)
+    t.meta["machine"] = "Yona"
+    return t
+
+
+class TestChromeTraceSchema:
+    def test_document_shape(self):
+        doc = chrome_trace(_synthetic_tracer())
+        assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_every_event_well_formed(self):
+        doc = chrome_trace(_synthetic_tracer())
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in _PHASES
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            assert isinstance(ev["name"], str) and ev["name"]
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+                assert ev["ts"] >= 0
+            if ev["ph"] == "i":
+                assert ev["s"] in ("t", "p", "g")
+            if ev["ph"] == "C":
+                assert "value" in ev["args"]
+
+    def test_microsecond_conversion(self):
+        doc = chrome_trace(_synthetic_tracer())
+        host = next(e for e in doc["traceEvents"]
+                    if e["ph"] == "X" and e["name"] == "compute")
+        assert host["ts"] == pytest.approx(0.0)
+        assert host["dur"] == pytest.approx(1e3)  # 1 ms = 1000 us
+
+    def test_process_and_thread_metadata(self):
+        doc = chrome_trace(_synthetic_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["pid"]): e["args"]["name"] for e in meta}
+        assert names[("process_name", 0)] == "rank 0"
+        assert names[("process_name", GPU_GROUP_BASE)] == "gpu0"
+        assert ("thread_name", 0) in names
+
+    def test_distinct_lanes_get_distinct_tids(self):
+        t = _synthetic_tracer()
+        t.record("mpi", "bg", 0.0, 1e-3, group=0)
+        doc = chrome_trace(t)
+        tids = {
+            (e["pid"], e["args"]["name"]): e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        rank0 = [tid for (pid, _), tid in tids.items() if pid == 0]
+        assert len(rank0) == len(set(rank0))
+
+    def test_run_metadata_rides_along(self):
+        doc = chrome_trace(_synthetic_tracer(), metadata={"extra": 1})
+        assert doc["metadata"]["machine"] == "Yona"
+        assert doc["metadata"]["extra"] == 1
+
+    def test_json_serializable_even_with_odd_meta(self):
+        t = _synthetic_tracer()
+        t.meta["weird"] = {("a", "b"): object()}
+        json.dumps(chrome_trace(t))  # must not raise
+
+
+class TestWriteChromeTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_synthetic_tracer(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_real_run_export(self, tmp_path, traced_hybrid_overlap):
+        """The acceptance-criterion path: a traced run emits valid JSON."""
+        result = traced_hybrid_overlap
+        path = tmp_path / "hybrid.json"
+        write_chrome_trace(result.tracer, str(path))
+        doc = json.loads(path.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "M" in phases and "i" in phases
+        assert doc["metadata"]["implementation"] == "hybrid_overlap"
+        assert doc["metadata"]["network"] == "full"
+        # window metadata present and consistent
+        assert doc["metadata"]["elapsed_s"] == pytest.approx(
+            doc["metadata"]["t1"] - doc["metadata"]["t0"]
+        )
+
+
+class TestAsciiTimeline:
+    def test_delegates_to_tracer(self):
+        t = _synthetic_tracer()
+        assert ascii_timeline(t, width=30) == t.timeline_text(width=30)

@@ -1,0 +1,54 @@
+"""Golden trace regression: every implementation's timeline is pinned.
+
+Each implementation's tiny-grid full-network run must reproduce the
+committed trace summary exactly (event counts) / to tight relative
+tolerance (timings, fractions). A diff here means the instrumentation or
+the performance model changed; if intentional, regenerate with::
+
+    PYTHONPATH=src python tools/update_golden_traces.py
+
+and bump ``repro.cache.MODEL_VERSION`` when timings moved.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.runner import run
+
+from conftest import golden_config, golden_keys, golden_summary
+
+GOLDEN_PATH = Path(__file__).parent / "golden_traces.json"
+
+#: Relative tolerance on golden floats. The simulator is deterministic, so
+#: this only absorbs JSON round-off of the committed values.
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())["impls"]
+
+
+class TestGoldenCoverage:
+    def test_all_implementations_covered(self, golden):
+        assert sorted(golden) == golden_keys()
+
+
+@pytest.mark.parametrize("key", golden_keys())
+class TestGoldenTraces:
+    def test_summary_matches(self, key, golden):
+        assert key in golden, (
+            f"no golden entry for {key!r}; run tools/update_golden_traces.py"
+        )
+        expect = golden[key]
+        got = golden_summary(run(golden_config(key)))
+        assert got["n_events"] == expect["n_events"]
+        assert got["events_per_lane"] == expect["events_per_lane"]
+        assert got["mpi_posts"] == expect["mpi_posts"]
+        assert got["n_counter_samples"] == expect["n_counter_samples"]
+        assert got["overlap_fraction"] == pytest.approx(
+            expect["overlap_fraction"], rel=RTOL, abs=1e-12
+        )
+        assert got["elapsed_s"] == pytest.approx(expect["elapsed_s"], rel=RTOL)

@@ -1,0 +1,143 @@
+"""Overlap-metric tests: synthetic timelines with known answers + real runs."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    OverlapMetrics,
+    compute_metrics,
+    critical_path,
+    lane_occupancy,
+    overlap_fraction,
+    overlap_matrix,
+)
+from repro.obs.tracer import Tracer
+
+
+def _tracer(window=(0.0, 10.0)) -> Tracer:
+    t = Tracer()
+    t.meta["t0"], t.meta["t1"] = window
+    return t
+
+
+class TestLaneOccupancy:
+    def test_simple(self):
+        t = _tracer()
+        t.record("host", "c", 0.0, 5.0)
+        t.record("mpi", "m", 2.0, 4.0)
+        occ = lane_occupancy(t)
+        assert occ["host"] == pytest.approx(0.5)
+        assert occ["mpi"] == pytest.approx(0.2)
+
+    def test_clipped_to_window(self):
+        t = _tracer()
+        t.record("host", "setup", -5.0, 2.0)  # setup outside the window
+        assert lane_occupancy(t)["host"] == pytest.approx(0.2)
+
+    def test_groups_merged(self):
+        t = _tracer()
+        t.record("host", "c", 0.0, 5.0, group=0)
+        t.record("host", "c", 0.0, 5.0, group=1)  # same instants: not double
+        assert lane_occupancy(t)["host"] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert lane_occupancy(Tracer()) == {}
+
+
+class TestOverlapMatrix:
+    def test_pairwise_and_diagonal(self):
+        t = _tracer()
+        t.record("host", "c", 0.0, 6.0)
+        t.record("gpu-kernel", "k", 4.0, 8.0)
+        m = overlap_matrix(t)
+        assert m[("host", "host")] == pytest.approx(6.0)
+        assert m[("gpu-kernel", "gpu-kernel")] == pytest.approx(4.0)
+        assert m[("gpu-kernel", "host")] == pytest.approx(2.0)
+
+    def test_keys_sorted(self):
+        t = _tracer()
+        t.record("zeta", "z", 0.0, 1.0)
+        t.record("alpha", "a", 0.0, 1.0)
+        m = overlap_matrix(t)
+        assert ("alpha", "zeta") in m
+        assert ("zeta", "alpha") not in m
+
+
+class TestOverlapFraction:
+    def test_fully_hidden(self):
+        t = _tracer()
+        t.record("host", "c", 0.0, 10.0)
+        t.record("mpi", "m", 2.0, 4.0)
+        assert overlap_fraction(t) == pytest.approx(1.0)
+
+    def test_fully_exposed(self):
+        t = _tracer()
+        t.record("host", "c", 0.0, 2.0)
+        t.record("mpi", "m", 5.0, 7.0)
+        assert overlap_fraction(t) == pytest.approx(0.0)
+
+    def test_half_hidden(self):
+        t = _tracer()
+        t.record("gpu-kernel", "k", 0.0, 5.0)
+        t.record("gpu-copy", "h2d", 4.0, 6.0)
+        assert overlap_fraction(t) == pytest.approx(0.5)
+
+    def test_no_comm_at_all(self):
+        t = _tracer()
+        t.record("host", "c", 0.0, 10.0)
+        assert overlap_fraction(t) == 0.0
+
+    def test_sync_lane_not_counted_as_comm(self):
+        """Barriers live on "mpi-sync" and must not dilute the fraction."""
+        t = _tracer()
+        t.record("host", "c", 0.0, 5.0)
+        t.record("mpi", "m", 0.0, 2.0)
+        t.record("mpi-sync", "barrier", 8.0, 10.0)  # exposed, but not comm
+        assert overlap_fraction(t) == pytest.approx(1.0)
+
+
+class TestCriticalPath:
+    def test_decomposition_sums_to_window(self):
+        t = _tracer()
+        t.record("host", "c", 0.0, 4.0)
+        t.record("mpi", "m", 3.0, 7.0)  # 1 s hidden, 3 s exposed
+        cp = critical_path(t)
+        assert cp["window_s"] == pytest.approx(10.0)
+        assert cp["compute_s"] == pytest.approx(4.0)
+        assert cp["exposed_comm_s"] == pytest.approx(3.0)
+        assert cp["idle_s"] == pytest.approx(3.0)
+        assert cp["compute_s"] + cp["exposed_comm_s"] + cp["idle_s"] == (
+            pytest.approx(cp["window_s"])
+        )
+
+
+class TestOverlapMetricsObject:
+    def test_to_dict_json_serializable(self):
+        t = _tracer()
+        t.record("host", "c", 0.0, 5.0)
+        t.record("mpi", "m", 1.0, 2.0)
+        m = compute_metrics(t)
+        d = m.to_dict()
+        json.dumps(d)  # must not raise
+        assert d["overlap_fraction"] == pytest.approx(1.0)
+        assert "host+mpi" in d["overlap_s"]
+
+    def test_summary_mentions_fraction(self):
+        m = OverlapMetrics(overlap_fraction=0.5,
+                           critical_path={"compute_s": 1.0})
+        assert "50.0%" in m.summary()
+
+
+class TestRealRun:
+    def test_metrics_attached_to_result(self, traced_hybrid_overlap):
+        r = traced_hybrid_overlap
+        assert r.overlap is not None
+        assert 0.0 <= r.overlap.overlap_fraction <= 1.0
+        cp = r.overlap.critical_path
+        assert cp["window_s"] == pytest.approx(r.elapsed_s)
+        assert cp["compute_s"] + cp["exposed_comm_s"] + cp["idle_s"] == (
+            pytest.approx(cp["window_s"])
+        )
+        # the host is the busiest lane of this CPU-driven implementation
+        assert r.overlap.occupancy["host"] > 0.3

@@ -3,7 +3,7 @@
 
 Run from the repository root::
 
-    python tools/perf_smoke.py [--out BENCH_PR2.json] [--check]
+    python tools/perf_smoke.py [--out BENCH_PR3.json] [--check]
 
 Measures, on the current machine:
 
@@ -19,9 +19,17 @@ Measures, on the current machine:
   content-addressed run cache), with the warm hit rate — the warm pass
   must also reproduce the cold rows/series bit-identically,
 * wall-clock of a full ``fig9`` regeneration (the paper's headline
-  figure) as an end-to-end simulator smoke.
+  figure) as an end-to-end simulator smoke,
+* the trace subsystem's cost: a traced run must reproduce the untraced
+  run's scalars bit-identically, and the *disabled* instrumentation
+  (the ``tracer is None`` guards left in the hot paths) must cost at
+  most 2% of an untraced run's wall-clock. There is no guard-free
+  build to race at runtime, so the disabled cost is bounded
+  analytically: the traced run's event+counter count bounds how many
+  guards an untraced run evaluates, and a micro-benchmark prices one
+  guard check (loop overhead included, so the bound is conservative).
 
-Results are written as JSON (default ``BENCH_PR2.json``) so each PR can
+Results are written as JSON (default ``BENCH_PR3.json``) so each PR can
 record its perf point and the trajectory stays auditable. The committed
 numbers come from the reference container; regenerate locally before
 comparing machines.
@@ -29,7 +37,8 @@ comparing machines.
 ``--check`` exits non-zero unless every acceptance floor holds:
 separable kernel >= 14 Mpts/s, kernel agreement inside the band, DES
 engine >= 2x the legacy engine, warm sweep >= 40% faster than cold,
-and warm results identical to cold.
+warm results identical to cold, traced == untraced bit-identically,
+and the disabled-tracing guard bound <= 2%.
 """
 
 from __future__ import annotations
@@ -65,6 +74,7 @@ VELOCITY = (0.9, -0.6, 0.4)
 FLOOR_KERNEL_MPTS = 14.0
 FLOOR_DES_SPEEDUP = 2.0
 FLOOR_WARM_CUT = 0.40
+CEIL_TRACE_OFF_OVERHEAD = 0.02
 
 
 def _field(n: int, seed: int = 0) -> np.ndarray:
@@ -157,6 +167,75 @@ def time_sweep_cold_warm() -> dict:
     }
 
 
+def _guard_cost_s(iters: int = 2_000_000) -> float:
+    """Wall cost of one ``tracer is None`` check (incl. loop overhead)."""
+    tracer = None
+    hits = 0
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        if tracer is not None:  # the exact guard the hot paths use
+            hits += 1
+    elapsed = time.perf_counter() - t0
+    assert hits == 0
+    return elapsed / iters
+
+
+def time_trace_overhead() -> dict:
+    """Traced-vs-untraced identity and the disabled-guard cost bound.
+
+    ``run(trace=True)`` only *observes* the DES — it must reproduce the
+    untraced scalars bit-for-bit. The untraced path keeps ``tracer is
+    None`` guards at every instrumented site; the traced run's event and
+    counter counts bound how many of those an untraced run evaluates, so
+    ``guards x guard_cost / untraced_wall`` conservatively bounds the
+    overhead of tracing-while-disabled.
+    """
+    from repro.core.config import RunConfig
+    from repro.core.runner import run
+    from repro.machines import get_machine
+
+    def cfg(trace: bool) -> RunConfig:
+        return RunConfig(
+            machine=get_machine("yona"), implementation="hybrid_overlap",
+            cores=12, threads_per_task=6, box_thickness=3,
+            network="full", trace=trace,
+        )
+
+    r_off, r_on = run(cfg(False)), run(cfg(True))
+    identical = (
+        r_on.elapsed_s == r_off.elapsed_s
+        and r_on.phases == r_off.phases
+        and r_on.comm_stats == r_off.comm_stats
+    )
+
+    reps = 20
+    off_s = on_s = 1e9
+    for _ in range(3):  # interleaved batches, best-of
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            run(cfg(False))
+        off_s = min(off_s, (time.perf_counter() - t0) / reps)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            run(cfg(True))
+        on_s = min(on_s, (time.perf_counter() - t0) / reps)
+
+    tracer = r_on.tracer
+    n_guards = 2 * (len(tracer.events) + len(tracer.counters))  # 2x margin
+    guard_s = _guard_cost_s()
+    off_bound = n_guards * guard_s / off_s
+    return {
+        "untraced_ms_per_run": round(off_s * 1e3, 3),
+        "traced_ms_per_run": round(on_s * 1e3, 3),
+        "traced_overhead": round(on_s / off_s - 1.0, 3),
+        "traced_bit_identical_to_untraced": identical,
+        "guard_sites_bound": n_guards,
+        "guard_cost_ns": round(guard_s * 1e9, 2),
+        "disabled_overhead_bound": round(off_bound, 5),
+        "acceptance_ceiling_disabled_overhead": CEIL_TRACE_OFF_OVERHEAD,
+    }
+
+
 def time_fig9() -> float:
     from repro.experiments import run_experiment
 
@@ -169,7 +248,7 @@ def time_fig9() -> float:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_PR2.json", metavar="PATH")
+    ap.add_argument("--out", default="BENCH_PR3.json", metavar="PATH")
     ap.add_argument("--size", type=int, default=256, help="grid points per dim")
     ap.add_argument("--steps", type=int, default=3)
     ap.add_argument("--check", action="store_true",
@@ -203,8 +282,17 @@ def main(argv=None) -> int:
     fig9_s = time_fig9()
     print(f"fig9 regeneration: {fig9_s:.2f} s")
 
+    trace = time_trace_overhead()
+    print(
+        f"tracing: off {trace['untraced_ms_per_run']:.2f} ms/run, on "
+        f"{trace['traced_ms_per_run']:.2f} ms/run "
+        f"(+{100 * trace['traced_overhead']:.0f}%), "
+        f"identical={trace['traced_bit_identical_to_untraced']}, "
+        f"disabled-guard bound {100 * trace['disabled_overhead_bound']:.2f}%"
+    )
+
     payload = {
-        "pr": 2,
+        "pr": 3,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -222,6 +310,7 @@ def main(argv=None) -> int:
         "des_engine": des,
         "sweep_cache": sweep,
         "experiments": {"fig9_seconds": round(fig9_s, 2)},
+        "tracing": trace,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -242,6 +331,14 @@ def main(argv=None) -> int:
         )
     if not sweep["warm_identical_to_cold"]:
         failures.append("warm sweep results differ from cold")
+    if not trace["traced_bit_identical_to_untraced"]:
+        failures.append("traced run scalars differ from untraced")
+    if trace["disabled_overhead_bound"] > CEIL_TRACE_OFF_OVERHEAD:
+        failures.append(
+            f"disabled-tracing guard bound "
+            f"{100 * trace['disabled_overhead_bound']:.2f}% > "
+            f"{100 * CEIL_TRACE_OFF_OVERHEAD:.0f}%"
+        )
     if failures:
         for f in failures:
             print(f"FAIL: {f}")
