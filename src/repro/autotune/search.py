@@ -14,28 +14,40 @@ __all__ = ["SearchResult", "exhaustive_search", "greedy_search"]
 
 @dataclass
 class SearchResult:
-    """Outcome of a tuning search."""
+    """Outcome of a tuning search.
+
+    ``evaluations`` counts *simulator calls* — revisiting a memoized point
+    is free and does not count (it used to, which made the greedy
+    strategy's cost look inflated by exactly its revisit rate). ``trace``
+    records every point the search touched, including invalid ones, which
+    score ``None``.
+    """
 
     best_point: TuningPoint
     best_gflops: float
     evaluations: int
-    #: every evaluated point -> GF (the tuner's trace)
-    trace: Dict[TuningPoint, float] = field(default_factory=dict)
+    #: every evaluated point -> GF (``None`` for invalid points)
+    trace: Dict[TuningPoint, Optional[float]] = field(default_factory=dict)
 
 
 def _evaluate(
-    space: TuningSpace, point: TuningPoint, cache: Dict[TuningPoint, float]
-) -> Optional[float]:
-    if point in cache:
-        return cache[point]
+    space: TuningSpace, point: TuningPoint, trace: Dict[TuningPoint, Optional[float]]
+) -> "tuple[Optional[float], bool]":
+    """``(gflops, fresh)`` for one point, memoized in ``trace``.
+
+    ``fresh`` is True only when the simulator actually ran; memoized
+    revisits (including of *invalid* points, stored as ``None`` so they
+    are never re-attempted) return ``fresh=False``.
+    """
+    if point in trace:
+        return trace[point], False
     try:
         cfg = point.apply(space.machine, space.impl_key, space.cores)
         gf = run(cfg).gflops
     except ValueError:
         gf = None
-    if gf is not None:
-        cache[point] = gf
-    return gf
+    trace[point] = gf
+    return gf, True
 
 
 def exhaustive_search(
@@ -43,17 +55,17 @@ def exhaustive_search(
 ) -> SearchResult:
     """Evaluate every point; ground truth for the greedy strategy."""
     space = TuningSpace(machine, impl_key, cores)
-    cache: Dict[TuningPoint, float] = {}
+    trace: Dict[TuningPoint, Optional[float]] = {}
     best_point, best_gf = None, float("-inf")
     n = 0
     for point in space.points():
-        gf = _evaluate(space, point, cache)
-        n += 1
+        gf, fresh = _evaluate(space, point, trace)
+        n += int(fresh)
         if gf is not None and gf > best_gf:
             best_point, best_gf = point, gf
     if best_point is None:
         raise ValueError(f"no valid tuning point for {impl_key} at {cores} cores")
-    return SearchResult(best_point, best_gf, n, cache)
+    return SearchResult(best_point, best_gf, n, trace)
 
 
 def greedy_search(
@@ -66,15 +78,15 @@ def greedy_search(
     lands within a few percent at a fraction of the evaluations).
     """
     space = TuningSpace(machine, impl_key, cores)
-    cache: Dict[TuningPoint, float] = {}
+    trace: Dict[TuningPoint, Optional[float]] = {}
     current = space.default_point()
-    current_gf = _evaluate(space, current, cache)
-    n = 1
+    current_gf, fresh = _evaluate(space, current, trace)
+    n = int(fresh)
     if current_gf is None:
         # Find any valid starting point.
         for point in space.points():
-            current_gf = _evaluate(space, point, cache)
-            n += 1
+            current_gf, fresh = _evaluate(space, point, trace)
+            n += int(fresh)
             if current_gf is not None:
                 current = point
                 break
@@ -86,8 +98,8 @@ def greedy_search(
                 candidate = replace(current, **{axis: v})
                 if candidate == current:
                     continue
-                gf = _evaluate(space, candidate, cache)
-                n += 1
+                gf, fresh = _evaluate(space, candidate, trace)
+                n += int(fresh)
                 if gf is not None and gf > current_gf:
                     current, current_gf = candidate, gf
-    return SearchResult(current, current_gf, n, cache)
+    return SearchResult(current, current_gf, n, trace)

@@ -70,29 +70,49 @@ MODEL_VERSION = "pr3-obs-copy-engines-1"
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
-def _canonical(obj: Any) -> Any:
-    """Recursively convert to JSON-stable primitives (sorted, tuple->list)."""
+def _canonical(obj: Any, path: str = "config") -> Any:
+    """Recursively convert to JSON-stable primitives (sorted, tuple->list).
+
+    ``path`` names the field being rendered so a non-canonicalizable value
+    raises with its exact location (e.g. ``config.noise.knobs[2]``), not
+    just the offending type.
+    """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
-            f.name: _canonical(getattr(obj, f.name))
+            f.name: _canonical(getattr(obj, f.name), f"{path}.{f.name}")
             for f in dataclasses.fields(obj)
         }
     if isinstance(obj, dict):
-        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+        return {
+            str(k): _canonical(v, f"{path}[{str(k)!r}]")
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
     if isinstance(obj, (list, tuple)):
-        return [_canonical(v) for v in obj]
+        return [_canonical(v, f"{path}[{i}]") for i, v in enumerate(obj)]
     if isinstance(obj, (str, int, bool)) or obj is None:
         return obj
     if isinstance(obj, float):
         return repr(obj)  # shortest round-trip, platform-stable
-    raise TypeError(f"cannot canonicalize {type(obj).__name__} for the cache key")
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__} at {path} for the cache key"
+    )
 
 
 def config_key(cfg: "RunConfig", model_version: Optional[str] = None) -> str:
-    """Stable content hash of (config, machine spec, model version)."""
+    """Stable content hash of (config, machine spec, model version).
+
+    The perturbation fields (``seed``, ``noise``) enter the key only when
+    set: a noiseless config (both ``None``) hashes exactly as it did
+    before the perturbation layer existed, so prior cache entries stay
+    addressable without a model-version bump.
+    """
     if model_version is None:
         model_version = MODEL_VERSION  # dynamic lookup: bumps take effect
-    doc = {"model_version": model_version, "config": _canonical(cfg)}
+    canon = _canonical(cfg)
+    if canon.get("seed") is None and canon.get("noise") is None:
+        canon.pop("seed", None)
+        canon.pop("noise", None)
+    doc = {"model_version": model_version, "config": canon}
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -125,23 +145,35 @@ class RunCache:
         try:
             with open(self._path(key), "r") as fh:
                 payload = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Missing, unreadable, truncated or torn entry: a plain miss —
+            # the run is re-simulated and the entry rewritten atomically.
             self.misses += 1
             return None
-        if payload.get("model_version") != MODEL_VERSION:
+        if (
+            not isinstance(payload, dict)
+            or payload.get("model_version") != MODEL_VERSION
+        ):
             # Defense in depth: the version is part of the key, so this only
             # triggers on a corrupted/forged entry.
             self.misses += 1
             return None
-        self.hits += 1
         from repro.core.config import RunResult
 
-        return RunResult(
-            config=cfg,
-            elapsed_s=float(payload["elapsed_s"]),
-            phases={k: float(v) for k, v in payload["phases"].items()},
-            comm_stats={k: int(v) for k, v in payload["comm_stats"].items()},
-        )
+        try:
+            result = RunResult(
+                config=cfg,
+                elapsed_s=float(payload["elapsed_s"]),
+                phases={k: float(v) for k, v in payload["phases"].items()},
+                comm_stats={k: int(v) for k, v in payload["comm_stats"].items()},
+            )
+        except (KeyError, TypeError, ValueError, AttributeError):
+            # Structurally valid JSON with the wrong shape (hand-edited or
+            # partially corrupted entry): also a miss, never a crash.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
 
     def put(self, cfg: "RunConfig", result: "RunResult") -> bool:
         """Store ``result``; returns False when the config is not cacheable."""

@@ -58,6 +58,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="print an execution timeline of the representative rank",
     )
+    runp.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="enable the seeded perturbation layer (OS jitter, network "
+             "variance, faults); same seed -> bit-identical results",
+    )
+    runp.add_argument(
+        "--noise", metavar="SPEC", default=None,
+        help="noise profile: a preset (off/low/medium/high), 'machine' for "
+             "the machine's calibration, 'preset*scale', or knob=value "
+             "pairs (see repro.perturb.spec); requires --seed; default "
+             "with --seed: 'machine'",
+    )
+    runp.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="Monte-Carlo replication: run N independently seeded replicas "
+             "and report mean/std/p95/ci95 (requires --seed)",
+    )
 
     expp = sub.add_parser("experiment", help="regenerate tables/figures")
     expp.add_argument("ids", metavar="id", nargs="+",
@@ -125,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "report); implies --check")
     tracep.add_argument("--fast", action="store_true",
                         help="trimmed sweeps in --experiments mode")
+    tracep.add_argument("--seed", type=int, default=None, metavar="S",
+                        help="trace under the seeded perturbation layer; in "
+                             "--experiments mode every run is swept under "
+                             "(seed, --noise)")
+    tracep.add_argument("--noise", metavar="SPEC", default=None,
+                        help="noise profile (see 'run --noise'); requires "
+                             "--seed; default with --seed: 'machine' for a "
+                             "single run, 'medium' in --experiments mode")
     return p
 
 
@@ -143,9 +168,40 @@ def _cmd_list() -> int:
     return 0
 
 
+def _resolve_noise(args, machine, default: str):
+    """``(seed, NoiseSpec|None)`` from ``--seed``/``--noise``.
+
+    Raises ``SystemExit``-friendly ``ValueError`` on misuse (``--noise``
+    or ``--replicas`` without ``--seed``, unknown spec).
+    """
+    from repro.perturb import NoiseSpec
+
+    seed = getattr(args, "seed", None)
+    text = getattr(args, "noise", None)
+    if text is not None and seed is None:
+        raise ValueError("--noise requires --seed")
+    if getattr(args, "replicas", 1) > 1 and seed is None:
+        raise ValueError("--replicas requires --seed")
+    if seed is None:
+        return None, None
+    if text is None:
+        text = default
+    if text == "machine":
+        if machine is None:
+            raise ValueError("--noise machine needs a single --machine")
+        return seed, NoiseSpec.for_machine(machine.name)
+    return seed, NoiseSpec.parse(text)
+
+
 def _cmd_run(args) -> int:
+    machine = get_machine(args.machine)
+    try:
+        seed, noise = _resolve_noise(args, machine, default="machine")
+    except ValueError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
     cfg = RunConfig(
-        machine=get_machine(args.machine),
+        machine=machine,
         implementation=args.impl,
         cores=args.cores,
         threads_per_task=args.threads,
@@ -155,9 +211,23 @@ def _cmd_run(args) -> int:
         network="full" if args.functional else args.network,
         functional=args.functional,
         trace=args.trace,
+        seed=seed,
+        noise=noise,
     )
-    result = run_config(cfg)
+    if args.replicas > 1:
+        from repro.core.runner import run_replicated
+
+        result = run_replicated(cfg, args.replicas)
+    else:
+        result = run_config(cfg)
     print(result.summary())
+    if result.stats is not None:
+        s = result.stats
+        print(
+            f"  {int(s['n'])} replicas: mean={s['mean'] * 1e3:.3f} ms  "
+            f"std={s['std'] * 1e3:.3f} ms  p95={s['p95'] * 1e3:.3f} ms  "
+            f"ci95=±{s['ci95'] * 1e3:.3f} ms"
+        )
     if result.tracer is not None:
         t0, t1 = result.tracer.span()
         window_end = min(t1, t0 + result.seconds_per_step)
@@ -281,6 +351,11 @@ def _cmd_trace(args) -> int:
         return 2
     machine = get_machine(args.machine)
     cores = args.cores if args.cores is not None else machine.node.cores
+    try:
+        seed, noise = _resolve_noise(args, machine, default="machine")
+    except ValueError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
     cfg = RunConfig(
         machine=machine,
         implementation=args.impl,
@@ -291,6 +366,8 @@ def _cmd_trace(args) -> int:
         domain=(args.domain,) * 3,
         network=args.network,
         trace=True,
+        seed=seed,
+        noise=noise,
     )
     result = run_config(cfg)
     print(result.summary())
@@ -329,6 +406,13 @@ def _cmd_trace_experiments(args) -> int:
     if unknown:
         print(f"trace: unknown experiment id(s): {unknown}", file=sys.stderr)
         return 2
+    try:
+        # Experiments span machines, so 'machine' is not resolvable here;
+        # the perturbed sweep defaults to the "medium" profile.
+        seed, noise = _resolve_noise(args, None, default="medium")
+    except ValueError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
     state = {"runs": 0, "violations": [], "first_written": False}
 
     def observe(result):
@@ -342,11 +426,21 @@ def _cmd_trace_experiments(args) -> int:
             state["first_written"] = True
             write_chrome_trace(result.tracer, args.out)
 
-    with capture_traces(observe):
+    from contextlib import nullcontext
+
+    if seed is not None:
+        from repro.perturb import forced_noise
+
+        noise_ctx = forced_noise(seed, noise)
+    else:
+        noise_ctx = nullcontext()
+    with noise_ctx, capture_traces(observe):
         # jobs=1: the capture hook is process-global and must see every run.
         run_experiments(ids, fast=args.fast, jobs=1, cache_dir=None)
+    perturbed = f" under seed={seed} noise" if seed is not None else ""
     print(
-        f"checked {state['runs']} traced run(s) across {len(ids)} experiment(s)"
+        f"checked {state['runs']} traced run(s) across {len(ids)} "
+        f"experiment(s){perturbed}"
     )
     if args.out and state["first_written"]:
         print(f"wrote {args.out} (open at https://ui.perfetto.dev)")

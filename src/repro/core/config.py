@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.des.trace import Tracer
 from repro.machines.spec import MachineSpec
+from repro.perturb.spec import NoiseSpec
 from repro.stencil.coefficients import FLOPS_PER_POINT
 
 __all__ = ["RunConfig", "RunResult"]
@@ -50,6 +51,15 @@ class RunConfig:
         (every rank simulated; required for functional runs).
     trace:
         Record an execution timeline of the representative rank.
+    seed:
+        Root seed of the perturbation layer (:mod:`repro.perturb`).
+        ``None`` (the default) disables every noise/fault model and keeps
+        the simulator bit-identical to the noiseless path — including its
+        cache keys.
+    noise:
+        The :class:`~repro.perturb.spec.NoiseSpec` describing how much
+        variability to inject; requires ``seed``. ``None`` or a null spec
+        means no perturbation.
     disable_stream_overlap / disable_mpi_overlap:
         Ablation switches for the hybrid-overlap implementation, used to
         decompose where its win comes from (see
@@ -71,6 +81,11 @@ class RunConfig:
     network: str = "mirror"
     #: record an execution timeline (see repro.des.trace); small overhead.
     trace: bool = False
+    #: root seed of the perturbation layer; None = noiseless (bit-identical
+    #: to the pre-perturbation simulator, cache keys unchanged).
+    seed: Optional[int] = None
+    #: noise/fault knobs (repro.perturb.spec.NoiseSpec); requires ``seed``.
+    noise: Optional[NoiseSpec] = None
     #: ablation switch: serialize the hybrid-overlap GPU streams against the
     #: host (no kernel/copy hidden behind CPU work).
     disable_stream_overlap: bool = False
@@ -105,6 +120,12 @@ class RunConfig:
             raise ValueError(f"unknown network backend {self.network!r}")
         if self.functional and self.network != "full":
             raise ValueError("functional runs require the full network backend")
+        if self.noise is not None and not isinstance(self.noise, NoiseSpec):
+            raise ValueError(f"noise must be a NoiseSpec, got {type(self.noise).__name__}")
+        if self.noise is not None and not self.noise.is_null and self.seed is None:
+            raise ValueError("noise injection requires a seed (set RunConfig.seed)")
+        if self.seed is not None and self.seed != int(self.seed):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
 
     # -- derived layout -------------------------------------------------------
     @property
@@ -162,6 +183,10 @@ class RunResult:
     overlap: Optional[object] = None
     #: representative rank's MPI counters (messages/bytes sent/received)
     comm_stats: Dict[str, int] = field(default_factory=dict)
+    #: Monte-Carlo replication summary (mean/std/p95/ci95 of elapsed_s over
+    #: N seeded replicas; see repro.perturb.stats). Only set by
+    #: :func:`repro.core.runner.run_replicated`.
+    stats: Optional[Dict[str, float]] = None
 
     @property
     def seconds_per_step(self) -> float:

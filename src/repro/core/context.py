@@ -72,11 +72,17 @@ class RankContext:
         #: optional repro.obs tracer (RunConfig.trace); shared with the GPU,
         #: the communicator, and the shared links.
         self.tracer = None
+        #: optional repro.perturb injector (RunConfig.seed + noise); None on
+        #: the noiseless path, so each hook costs one pointer comparison.
+        self.perturb = None
         #: free-form per-implementation state (device arrays, streams, ...)
         self.state: Dict[str, object] = {}
 
     # -- bookkeeping -----------------------------------------------------------
     def _charge(self, phase: str, seconds: float) -> Event:
+        if self.perturb is not None and seconds > 0.0:
+            # OS jitter + straggler slowdown on every host-side chunk.
+            seconds *= self.perturb.compute_factor(self.sub.rank)
         self.phases[phase] += seconds
         if self.tracer is not None and seconds > 0:
             self.tracer.record(
@@ -264,6 +270,8 @@ class RankContext:
         t = gpu.spec.pcie_latency_s + (
             nbytes * self.gpu_share / (gpu.spec.pcie_unpinned_gbs * 1e9)
         )
+        if self.perturb is not None and t > 0.0:
+            t *= self.perturb.pcie_factor(self.sub.rank)
         self.phases[phase] += t
         env = self.env
         done = env.event()

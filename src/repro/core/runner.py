@@ -23,13 +23,14 @@ from repro.core.registry import get_implementation
 from repro.decomp.partition import Decomposition
 from repro.des import Environment
 from repro.obs.tracer import GPU_GROUP_BASE, LINK_GROUP_BASE, Tracer
+from repro.perturb.model import Perturbation, build_perturbation
 from repro.simgpu.device import Gpu
 from repro.simmpi.mirror import MirrorComm, MirrorProfile
 from repro.simmpi.world import World
 from repro.stencil.analytic import analytic_solution, error_norms
 from repro.stencil.grid import Grid3D
 
-__all__ = ["run"]
+__all__ = ["run", "run_replicated"]
 
 
 def _rank_main(impl: Implementation, ctx: RankContext, record: Dict[str, float]):
@@ -161,6 +162,32 @@ def _attach_tracer(
         tracer.meta["gpus"] = gpus_meta
 
 
+def _attach_perturb(perturb: Perturbation, contexts: List[RankContext]) -> None:
+    """Wire one perturbation injector into every simulated component.
+
+    Mirrors :func:`_attach_tracer`: rank contexts draw from their rank's
+    streams, the network backend from the sender rank's streams, and each
+    GPU from its own ``GPU_GROUP_BASE + i`` group — assigned here even
+    when no tracer is attached, so a device's noise sequence does not
+    depend on whether the run is traced.
+    """
+    for ctx in contexts:
+        ctx.perturb = perturb
+    comm0 = contexts[0].comm
+    world = getattr(comm0, "world", None)
+    if world is not None:  # full backend: one World shared by all ranks
+        world.perturb = perturb
+    elif comm0 is not None:  # mirror backend
+        comm0.perturb = perturb
+    gpus: List[Gpu] = []
+    for ctx in contexts:
+        if ctx.gpu is not None and not any(ctx.gpu is g for g in gpus):
+            gpus.append(ctx.gpu)
+    for idx, gpu in enumerate(gpus):
+        gpu.perturb = perturb
+        gpu.trace_group = GPU_GROUP_BASE + idx
+
+
 def _gather_field(cfg: RunConfig, contexts: List[RankContext]) -> np.ndarray:
     out = np.zeros(cfg.domain)
     for ctx in contexts:
@@ -183,6 +210,15 @@ def run(cfg: RunConfig) -> RunResult:
     """
     from repro.cache import active_cache
     from repro.obs.capture import active_capture
+    from repro.perturb import forced_override
+
+    forced = forced_override()
+    if forced is not None and cfg.seed is None and cfg.noise is None:
+        # Process-global perturbation sweep (repro.perturb.forced_noise):
+        # applied before the cache lookup so perturbed runs never collide
+        # with noiseless cache entries. Configs carrying their own seed or
+        # noise keep them.
+        cfg = cfg.with_(seed=forced[0], noise=forced[1])
 
     capture = active_capture()
     if capture is not None:
@@ -219,6 +255,13 @@ def _run_uncached(cfg: RunConfig) -> RunResult:
     if cfg.trace:
         tracer = Tracer()
         _attach_tracer(tracer, cfg, contexts)
+
+    perturb = build_perturbation(cfg.seed, cfg.noise)
+    if perturb is not None:
+        _attach_perturb(perturb, contexts)
+        # Fault events (stalls, retransmits, stragglers) land on the
+        # dedicated "noise" trace lane when the run is traced.
+        perturb.tracer = tracer
 
     records: List[Dict[str, float]] = [dict() for _ in contexts]
     for ctx, rec in zip(contexts, records):
@@ -271,3 +314,30 @@ def _run_uncached(cfg: RunConfig) -> RunResult:
         result.global_field = field
         result.norms = error_norms(field, exact)
     return result
+
+
+def run_replicated(cfg: RunConfig, replicas: int) -> RunResult:
+    """Monte-Carlo replication: ``replicas`` seeded runs of one config.
+
+    Each replica runs under an independent seed derived from
+    ``cfg.seed`` (:func:`repro.perturb.rng.derive_seed`; replica 0 keeps
+    the root seed, so a single-replica call is exactly ``run(cfg)``).
+    Returns replica 0's result with :attr:`RunResult.stats` set to the
+    ensemble summary (:func:`repro.perturb.stats.replication_stats`).
+    Replicas are individually cacheable, so repeating a study is cheap.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.perturb.rng import derive_seed
+    from repro.perturb.stats import replication_stats
+
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas!r}")
+    if cfg.seed is None:
+        raise ValueError("run_replicated requires a seeded config (RunConfig.seed)")
+    results = [
+        run(cfg.with_(seed=derive_seed(cfg.seed, i))) for i in range(replicas)
+    ]
+    stats = replication_stats([r.elapsed_s for r in results])
+    # A fresh record (never mutate a possibly cached result object).
+    return _replace(results[0], config=cfg, stats=stats)

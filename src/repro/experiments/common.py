@@ -23,31 +23,49 @@ class ExperimentResult:
     notes: str = ""
 
     def to_text(self) -> str:
-        """Plain-text table of the regenerated data."""
+        """Plain-text table of the regenerated data.
+
+        Tolerates ragged rows: rows shorter than the header are padded
+        with blank cells, and cells beyond the last named column get a
+        blank header of their own width (previously a short row raised
+        ``IndexError`` while computing column widths).
+        """
+        headers = [str(c) for c in self.columns]
+        lengths = [len(headers)] + [len(r) for r in self.rows]
+        ncols = max(lengths) if lengths else 0
+        headers += [""] * (ncols - len(headers))
+        cells = [
+            [_fmt(v) for v in r] + [""] * (ncols - len(r)) for r in self.rows
+        ]
         widths = [
-            max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows)) if self.rows else len(str(c))
-            for i, c in enumerate(self.columns)
+            max([len(headers[i])] + [len(row[i]) for row in cells])
+            for i in range(ncols)
         ]
         lines = [f"== {self.exp_id}: {self.title}"]
         lines.append("  paper: " + self.paper_claim)
-        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
         lines.append(header)
         lines.append("-" * len(header))
-        for r in self.rows:
-            lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
         if self.notes:
             lines.append("note: " + self.notes)
         return "\n".join(lines)
 
     def best_series_at(self, x: Any) -> str:
-        """Name of the highest series at abscissa ``x``."""
-        best_name, best_val = None, float("-inf")
-        for name, pts in self.series.items():
-            if x in pts and pts[x] > best_val:
-                best_name, best_val = name, pts[x]
-        if best_name is None:
+        """Name of the highest series at abscissa ``x``.
+
+        Exact-value ties break deterministically to the lexicographically
+        smallest series name (previously: whichever series happened to be
+        inserted first, which depended on sweep construction order).
+        """
+        candidates = [
+            (pts[x], name) for name, pts in self.series.items() if x in pts
+        ]
+        if not candidates:
             raise KeyError(f"no series has a point at {x!r}")
-        return best_name
+        best_val = max(v for v, _name in candidates)
+        return min(name for v, name in candidates if v == best_val)
 
 
 def _fmt(v: Any) -> str:
@@ -78,6 +96,7 @@ EXPERIMENTS: Dict[str, str] = {
     "sensitivity": "repro.experiments.sensitivity",
     "text5b": "repro.experiments.text5b_threads",
     "protocols": "repro.experiments.protocols",
+    "noise": "repro.experiments.noise_sensitivity",
 }
 
 

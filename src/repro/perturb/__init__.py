@@ -1,0 +1,79 @@
+"""Seeded noise & fault injection for the simulator.
+
+The paper's headline nuance — nonblocking overlap helps only *below* a
+machine-dependent core count, and the comm-thread variant always lags —
+is the kind of result whose robustness depends on system variability. A
+perfectly noiseless simulator can only reproduce the mean curve; this
+package turns the reproduction into a robustness-analysis tool:
+
+* :mod:`repro.perturb.rng` — a SplitMix-style counter RNG keyed by
+  ``(seed, group, lane, index)``: reproducible and order-independent;
+* :mod:`repro.perturb.spec` — :class:`NoiseSpec`, the immutable knob set
+  (OS jitter, network latency/bandwidth variance, MPI progress stalls,
+  drop/retransmit faults, stragglers, GPU/PCIe jitter) with presets and
+  per-machine calibrations;
+* :mod:`repro.perturb.model` — :class:`Perturbation`, the per-run
+  injector threaded through the DES components (``perturb`` attributes,
+  ``None`` by default — the ``seed=None`` path is bit-identical to the
+  noiseless simulator);
+* :mod:`repro.perturb.stats` — replication statistics (mean/p95/CI) for
+  the Monte-Carlo driver :func:`repro.core.runner.run_replicated`.
+
+``forced_noise`` installs a process-global override that adds a
+``(seed, noise)`` pair to any config that has none — how the CLI's
+``trace --experiments … --seed S --noise SPEC`` sweeps every experiment's
+runs under perturbation without touching experiment code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+from repro.perturb.model import NOISE_LANE, Perturbation, build_perturbation
+from repro.perturb.rng import Stream, counter_u64, counter_uniform, derive_seed
+from repro.perturb.spec import MACHINE_NOISE, PRESETS, NoiseSpec
+from repro.perturb.stats import percentile, replication_stats
+
+__all__ = [
+    "MACHINE_NOISE",
+    "NOISE_LANE",
+    "NoiseSpec",
+    "PRESETS",
+    "Perturbation",
+    "Stream",
+    "build_perturbation",
+    "counter_u64",
+    "counter_uniform",
+    "derive_seed",
+    "forced_noise",
+    "forced_override",
+    "percentile",
+    "replication_stats",
+]
+
+#: Process-global (seed, noise) override; see :func:`forced_noise`.
+_forced: Optional[Tuple[int, NoiseSpec]] = None
+
+
+def forced_override() -> Optional[Tuple[int, NoiseSpec]]:
+    """The active global ``(seed, noise)`` override, if any."""
+    return _forced
+
+
+@contextmanager
+def forced_noise(seed: int, noise: NoiseSpec):
+    """Force ``(seed, noise)`` onto every run whose config has neither.
+
+    Used by the perturbed trace-invariant sweep: experiment configs are
+    built deep inside each experiment module, so the override lets the
+    whole report run under jitter without plumbing noise through every
+    sweep helper. Configs that already carry a seed keep their own.
+    """
+    global _forced
+    prev = _forced
+    _forced = (int(seed), noise)
+    try:
+        yield
+    finally:
+        _forced = prev

@@ -1,0 +1,65 @@
+"""Replication statistics for Monte-Carlo noise studies.
+
+The replication driver (:func:`repro.core.runner.run_replicated`) runs N
+seeded replicas of one config and attaches the summary produced here to
+``RunResult.stats``. Pure Python, deterministic, no NumPy: the numbers
+must be bit-identical across processes and platforms so replicated
+results can be cached, compared and regression-tested exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+__all__ = ["percentile", "replication_stats"]
+
+#: Two-sided 97.5% normal quantile for the 95% confidence interval.
+_Z95 = 1.959963984540054
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (NumPy's default), ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    xs = sorted(values)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (q / 100.0) * (len(xs) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return xs[lo]
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def replication_stats(elapsed: Sequence[float]) -> Dict[str, float]:
+    """Summary of N replicas' elapsed times.
+
+    Returns ``n``, ``mean``, ``std`` (sample, ddof=1; 0 for n=1), ``min``,
+    ``max``, ``p50``, ``p95``, and ``ci95`` (the half-width of the normal
+    95% confidence interval on the mean, ``z * std / sqrt(n)``).
+    """
+    xs = list(elapsed)
+    if not xs:
+        raise ValueError("replication_stats of an empty sequence")
+    n = len(xs)
+    mean = math.fsum(xs) / n
+    if n > 1:
+        var = math.fsum((x - mean) ** 2 for x in xs) / (n - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    return {
+        "n": float(n),
+        "mean": mean,
+        "std": std,
+        "min": min(xs),
+        "max": max(xs),
+        "p50": percentile(xs, 50.0),
+        "p95": percentile(xs, 95.0),
+        "ci95": _Z95 * std / math.sqrt(n),
+    }

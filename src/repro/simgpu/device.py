@@ -101,6 +101,10 @@ class Gpu:
         self._streams: List[Stream] = []
         #: optional repro.obs tracer recording kernel/copy intervals.
         self.tracer = None
+        #: optional repro.perturb injector: kernel-clock and PCIe jitter,
+        #: drawn per issued operation from this device's (group, lane)
+        #: counter streams.
+        self.perturb = None
         #: trace group id for this device's lanes (runner assigns one per
         #: device; see repro.obs.tracer group-id conventions).
         self.trace_group = GPU_GROUP_BASE
@@ -137,6 +141,8 @@ class Gpu:
         """
         if duration_s < 0:
             raise ValueError("kernel duration must be non-negative")
+        if self.perturb is not None and duration_s > 0.0:
+            duration_s *= self.perturb.kernel_factor(self.trace_group)
         self.kernels_launched += 1
         env = self.env
         done = Event(env)
@@ -170,6 +176,11 @@ class Gpu:
     ) -> Event:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        wire_bytes = nbytes
+        if self.perturb is not None and nbytes > 0:
+            # DMA/driver interference stretches the wire work, not the
+            # engine bookkeeping; the byte counters stay at the true size.
+            wire_bytes = nbytes * self.perturb.pcie_factor(self.trace_group)
         env = self.env
         done = Event(env)
 
@@ -193,7 +204,7 @@ class Gpu:
                     done.succeed()
 
                 def after_latency(_a):
-                    wire = self.pcie.transfer(nbytes)
+                    wire = self.pcie.transfer(wire_bytes)
                     wire.callbacks.append(finish)
 
                 env.schedule(self.spec.pcie_latency_s, after_latency)

@@ -128,6 +128,9 @@ class MirrorComm(RankComm):
         #: optional repro.obs tracer: transfer intervals on the "mpi" lane
         #: plus isend/irecv marks (matched per tag by the invariant checker).
         self.tracer = None
+        #: optional repro.perturb injector: per-message latency/bandwidth
+        #: jitter, progress stalls, drop/retransmit faults (off-node only).
+        self.perturb = None
         # Statistics (protocol-conformance checks and reports).
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -161,6 +164,13 @@ class MirrorComm(RankComm):
             lat = 2.0 * ic.latency_s
         if not ready or xfer.bg_done.triggered:
             return
+        wire_mult = 1.0
+        perturb = self.perturb
+        if perturb is not None and not xfer.local:
+            lat = lat * perturb.latency_factor(self.rank) + perturb.message_delay(
+                self.rank, self.env.now
+            )
+            wire_mult = perturb.wire_factor(self.rank)
         tracer = self.tracer
         if tracer is not None:
             start = self.env.now
@@ -177,9 +187,10 @@ class MirrorComm(RankComm):
         # ``lat + wire`` — so the time arithmetic ``(now + lat) + wire``
         # matches the seed engine bit-for-bit.
         if frac > 0:
-            def after_latency(_a, *, xfer=xfer, frac=frac):
+            def after_latency(_a, *, xfer=xfer, frac=frac, mult=wire_mult):
                 self.env.schedule(
-                    frac * xfer.nbytes / self._wire_rate(xfer), xfer.bg_done.succeed
+                    frac * xfer.nbytes * mult / self._wire_rate(xfer),
+                    xfer.bg_done.succeed,
                 )
 
             self.env.schedule(lat, after_latency)
@@ -193,6 +204,8 @@ class MirrorComm(RankComm):
             xfer.fg_started = True
             bg_frac = 0.0 if xfer.eager else self.profile.interconnect.overlap_fraction
             remainder = (1.0 - bg_frac) * xfer.nbytes
+            if self.perturb is not None and not xfer.local and remainder > 0:
+                remainder *= self.perturb.wire_factor(self.rank)
             done = xfer.fg_done
             tracer = self.tracer
             if tracer is not None and remainder > 0:

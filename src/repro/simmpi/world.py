@@ -73,6 +73,9 @@ class World:
         #: "mpi" lane (group = sender rank) plus isend/irecv marks for the
         #: invariant checker. None (the default) costs one check per send.
         self.tracer = None
+        #: optional repro.perturb injector: per-message latency/bandwidth
+        #: jitter, progress stalls, drop/retransmit faults (off-node only).
+        self.perturb = None
         nnodes = math.ceil(nranks / tasks_per_node)
         self._nics = [
             SharedBandwidth(env, interconnect.bandwidth_bps, name=f"nic{i}")
@@ -135,6 +138,14 @@ class World:
             frac = self.ic.overlap_fraction
             lat = 2.0 * self.ic.latency_s  # rendezvous handshake round trip
 
+        wire_mult = 1.0
+        perturb = self.perturb
+        if perturb is not None and not xfer.local:
+            lat = lat * perturb.latency_factor(xfer.src) + perturb.message_delay(
+                xfer.src, self.env.now
+            )
+            wire_mult = perturb.wire_factor(xfer.src)
+
         bg_done = xfer.bg_done
         tracer = self.tracer
         if tracer is not None:
@@ -148,8 +159,8 @@ class World:
                 )
             )
         if frac > 0:
-            def after_latency(_arg, *, xfer=xfer, frac=frac):
-                wire = self._wire(xfer.src, frac * xfer.nbytes, xfer.local)
+            def after_latency(_arg, *, xfer=xfer, frac=frac, mult=wire_mult):
+                wire = self._wire(xfer.src, frac * xfer.nbytes * mult, xfer.local)
                 wire.callbacks.append(lambda _ev: bg_done.succeed())
 
             self.env.schedule(lat, after_latency)
@@ -164,6 +175,8 @@ class World:
             xfer.fg_started = True
             bg_frac = 0.0 if xfer.eager else self.ic.overlap_fraction
             remainder = (1.0 - bg_frac) * xfer.nbytes
+            if self.perturb is not None and not xfer.local and remainder > 0:
+                remainder *= self.perturb.wire_factor(xfer.src)
             done = xfer.fg_done
             tracer = self.tracer
             if tracer is not None and remainder > 0:

@@ -131,3 +131,42 @@ class TestProtocols:
     def test_message_counts(self, result):
         msg_row = next(r for r in result.rows if r[0].startswith("messages"))
         assert (msg_row[2], msg_row[3]) == (6, 26)
+
+
+class TestNoiseSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("noise", fast=True)
+
+    def test_zero_scale_reproduces_noiseless_fig3(self, result):
+        # The x0 block must be the bit-exact noiseless tuning sweep.
+        from repro.machines import JAGUARPF
+        from repro.perf.sweep import best_over_threads
+
+        row0 = next(r for r in result.rows if r[0] == "x0")
+        cores = row0[1]
+        base = best_over_threads(JAGUARPF, "bulk", cores)
+        assert row0[2] == base.gflops
+
+    def test_deterministic_regeneration(self, result):
+        again = run_experiment("noise", fast=True)
+        assert again.rows == result.rows
+        assert again.series == result.series
+        assert again.notes == result.notes
+
+    def test_crossover_reported_per_scale(self, result):
+        assert "last core count where nonblocking >= bulk" in result.notes
+        # One crossover entry per jitter scale.
+        from repro.experiments.noise_sensitivity import FAST_SCALES
+
+        assert result.notes.count(";") == len(FAST_SCALES) - 1
+
+    def test_rows_cover_all_scales(self, result):
+        scales = {r[0] for r in result.rows}
+        assert scales == {"x0", "x1", "x4"}
+
+    def test_every_point_replicated_with_stats(self, result):
+        # Winner column present whenever both impls produced a mean.
+        for row in result.rows:
+            if all(isinstance(v, float) for v in row[2:4]):
+                assert row[4] in ("bulk", "nonblocking")

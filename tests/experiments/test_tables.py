@@ -84,3 +84,56 @@ class TestExperimentResult:
         assert r.best_series_at(1) == "s2"
         with pytest.raises(KeyError):
             r.best_series_at(2)
+
+
+class TestExperimentResultRobustness:
+    """Regression tests for ragged rows and tie-breaking."""
+
+    def _ragged(self):
+        return ExperimentResult(
+            exp_id="x", title="t", paper_claim="c",
+            columns=["a", "bb", "ccc"],
+            rows=[[1, 2, 3], [4], [5, 6, 7, 8]],  # short and long rows
+        )
+
+    def test_to_text_tolerates_ragged_rows(self):
+        text = self._ragged().to_text()  # used to raise IndexError
+        lines = text.splitlines()
+        assert any("4" in ln for ln in lines)
+        assert any("8" in ln for ln in lines)  # extra cell still rendered
+
+    def test_to_text_unchanged_for_well_formed_tables(self):
+        r = ExperimentResult(
+            exp_id="x", title="t", paper_claim="c",
+            columns=["cores", "GF"], rows=[[12, 1.5], [24, 30.25]],
+        )
+        text = r.to_text()
+        assert "cores  GF" in text
+        assert "12     1.50" in text
+        assert "24     30.25" in text
+
+    def test_to_text_empty_rows(self):
+        r = ExperimentResult(
+            exp_id="x", title="t", paper_claim="c", columns=["a"], rows=[],
+        )
+        assert "== x: t" in r.to_text()
+
+    def test_best_series_tie_breaks_by_name(self):
+        r = ExperimentResult(
+            exp_id="x", title="t", paper_claim="c", columns=[], rows=[],
+            series={"zeta": {1: 7.0}, "alpha": {1: 7.0}, "mid": {1: 3.0}},
+        )
+        assert r.best_series_at(1) == "alpha"
+        # Insertion order must not matter.
+        r2 = ExperimentResult(
+            exp_id="x", title="t", paper_claim="c", columns=[], rows=[],
+            series={"alpha": {1: 7.0}, "zeta": {1: 7.0}},
+        )
+        assert r2.best_series_at(1) == r.best_series_at(1)
+
+    def test_best_series_still_prefers_higher_value(self):
+        r = ExperimentResult(
+            exp_id="x", title="t", paper_claim="c", columns=[], rows=[],
+            series={"alpha": {1: 5.0}, "zeta": {1: 7.0}},
+        )
+        assert r.best_series_at(1) == "zeta"

@@ -1,0 +1,121 @@
+"""Tests for NoiseSpec: validation, presets, scaling, CLI parsing."""
+
+import pytest
+
+from repro.perturb.spec import MACHINE_NOISE, PRESETS, NoiseSpec
+
+
+class TestValidation:
+    def test_default_is_null(self):
+        assert NoiseSpec().is_null
+
+    def test_negative_knob_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(os_jitter=-0.1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(stall_prob=1.5)
+        NoiseSpec(stall_prob=1.0)  # boundary is fine
+
+    def test_non_number_rejected(self):
+        with pytest.raises(TypeError):
+            NoiseSpec(os_jitter="big")
+        with pytest.raises(TypeError):
+            NoiseSpec(stall_prob=True)  # bools are not noise levels
+
+    def test_shape_knob_bounds(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(straggler_factor=0.5)
+        with pytest.raises(ValueError):
+            NoiseSpec(retransmit_backoff=0.9)
+        with pytest.raises(ValueError):
+            NoiseSpec(max_retries=2.5)
+
+
+class TestPresetsAndCalibrations:
+    def test_presets_exist_and_escalate(self):
+        assert PRESETS["off"].is_null
+        for name in ("low", "medium", "high"):
+            assert not PRESETS[name].is_null
+        assert PRESETS["low"].os_jitter < PRESETS["medium"].os_jitter
+        assert PRESETS["medium"].os_jitter < PRESETS["high"].os_jitter
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            NoiseSpec.preset("nope")
+
+    def test_every_machine_has_a_calibration(self):
+        for name in ("jaguarpf", "hopper", "lens", "yona"):
+            assert not NoiseSpec.for_machine(name).is_null
+
+    def test_for_machine_is_case_insensitive(self):
+        assert NoiseSpec.for_machine("Yona") == NoiseSpec.for_machine("yona")
+        assert NoiseSpec.for_machine("JaguarPF") == MACHINE_NOISE["jaguarpf"]
+
+    def test_cpu_machines_have_no_gpu_noise(self):
+        assert NoiseSpec.for_machine("jaguarpf").kernel_jitter == 0.0
+        assert NoiseSpec.for_machine("yona").kernel_jitter > 0.0
+
+
+class TestScaling:
+    def test_scaled_zero_is_null(self):
+        assert NoiseSpec.preset("high").scaled(0.0).is_null
+
+    def test_scaled_one_is_identity(self):
+        spec = NoiseSpec.preset("medium")
+        assert spec.scaled(1.0) == spec
+
+    def test_scaled_multiplies_sigmas(self):
+        spec = NoiseSpec.preset("medium").scaled(2.0)
+        assert spec.os_jitter == 2 * PRESETS["medium"].os_jitter
+        assert spec.stall_prob == 2 * PRESETS["medium"].stall_prob
+
+    def test_probabilities_clamp_at_one(self):
+        spec = NoiseSpec(stall_prob=0.6).scaled(5.0)
+        assert spec.stall_prob == 1.0
+
+    def test_shape_knobs_not_scaled(self):
+        spec = NoiseSpec.preset("high").scaled(3.0)
+        assert spec.stall_us == PRESETS["high"].stall_us
+        assert spec.straggler_factor == PRESETS["high"].straggler_factor
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSpec().scaled(-1.0)
+
+
+class TestParse:
+    def test_preset_name(self):
+        assert NoiseSpec.parse("medium") == PRESETS["medium"]
+
+    def test_preset_scaled(self):
+        assert NoiseSpec.parse("medium*0.5") == PRESETS["medium"].scaled(0.5)
+
+    def test_explicit_knobs(self):
+        spec = NoiseSpec.parse("os_jitter=0.02,stall_prob=0.01,stall_us=80")
+        assert spec.os_jitter == 0.02
+        assert spec.stall_prob == 0.01
+        assert spec.stall_us == 80.0
+
+    def test_preset_with_overrides(self):
+        spec = NoiseSpec.parse("medium,stall_prob=0.2")
+        assert spec.stall_prob == 0.2
+        assert spec.os_jitter == PRESETS["medium"].os_jitter
+
+    def test_max_retries_coerced_to_int(self):
+        spec = NoiseSpec.parse("drop_prob=0.1,max_retries=5")
+        assert spec.max_retries == 5
+        assert isinstance(spec.max_retries, int)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            NoiseSpec.parse("")
+        with pytest.raises(ValueError):
+            NoiseSpec.parse("no_such_knob=1")
+        with pytest.raises(ValueError):
+            NoiseSpec.parse("os_jitter=lots")
+        with pytest.raises(ValueError):
+            NoiseSpec.parse("medium,high")  # preset not in lead position
+        with pytest.raises(ValueError):
+            NoiseSpec.parse("medium*x")

@@ -60,3 +60,46 @@ class TestSearches:
         blk = res.best_point.block
         # None (device best) or the paper's 32x8 both deliver the optimum.
         assert blk in (None, (32, 8))
+
+
+class TestEvaluationCounting:
+    """evaluations = real simulator calls; memoized revisits are free."""
+
+    def test_evaluations_match_distinct_points(self):
+        # Every counted evaluation produced exactly one trace entry.
+        ex = exhaustive_search(YONA, "hybrid_overlap", 24)
+        gr = greedy_search(YONA, "hybrid_overlap", 24, sweeps=2)
+        assert ex.evaluations == len(ex.trace)
+        assert gr.evaluations == len(gr.trace)
+
+    def test_extra_sweeps_never_exceed_exhaustive(self):
+        # Regression: revisits used to count as evaluations, so enough
+        # greedy sweeps "cost" more than enumerating the whole space even
+        # though they simulated strictly fewer configurations.
+        ex = exhaustive_search(YONA, "hybrid_overlap", 24)
+        gr = greedy_search(YONA, "hybrid_overlap", 24, sweeps=6)
+        assert gr.evaluations <= ex.evaluations
+        assert set(gr.trace) <= set(ex.trace)
+
+    def test_extra_sweeps_are_free_once_converged(self):
+        one = greedy_search(YONA, "hybrid_overlap", 24, sweeps=1)
+        many = greedy_search(YONA, "hybrid_overlap", 24, sweeps=6)
+        # Later sweeps revisit memoized neighbors of a stable optimum; at
+        # most a handful of new points get simulated.
+        assert many.evaluations >= one.evaluations
+        assert many.evaluations == len(many.trace)
+
+    def test_invalid_points_memoized_as_none(self):
+        from dataclasses import replace
+
+        from repro.autotune.search import _evaluate
+
+        space = TuningSpace(JAGUARPF, "bulk", 48)
+        bad = replace(space.default_point(), threads_per_task=5)  # 5 ∤ 12
+        trace = {}
+        gf, fresh = _evaluate(space, bad, trace)
+        assert gf is None and fresh
+        assert bad in trace and trace[bad] is None
+        # Revisiting the invalid point neither re-simulates nor re-raises.
+        gf2, fresh2 = _evaluate(space, bad, trace)
+        assert gf2 is None and not fresh2

@@ -177,3 +177,106 @@ class TestExperimentIntegration:
         assert run_cache.stats()["hits"] > warm_stats_before["hits"]
         assert [r.rows for r in a] == [r.rows for r in b]
         run_cache.configure(None)
+
+
+class TestCanonicalErrors:
+    def test_type_error_names_the_field_path(self):
+        from repro.cache import _canonical
+
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError) as exc:
+            _canonical({"outer": [1, {"inner": Opaque()}]})
+        msg = str(exc.value)
+        assert "Opaque" in msg
+        assert "config['outer'][1]['inner']" in msg
+
+    def test_dataclass_field_in_path(self):
+        import dataclasses
+
+        from repro.cache import _canonical
+
+        @dataclasses.dataclass
+        class Holder:
+            payload: object
+
+        with pytest.raises(TypeError) as exc:
+            _canonical(Holder(payload=object()))
+        assert "config.payload" in str(exc.value)
+
+
+class TestCorruptEntries:
+    def _entry_path(self, cache, cfg):
+        return cache._path(config_key(cfg))
+
+    def test_truncated_json_is_a_miss(self, cfg, cache):
+        run(cfg)  # store
+        path = self._entry_path(cache, cfg)
+        blob = open(path).read()
+        with open(path, "w") as fh:
+            fh.write(blob[: len(blob) // 2])  # torn write
+        run_cache.reset_stats()
+        result = run(cfg)  # must re-simulate, not crash
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["stores"] == 1  # rewritten
+        assert result.elapsed_s > 0
+
+    def test_garbage_bytes_are_a_miss(self, cfg, cache):
+        run(cfg)
+        path = self._entry_path(cache, cfg)
+        with open(path, "wb") as fh:
+            fh.write(b"\x00\xff\x00 not json")
+        run_cache.reset_stats()
+        assert run(cfg).elapsed_s > 0
+        assert cache.stats()["misses"] == 1
+
+    def test_wrong_shape_json_is_a_miss(self, cfg, cache):
+        run(cfg)
+        path = self._entry_path(cache, cfg)
+        for payload in (
+            [1, 2, 3],  # not a dict
+            {"model_version": MODEL_VERSION},  # missing fields
+            {"model_version": MODEL_VERSION, "elapsed_s": "NaN?",
+             "phases": 7, "comm_stats": {}},  # phases not a mapping
+        ):
+            with open(path, "w") as fh:
+                json.dump(payload, fh)
+            run_cache.reset_stats()
+            assert run(cfg).elapsed_s > 0
+            assert cache.stats()["misses"] == 1
+
+    def test_entry_matching_baseline_still_hits(self, cfg, cache):
+        cold = run(cfg)
+        run_cache.reset_stats()
+        warm = run(cfg)
+        assert cache.stats()["hits"] == 1
+        assert warm.elapsed_s == cold.elapsed_s
+
+
+class TestSeedNoiseKeys:
+    def test_noiseless_key_ignores_new_fields(self, cfg):
+        # seed=None must hash exactly like the pre-perturbation config so
+        # existing cache entries stay addressable.
+        canon_key = config_key(cfg)
+        assert canon_key == config_key(cfg.with_(seed=None, noise=None))
+
+    def test_seed_and_noise_enter_the_key(self, cfg):
+        from repro.perturb import NoiseSpec
+
+        spec = NoiseSpec.preset("medium")
+        k0 = config_key(cfg)
+        k1 = config_key(cfg.with_(seed=1, noise=spec))
+        k2 = config_key(cfg.with_(seed=2, noise=spec))
+        k3 = config_key(cfg.with_(seed=1, noise=spec.scaled(0.5)))
+        assert len({k0, k1, k2, k3}) == 4
+
+    def test_seeded_runs_cache_and_replay_bit_identically(self, cfg, cache):
+        from repro.perturb import NoiseSpec
+
+        noisy = cfg.with_(seed=7, noise=NoiseSpec.preset("medium"))
+        cold = run(noisy)
+        warm = run(noisy)
+        assert cache.stats()["hits"] == 1
+        assert warm.elapsed_s == cold.elapsed_s
+        assert warm.phases == cold.phases

@@ -3,7 +3,7 @@
 
 Run from the repository root::
 
-    python tools/perf_smoke.py [--out BENCH_PR3.json] [--check]
+    python tools/perf_smoke.py [--out BENCH_PR4.json] [--check]
 
 Measures, on the current machine:
 
@@ -27,9 +27,14 @@ Measures, on the current machine:
   build to race at runtime, so the disabled cost is bounded
   analytically: the traced run's event+counter count bounds how many
   guards an untraced run evaluates, and a micro-benchmark prices one
-  guard check (loop overhead included, so the bound is conservative).
+  guard check (loop overhead included, so the bound is conservative),
+* the perturbation layer's cost and contract: an unseeded run must be
+  bit-identical to the pre-perturbation simulator (the ``perturb is
+  None`` guards are priced with the same analytic bound, ceiling 3%),
+  and a fixed ``(seed, noise)`` pair must reproduce bit-identically
+  across repeat runs while actually changing the timeline.
 
-Results are written as JSON (default ``BENCH_PR3.json``) so each PR can
+Results are written as JSON (default ``BENCH_PR4.json``) so each PR can
 record its perf point and the trajectory stays auditable. The committed
 numbers come from the reference container; regenerate locally before
 comparing machines.
@@ -38,7 +43,9 @@ comparing machines.
 separable kernel >= 14 Mpts/s, kernel agreement inside the band, DES
 engine >= 2x the legacy engine, warm sweep >= 40% faster than cold,
 warm results identical to cold, traced == untraced bit-identically,
-and the disabled-tracing guard bound <= 2%.
+the disabled-tracing guard bound <= 2%, seeded runs deterministic and
+distinct from noiseless, and the disabled-perturbation guard bound
+<= 3%.
 """
 
 from __future__ import annotations
@@ -75,6 +82,7 @@ FLOOR_KERNEL_MPTS = 14.0
 FLOOR_DES_SPEEDUP = 2.0
 FLOOR_WARM_CUT = 0.40
 CEIL_TRACE_OFF_OVERHEAD = 0.02
+CEIL_PERTURB_OFF_OVERHEAD = 0.03
 
 
 def _field(n: int, seed: int = 0) -> np.ndarray:
@@ -120,11 +128,17 @@ def agreement(n: int) -> float:
 
 
 def time_des() -> dict:
-    """Engine events/s vs the embedded pre-PR engine (bench_des workload)."""
+    """Engine events/s vs the embedded pre-PR engine (bench_des workload).
+
+    Best-of-3 interleaved passes: a single pass is at the mercy of a
+    loaded container and has produced spurious sub-floor speedups.
+    """
     from bench_des import engine_events_per_second, legacy_events_per_second
 
-    legacy = legacy_events_per_second()
-    new = engine_events_per_second()
+    legacy = new = 0.0
+    for _ in range(3):
+        legacy = max(legacy, legacy_events_per_second())
+        new = max(new, engine_events_per_second())
     return {
         "legacy_events_per_s": round(legacy),
         "engine_events_per_s": round(new),
@@ -236,6 +250,78 @@ def time_trace_overhead() -> dict:
     }
 
 
+def time_perturb_overhead() -> dict:
+    """Perturbation-layer cost bound and determinism contract.
+
+    The unseeded path keeps one ``perturb is None`` guard at every
+    instrumented hot-path site (compute charge, transfer start/finish,
+    kernel launch, PCIe copy) — the same sites the tracer instruments,
+    so the traced run's event+counter count (doubled for margin) bounds
+    how many guards an unseeded run evaluates. A micro-benchmark prices
+    one guard; ``guards x guard_cost / unseeded_wall`` bounds the
+    disabled overhead, gated at 3%.
+
+    Contract checks: a null spec with a seed stays bit-identical to the
+    unseeded run; a fixed ``(seed, noise)`` reproduces bit-identically
+    on re-run and differs from the noiseless timeline.
+    """
+    from repro.core.config import RunConfig
+    from repro.core.runner import run
+    from repro.machines import get_machine
+    from repro.perturb import NoiseSpec
+
+    def cfg(**kw) -> RunConfig:
+        return RunConfig(
+            machine=get_machine("yona"), implementation="hybrid_overlap",
+            cores=12, threads_per_task=6, box_thickness=3,
+            network="full", **kw,
+        )
+
+    base = run(cfg())
+    null = run(cfg(seed=7, noise=NoiseSpec()))
+    noiseless_identical = (
+        null.elapsed_s == base.elapsed_s and null.phases == base.phases
+    )
+
+    spec = NoiseSpec.preset("medium")
+    a, b = run(cfg(seed=7, noise=spec)), run(cfg(seed=7, noise=spec))
+    seeded_reproducible = (
+        a.elapsed_s == b.elapsed_s
+        and a.phases == b.phases
+        and a.comm_stats == b.comm_stats
+    )
+    seeded_perturbs = a.elapsed_s != base.elapsed_s
+
+    reps = 20
+    off_s = on_s = 1e9
+    for _ in range(3):  # interleaved batches, best-of
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            run(cfg())
+        off_s = min(off_s, (time.perf_counter() - t0) / reps)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            run(cfg(seed=7, noise=spec))
+        on_s = min(on_s, (time.perf_counter() - t0) / reps)
+
+    tracer = run(cfg(trace=True)).tracer
+    n_guards = 2 * (len(tracer.events) + len(tracer.counters))  # 2x margin
+    guard_s = _guard_cost_s()
+    off_bound = n_guards * guard_s / off_s
+    return {
+        "unseeded_ms_per_run": round(off_s * 1e3, 3),
+        "seeded_ms_per_run": round(on_s * 1e3, 3),
+        "seeded_overhead": round(on_s / off_s - 1.0, 3),
+        "noiseless_bit_identical": noiseless_identical,
+        "seeded_reproducible": seeded_reproducible,
+        "seeded_differs_from_noiseless": seeded_perturbs,
+        "guard_sites_bound": n_guards,
+        "guard_cost_ns": round(guard_s * 1e9, 2),
+        "disabled_overhead_bound": round(off_bound, 5),
+        "acceptance_ceiling_disabled_overhead": CEIL_PERTURB_OFF_OVERHEAD,
+    }
+
+
 def time_fig9() -> float:
     from repro.experiments import run_experiment
 
@@ -248,7 +334,7 @@ def time_fig9() -> float:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_PR3.json", metavar="PATH")
+    ap.add_argument("--out", default="BENCH_PR4.json", metavar="PATH")
     ap.add_argument("--size", type=int, default=256, help="grid points per dim")
     ap.add_argument("--steps", type=int, default=3)
     ap.add_argument("--check", action="store_true",
@@ -291,8 +377,18 @@ def main(argv=None) -> int:
         f"disabled-guard bound {100 * trace['disabled_overhead_bound']:.2f}%"
     )
 
+    perturb = time_perturb_overhead()
+    print(
+        f"perturbation: off {perturb['unseeded_ms_per_run']:.2f} ms/run, "
+        f"seeded {perturb['seeded_ms_per_run']:.2f} ms/run "
+        f"(+{100 * perturb['seeded_overhead']:.0f}%), "
+        f"noiseless-identical={perturb['noiseless_bit_identical']}, "
+        f"reproducible={perturb['seeded_reproducible']}, "
+        f"disabled-guard bound {100 * perturb['disabled_overhead_bound']:.2f}%"
+    )
+
     payload = {
-        "pr": 3,
+        "pr": 4,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -311,6 +407,7 @@ def main(argv=None) -> int:
         "sweep_cache": sweep,
         "experiments": {"fig9_seconds": round(fig9_s, 2)},
         "tracing": trace,
+        "perturbation": perturb,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -338,6 +435,18 @@ def main(argv=None) -> int:
             f"disabled-tracing guard bound "
             f"{100 * trace['disabled_overhead_bound']:.2f}% > "
             f"{100 * CEIL_TRACE_OFF_OVERHEAD:.0f}%"
+        )
+    if not perturb["noiseless_bit_identical"]:
+        failures.append("unseeded run differs from the pre-perturbation path")
+    if not perturb["seeded_reproducible"]:
+        failures.append("seeded run is not bit-reproducible")
+    if not perturb["seeded_differs_from_noiseless"]:
+        failures.append("seeded medium noise failed to perturb the timeline")
+    if perturb["disabled_overhead_bound"] > CEIL_PERTURB_OFF_OVERHEAD:
+        failures.append(
+            f"disabled-perturbation guard bound "
+            f"{100 * perturb['disabled_overhead_bound']:.2f}% > "
+            f"{100 * CEIL_PERTURB_OFF_OVERHEAD:.0f}%"
         )
     if failures:
         for f in failures:
