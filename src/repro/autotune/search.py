@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.autotune.space import TuningPoint, TuningSpace
+from repro.core.config import RunConfig
 from repro.core.runner import run
 from repro.machines.spec import MachineSpec
 
@@ -50,17 +51,85 @@ def _evaluate(
     return gf, True
 
 
+def _run_batch(cfgs: Sequence[RunConfig]) -> List[Optional[float]]:
+    """GF for each config; ``None`` where the simulator rejects it.
+
+    Routes through the process-wide scheduler when one is installed —
+    all the candidates of a search axis run as one deduplicated,
+    possibly-parallel submit — and falls back to serial ``run`` calls
+    otherwise.  ``ValueError`` means "invalid point" in both paths (the
+    historical contract of :func:`_evaluate`); other errors propagate.
+    """
+    from repro.sched import active_scheduler
+
+    sched = active_scheduler()
+    if sched is None:
+        out: List[Optional[float]] = []
+        for cfg in cfgs:
+            try:
+                out.append(run(cfg).gflops)
+            except ValueError:
+                out.append(None)
+        return out
+    results = sched.map(cfgs, return_exceptions=True)
+    out = []
+    for r in results:
+        if isinstance(r, ValueError):
+            out.append(None)
+        elif isinstance(r, BaseException):
+            raise r
+        else:
+            out.append(r.gflops)
+    return out
+
+
+def _evaluate_batch(
+    space: TuningSpace,
+    points: Sequence[TuningPoint],
+    trace: Dict[TuningPoint, Optional[float]],
+) -> int:
+    """Evaluate every not-yet-traced point in one batch.
+
+    Returns the number of *fresh* evaluations (first visits, valid or
+    not), matching :func:`_evaluate`'s accounting exactly: revisits are
+    free, invalid points count once and memoize as ``None``.
+    """
+    fresh_pts: List[TuningPoint] = []
+    cfgs: List[RunConfig] = []
+    pending = set()
+    n = 0
+    for point in points:
+        if point in trace or point in pending:
+            continue
+        n += 1
+        pending.add(point)
+        try:
+            cfg = point.apply(space.machine, space.impl_key, space.cores)
+        except ValueError:
+            trace[point] = None
+            continue
+        fresh_pts.append(point)
+        cfgs.append(cfg)
+    for point, gf in zip(fresh_pts, _run_batch(cfgs)):
+        trace[point] = gf
+    return n
+
+
 def exhaustive_search(
     machine: MachineSpec, impl_key: str, cores: int
 ) -> SearchResult:
     """Evaluate every point; ground truth for the greedy strategy."""
     space = TuningSpace(machine, impl_key, cores)
     trace: Dict[TuningPoint, Optional[float]] = {}
+    points = list(space.points())
+    # One batch: the whole space goes through the scheduler in one submit
+    # (deduplicated and parallel when one is installed).  Folding the
+    # memoized scores in iteration order with a strict ``>`` reproduces
+    # the sequential first-maximum exactly.
+    n = _evaluate_batch(space, points, trace)
     best_point, best_gf = None, float("-inf")
-    n = 0
-    for point in space.points():
-        gf, fresh = _evaluate(space, point, trace)
-        n += int(fresh)
+    for point in points:
+        gf = trace.get(point)
         if gf is not None and gf > best_gf:
             best_point, best_gf = point, gf
     if best_point is None:
@@ -94,12 +163,21 @@ def greedy_search(
             raise ValueError(f"no valid tuning point for {impl_key} at {cores} cores")
     for _ in range(sweeps):
         for axis, values in space.axes():
-            for v in values:
-                candidate = replace(current, **{axis: v})
-                if candidate == current:
-                    continue
-                gf, fresh = _evaluate(space, candidate, trace)
-                n += int(fresh)
+            # Batch the whole axis in one scheduler submit.  Within an
+            # axis only that axis's field can change on an accept, so
+            # ``replace(current, axis=v)`` is independent of mid-axis
+            # accepts: the candidate set built from the axis-entry
+            # ``current`` is exactly the set the sequential loop would
+            # evaluate, and folding memoized scores in value order with a
+            # strict ``>`` replays its accept trajectory verbatim.
+            candidates = [
+                replace(current, **{axis: v})
+                for v in values
+                if replace(current, **{axis: v}) != current
+            ]
+            n += _evaluate_batch(space, candidates, trace)
+            for candidate in candidates:
+                gf = trace.get(candidate)
                 if gf is not None and gf > current_gf:
                     current, current_gf = candidate, gf
     return SearchResult(current, current_gf, n, trace)

@@ -137,8 +137,17 @@ class RunCache:
         return os.path.join(self.directory, f"{key}.json")
 
     # -- lookup -------------------------------------------------------------
-    def get(self, cfg: "RunConfig") -> Optional["RunResult"]:
-        """Return the cached result for ``cfg``, or ``None`` on a miss."""
+    def get(
+        self, cfg: "RunConfig", record_miss: bool = True
+    ) -> Optional["RunResult"]:
+        """Return the cached result for ``cfg``, or ``None`` on a miss.
+
+        ``record_miss=False`` makes the lookup a *probe*: a miss is not
+        charged to the counters. The scheduler uses this for its parent-side
+        short-circuit check — when the probe misses, the worker that ends up
+        simulating the config performs (and counts) the authoritative
+        lookup, so misses are counted exactly once. Hits are always counted.
+        """
         if not cacheable(cfg):
             return None
         key = config_key(cfg)
@@ -148,7 +157,7 @@ class RunCache:
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             # Missing, unreadable, truncated or torn entry: a plain miss —
             # the run is re-simulated and the entry rewritten atomically.
-            self.misses += 1
+            self.misses += record_miss
             return None
         if (
             not isinstance(payload, dict)
@@ -156,7 +165,7 @@ class RunCache:
         ):
             # Defense in depth: the version is part of the key, so this only
             # triggers on a corrupted/forged entry.
-            self.misses += 1
+            self.misses += record_miss
             return None
         from repro.core.config import RunResult
 
@@ -170,7 +179,7 @@ class RunCache:
         except (KeyError, TypeError, ValueError, AttributeError):
             # Structurally valid JSON with the wrong shape (hand-edited or
             # partially corrupted entry): also a miss, never a crash.
-            self.misses += 1
+            self.misses += record_miss
             return None
         self.hits += 1
         return result

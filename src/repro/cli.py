@@ -9,6 +9,8 @@
     advection-repro experiment fig9 fig10 --jobs 4   # several, in parallel
     advection-repro experiment all --jobs 8    # the full report
     advection-repro experiments                # list experiment ids
+    advection-repro sweep --machine yona --impl hybrid_overlap \\
+        --cores 12 24 48 --jobs 4              # tuning sweep, parallel
     advection-repro tune --machine yona --impl hybrid_overlap --cores 48
     advection-repro trace --machine yona --impl hybrid_overlap --out t.json
     advection-repro trace --experiments all --fast --check
@@ -82,9 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="experiment ids, or 'all' for the full report")
     expp.add_argument("--fast", action="store_true", help="trimmed sweep")
     expp.add_argument("--jobs", type=int, default=1, metavar="N",
-                      help="regenerate independent experiments in a process "
-                           "pool with N workers (experiments are pure "
-                           "functions of their id)")
+                      help="regenerate experiments concurrently: every "
+                           "simulated config goes through the shared task "
+                           "scheduler with N worker processes (deduplicated "
+                           "across figures, bit-identical to --jobs 1)")
     expp.add_argument("--plot", action="store_true",
                       help="also render the series as an ASCII chart")
     expp.add_argument("--json", metavar="PATH", default=None,
@@ -101,6 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "$REPRO_CACHE_DIR or .repro-cache); shared "
                            "configs are simulated once per model version "
                            "and replayed bit-identically afterwards")
+
+    sweepp = sub.add_parser(
+        "sweep",
+        help="sweep the tuning space over core counts through the shared "
+             "task scheduler (deduplicated, cached, parallel with --jobs)",
+    )
+    sweepp.add_argument("--machine", required=True, help="jaguarpf|hopper|lens|yona")
+    sweepp.add_argument("--impl", nargs="+", required=True, metavar="IMPL",
+                        choices=sorted(IMPLEMENTATIONS) + ["all"],
+                        help="implementation keys, or 'all'")
+    sweepp.add_argument("--cores", type=int, nargs="+", required=True,
+                        metavar="N", help="total core counts to sweep")
+    sweepp.add_argument("--thicknesses", metavar="T1,T2,...", default=None,
+                        help="box thicknesses for the hybrid implementations "
+                             "(default: the paper's §V-E set)")
+    sweepp.add_argument("--steps", type=int, default=2)
+    sweepp.add_argument("--network", choices=("mirror", "full"), default="mirror")
+    sweepp.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scheduler worker processes; each distinct "
+                             "config is simulated at most once per session "
+                             "and results are bit-identical to --jobs 1")
+    sweepp.add_argument("--journal", metavar="PATH", default=None,
+                        help="resumable JSONL journal: an interrupted sweep "
+                             "restarts from its completed tasks")
+    sweepp.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate; do not read or write the "
+                             "run-result cache")
+    sweepp.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="run-result cache directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
 
     valp = sub.add_parser("validate", help="run every correctness oracle")
     valp.add_argument("--impl", default="all",
@@ -315,6 +348,66 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    """Tuning sweep over (impl, cores) points through the scheduler."""
+    from repro import cache as run_cache
+    from repro.perf.sweep import best_over_threads
+    from repro.sched import scheduled
+
+    machine = get_machine(args.machine)
+    if args.jobs < 1:
+        print(f"sweep: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    thicknesses = None
+    if args.thicknesses:
+        try:
+            thicknesses = tuple(int(t) for t in args.thicknesses.split(","))
+        except ValueError:
+            print(f"sweep: bad --thicknesses {args.thicknesses!r}", file=sys.stderr)
+            return 2
+    impls = (
+        sorted(IMPLEMENTATIONS) if "all" in args.impl
+        else list(dict.fromkeys(args.impl))
+    )
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is not None:
+        run_cache.configure(cache_dir)
+
+    rows = []
+    with scheduled(args.jobs, cache_dir=cache_dir, journal=args.journal) as sched:
+        for impl in impls:
+            for cores in args.cores:
+                best = best_over_threads(
+                    machine, impl, cores,
+                    thicknesses=thicknesses, steps=args.steps,
+                    network=args.network,
+                )
+                rows.append((impl, cores, best))
+        summary = sched.summary()
+
+    print(f"{'impl':16s} {'cores':>6s} {'threads':>7s} {'T':>3s} "
+          f"{'GF':>8s} {'ms/step':>8s}")
+    for impl, cores, best in rows:
+        if best is None:
+            print(f"{impl:16s} {cores:6d} {'-':>7s} {'-':>3s} {'-':>8s} {'-':>8s}")
+            continue
+        print(
+            f"{impl:16s} {cores:6d} {best.config.threads_per_task:7d} "
+            f"{best.config.box_thickness:3d} {best.gflops:8.2f} "
+            f"{best.seconds_per_step * 1e3:8.3f}"
+        )
+    print(summary)
+    if cache_dir is not None:
+        s = run_cache.stats()
+        looked_up = s["hits"] + s["misses"]
+        rate = 100.0 * s["hits"] / looked_up if looked_up else 0.0
+        print(
+            f"run cache: {s['hits']} hits / {s['misses']} misses "
+            f"({rate:.0f}% hit rate), {s['stores']} stored -> {cache_dir}"
+        )
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.validation import validate_implementation
 
@@ -465,6 +558,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "tune":

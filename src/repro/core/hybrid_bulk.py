@@ -14,7 +14,7 @@ from repro.core.gpu_common import (
     inner_halo_slabs,
     slab_normal_split,
 )
-from repro.core.hybrid_common import hybrid_drain, hybrid_setup
+from repro.core.hybrid_common import hybrid_drain, hybrid_setup, hybrid_validate
 from repro.decomp.boxdecomp import BoxDecomposition
 from repro.machines.calibration import WALL_COMPUTE_EFFICIENCY
 from repro.stencil.kernels import apply_stencil_block
@@ -37,6 +37,9 @@ class HybridBulkMPI(Implementation):
     fortran_loc = 800  # between the GPU+MPI codes and the 860-line §IV-I
     uses_mpi = True
     uses_gpu = True
+
+    def validate(self, cfg):
+        hybrid_validate(self, cfg)
 
     def setup(self, ctx: RankContext):
         yield from hybrid_setup(self, ctx)

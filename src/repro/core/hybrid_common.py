@@ -3,12 +3,28 @@
 from __future__ import annotations
 
 from repro.core.base import Implementation
+from repro.core.config import RunConfig
 from repro.core.context import RankContext
 from repro.core.gpu_common import copy_box_dev_to_host, copy_box_host_to_dev
 from repro.decomp.boxdecomp import BoxDecomposition
 from repro.stencil.arena import ScratchArena
 
-__all__ = ["hybrid_setup", "hybrid_drain"]
+__all__ = ["hybrid_validate", "hybrid_setup", "hybrid_drain"]
+
+
+def hybrid_validate(impl: Implementation, cfg: RunConfig) -> None:
+    """Base checks plus eager box-decomposition feasibility.
+
+    The smallest subdomain bounds feasibility (``min(shape) > 2T``), so a
+    thickness that would raise inside :func:`hybrid_setup` is rejected
+    here — before any simulation — which lets sweep drivers classify
+    invalid (threads, thickness) points without running them.
+    """
+    Implementation.validate(impl, cfg)
+    from repro.decomp.partition import Decomposition
+
+    decomp = Decomposition(cfg.ntasks, cfg.domain)
+    BoxDecomposition(decomp.min_subdomain_shape(), cfg.box_thickness)
 
 
 def hybrid_setup(impl: Implementation, ctx: RankContext):

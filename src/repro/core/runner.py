@@ -325,19 +325,28 @@ def run_replicated(cfg: RunConfig, replicas: int) -> RunResult:
     Returns replica 0's result with :attr:`RunResult.stats` set to the
     ensemble summary (:func:`repro.perturb.stats.replication_stats`).
     Replicas are individually cacheable, so repeating a study is cheap.
+
+    When a process-wide scheduler is installed (:mod:`repro.sched`), the
+    whole ensemble goes through it as one batch — deduplicated against
+    other work in the session and parallel with ``jobs > 1`` — with each
+    replica's result bit-identical to a direct ``run`` of its seed.
     """
     from dataclasses import replace as _replace
 
     from repro.perturb.rng import derive_seed
     from repro.perturb.stats import replication_stats
+    from repro.sched import active_scheduler
 
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas!r}")
     if cfg.seed is None:
         raise ValueError("run_replicated requires a seeded config (RunConfig.seed)")
-    results = [
-        run(cfg.with_(seed=derive_seed(cfg.seed, i))) for i in range(replicas)
-    ]
+    seeded = [cfg.with_(seed=derive_seed(cfg.seed, i)) for i in range(replicas)]
+    sched = active_scheduler()
+    if sched is not None:
+        results = sched.map(seeded)
+    else:
+        results = [run(c) for c in seeded]
     stats = replication_stats([r.elapsed_s for r in results])
     # A fresh record (never mutate a possibly cached result object).
     return _replace(results[0], config=cfg, stats=stats)

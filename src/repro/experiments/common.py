@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "run_experiments"]
 
@@ -108,43 +108,33 @@ def run_experiment(exp_id: str, fast: bool = False) -> ExperimentResult:
     return mod.run(fast=fast)
 
 
-def _run_one(args: Tuple[str, bool, Optional[str]]):
-    """Top-level (picklable) worker for the process pool.
-
-    Installs the run cache in the worker process (caches are per-process;
-    the directory is shared and writes are atomic) and ships the worker's
-    hit/miss counters back so the parent can report aggregate stats.
-    """
-    exp_id, fast, cache_dir = args
-    from repro import cache as run_cache
-
-    if cache_dir is not None:
-        run_cache.configure(cache_dir)
-    result = run_experiment(exp_id, fast=fast)
-    return result, run_cache.stats()
-
-
 def run_experiments(
     exp_ids: Sequence[str],
     fast: bool = False,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
-    """Regenerate several experiments, optionally in a process pool.
+    """Regenerate several experiments, optionally in parallel.
 
-    Experiments are pure functions of their id (the simulator is
-    deterministic and shares no mutable state across ids), so they can be
-    regenerated independently: with ``jobs > 1`` they run in a
-    :class:`concurrent.futures.ProcessPoolExecutor` with ``jobs`` workers.
-    Results are returned in the order of ``exp_ids`` regardless of
-    completion order. Unknown ids raise :class:`KeyError` before any work
-    is dispatched.
+    With ``jobs > 1`` the experiments fan out over a thread pool in this
+    process while every simulated config is executed by the shared task
+    scheduler (:mod:`repro.sched`) and its ``jobs`` worker processes.
+    Concurrent experiments *coalesce* on the scheduler: a config that
+    several figures share (e.g. the best Lens configs of fig9/fig11/sec5e)
+    is simulated exactly once per session, and every result is
+    bit-identical to the ``jobs=1`` serial path.  Results are returned in
+    the order of ``exp_ids`` regardless of completion order.  Unknown ids
+    raise :class:`KeyError` before any work is dispatched.
 
     ``cache_dir`` installs the content-addressed run cache
     (:mod:`repro.cache`) for the regeneration — in this process and in
-    every pool worker; configs already simulated under the current model
-    version are replayed from disk, bit-identically. ``None`` leaves the
-    current cache configuration (usually: no cache) untouched.
+    every scheduler worker; configs already simulated under the current
+    model version are replayed from disk, bit-identically. ``None``
+    leaves the current cache configuration (usually: no cache) untouched.
+
+    An already-installed process-wide scheduler
+    (:func:`repro.sched.configure`) is reused as-is; otherwise one is
+    created for the duration of this call.
     """
     exp_ids = list(exp_ids)
     for exp_id in exp_ids:
@@ -158,10 +148,18 @@ def run_experiments(
         run_cache.configure(cache_dir)
     if jobs == 1 or len(exp_ids) <= 1:
         return [run_experiment(e, fast=fast) for e in exp_ids]
-    from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(exp_ids))) as pool:
-        out = list(pool.map(_run_one, [(e, fast, cache_dir) for e in exp_ids]))
-    for _result, worker_stats in out:
-        run_cache.merge_stats(worker_stats)
-    return [result for result, _stats in out]
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.sched import active_scheduler, scheduled
+
+    def _fan_out() -> List[ExperimentResult]:
+        with ThreadPoolExecutor(
+            max_workers=min(jobs, len(exp_ids)), thread_name_prefix="exp"
+        ) as pool:
+            return list(pool.map(lambda e: run_experiment(e, fast=fast), exp_ids))
+
+    if active_scheduler() is not None:
+        return _fan_out()
+    with scheduled(jobs, cache_dir=cache_dir):
+        return _fan_out()

@@ -38,13 +38,34 @@ def to_json(result: ExperimentResult, indent: Optional[int] = 2) -> str:
     return json.dumps(doc, indent=indent)
 
 
+def _abscissa_order(points) -> list:
+    """Points sorted numerically when every abscissa is a number.
+
+    Core-count abscissae used to be ordered as strings, which put 1536
+    before 24 and 384 in every exported scaling figure.  Mixed or
+    non-numeric abscissae keep the string ordering (stable for labels).
+    """
+    items = list(points.items())
+    if all(
+        isinstance(x, (int, float)) and not isinstance(x, bool)
+        for x, _y in items
+    ):
+        return sorted(items, key=lambda kv: kv[0])
+    return sorted(items, key=lambda kv: str(kv[0]))
+
+
 def to_csv(result: ExperimentResult) -> str:
-    """Serialize the series in long form: ``series,x,y`` rows."""
+    """Serialize the series in long form: ``series,x,y`` rows.
+
+    Within each series rows are ordered by abscissa — numerically when
+    all abscissae are numeric (24 < 384 < 1536), lexicographically
+    otherwise.
+    """
     buf = io.StringIO()
     writer = csv.writer(buf)
     writer.writerow(["series", "x", "y"])
     for name, points in result.series.items():
-        for x, y in sorted(points.items(), key=lambda kv: str(kv[0])):
+        for x, y in _abscissa_order(points):
             writer.writerow([name, x, y])
     return buf.getvalue()
 

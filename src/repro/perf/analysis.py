@@ -17,6 +17,7 @@ __all__ = [
     "parallel_efficiency",
     "speedup_series",
     "host_fraction",
+    "exposed_wait_fraction",
     "overlap_efficiency",
 ]
 
@@ -60,7 +61,13 @@ def exposed_wait_fraction(result: RunResult) -> float:
     For CPU-only implementations this is almost exactly the exposed
     communication time; for GPU implementations it also contains time
     blocked on device synchronization.
+
+    Raises ``ValueError`` on an empty measurement (non-positive elapsed
+    time), consistently with :func:`host_fraction` — previously this
+    divided straight through and raised ``ZeroDivisionError`` instead.
     """
+    if result.elapsed_s <= 0:
+        raise ValueError("empty measurement")
     busy = sum(result.phases.values())
     return max(0.0, 1.0 - busy / result.elapsed_s)
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import RunConfig, RunResult
@@ -11,10 +12,13 @@ from repro.machines.spec import MachineSpec
 
 __all__ = [
     "valid_thread_counts",
+    "SweepResults",
     "sweep_configs",
     "best_over_threads",
     "best_hybrid_config",
 ]
+
+log = logging.getLogger("repro.perf.sweep")
 
 #: Box thicknesses swept for the hybrid implementations (paper §V-E).
 DEFAULT_THICKNESSES: Tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10, 12, 16)
@@ -37,19 +41,61 @@ def valid_thread_counts(machine: MachineSpec, cores: int) -> List[int]:
     return out
 
 
-def sweep_configs(configs: Iterable[RunConfig]) -> List[RunResult]:
-    """Run every configuration, skipping invalid ones silently.
+class SweepResults(List[RunResult]):
+    """Results of a sweep: a plain list plus skip bookkeeping.
+
+    ``skipped`` counts configurations rejected *eagerly* by
+    :func:`repro.sched.validate_config` (infeasible thickness, no valid
+    task grid, missing GPU, ...). Code that treated the return value as a
+    ``list`` keeps working unchanged.
+    """
+
+    def __init__(self, results: Iterable[RunResult] = (), skipped: int = 0):
+        super().__init__(results)
+        self.skipped = skipped
+
+
+def sweep_configs(configs: Iterable[RunConfig]) -> SweepResults:
+    """Run every *feasible* configuration; count the infeasible ones.
 
     Invalid combinations (e.g. a thickness too thick for the subdomain)
-    are part of any real sweep; they are dropped, not raised.
+    are part of any real sweep.  They used to be detected by swallowing
+    every ``ValueError`` raised *during* simulation — which also hid real
+    model and runtime errors as "invalid points".  Feasibility is now
+    checked up front with :func:`repro.sched.validate_config` (the same
+    rules the simulator enforces); infeasible configs are skipped and
+    counted in ``.skipped``, and any error the simulator itself raises
+    propagates to the caller.
+
+    When a process-wide scheduler is installed
+    (:func:`repro.sched.configure` / :func:`repro.sched.scheduled`), the
+    feasible configs are executed through it — deduplicated, cache
+    short-circuited and, with ``jobs > 1``, in parallel — with results
+    bit-identical to this function's serial path.
     """
-    results = []
+    from repro.sched import active_scheduler, validate_config
+
+    valid: List[RunConfig] = []
+    skipped = 0
     for cfg in configs:
         try:
-            results.append(run(cfg))
-        except ValueError:
+            validate_config(cfg)
+        except ValueError as exc:
+            skipped += 1
+            log.debug("sweep: skipping infeasible config: %s", exc)
             continue
-    return results
+        valid.append(cfg)
+    if skipped:
+        log.info(
+            "sweep: skipped %d infeasible of %d configs",
+            skipped, skipped + len(valid),
+        )
+    sched = active_scheduler()
+    if sched is not None:
+        results = sched.map(valid)
+    else:
+        results = [run(cfg) for cfg in valid]
+    return SweepResults(results, skipped=skipped)
 
 
 def _thickness_options(impl_key: str, thicknesses: Optional[Sequence[int]]) -> Sequence[int]:

@@ -16,6 +16,26 @@ __all__ = ["ascii_plot"]
 _MARKERS = "ox+*#@%&sdhv"
 
 
+def _plottable(x, y, logx: bool) -> bool:
+    """Whether one ``(x, y)`` point can land on the chart.
+
+    One shared predicate for the bounds pass *and* the per-series pass:
+    numeric non-bool abscissa, numeric positive ordinate, and a positive
+    abscissa under a log x-axis.  The per-series pass used to run
+    ``sorted(pts.items())`` over the raw keys, which raised ``TypeError``
+    on mixed str/int abscissae the bounds pass had already filtered out.
+    """
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        return False
+    if isinstance(y, bool) or not isinstance(y, (int, float)):
+        return False
+    if y <= 0:
+        return False
+    if logx and x <= 0:
+        return False
+    return True
+
+
 def ascii_plot(
     series: Dict[str, Dict],
     width: int = 72,
@@ -24,10 +44,16 @@ def ascii_plot(
     logy: bool = True,
     title: str = "",
 ) -> str:
-    """Render ``{name: {x: y}}`` as an ASCII chart with a marker legend."""
+    """Render ``{name: {x: y}}`` as an ASCII chart with a marker legend.
+
+    Non-plottable points (string labels mixed into a numeric series,
+    non-positive values on log axes) are skipped consistently in both the
+    bounds and drawing passes.  Past ``len(_MARKERS)`` series the markers
+    cycle, and the legend says so instead of silently aliasing.
+    """
     points = [
         (x, y) for pts in series.values() for x, y in pts.items()
-        if isinstance(x, (int, float)) and y > 0
+        if _plottable(x, y, logx)
     ]
     if not points:
         return "(no plottable points)"
@@ -52,12 +78,18 @@ def ascii_plot(
     for idx, (name, pts) in enumerate(series.items()):
         marker = _MARKERS[idx % len(_MARKERS)]
         legend.append(f"  {marker} {name}")
-        for x, y in sorted(pts.items()):
-            if not isinstance(x, (int, float)) or y <= 0:
-                continue
+        plotted = sorted(
+            (x, y) for x, y in pts.items() if _plottable(x, y, logx)
+        )
+        for x, y in plotted:
             col = int((tx(x) - x0) / (x1 - x0) * (width - 1))
             row = height - 1 - int((ty(y) - y0) / (y1 - y0) * (height - 1))
             grid[row][col] = marker
+    if len(series) > len(_MARKERS):
+        legend.append(
+            f"  (markers cycle: {len(series)} series share "
+            f"{len(_MARKERS)} marker glyphs)"
+        )
 
     def fmt(v, log):
         raw = 10**v if log else v

@@ -1,0 +1,123 @@
+"""Resumable JSONL journal of completed scheduler tasks.
+
+One line per completed config, keyed by the content-addressed cache key
+(:func:`repro.cache.config_key`).  Because the key already folds in the
+full config, the machine spec and :data:`repro.cache.MODEL_VERSION`,
+entries self-invalidate across model changes — a stale journal simply
+stops matching.
+
+Durability: every line is flushed and fsync'd as it is appended, so a
+``SIGKILL`` mid-batch loses at most the line being written.  On load, a
+truncated/corrupt trailing line (the torn write) is skipped, never fatal.
+Floats round-trip exactly through JSON in CPython, so a journal replay is
+bit-identical to the original simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["Journal"]
+
+#: Journal line format version (bumped on incompatible payload changes).
+JOURNAL_VERSION = 1
+
+
+class Journal:
+    """Append-only JSONL store of completed task payloads, keyed by config."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        #: entries recovered from a previous (possibly killed) session
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.corrupt_lines = 0
+        self._load()
+        # Line-buffered append handle; each record is one write+flush+fsync.
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- load -----------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            fh = open(self.path, "r", encoding="utf-8")
+        except OSError:
+            return
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn trailing write after a kill — skip, never fatal.
+                    self.corrupt_lines += 1
+                    continue
+                if (
+                    not isinstance(doc, dict)
+                    or doc.get("v") != JOURNAL_VERSION
+                    or not isinstance(doc.get("key"), str)
+                ):
+                    self.corrupt_lines += 1
+                    continue
+                try:
+                    payload = {
+                        "elapsed_s": float(doc["elapsed_s"]),
+                        "phases": {
+                            str(k): float(v) for k, v in doc["phases"].items()
+                        },
+                        "comm_stats": {
+                            str(k): int(v) for k, v in doc["comm_stats"].items()
+                        },
+                    }
+                except (KeyError, TypeError, ValueError, AttributeError):
+                    self.corrupt_lines += 1
+                    continue
+                # Last write wins (duplicates are bit-identical anyway).
+                self.entries[doc["key"]] = payload
+
+    # -- lookup ---------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Payload for ``key`` from a previous session, or ``None``."""
+        return self.entries.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self.entries)
+
+    # -- append ---------------------------------------------------------------
+    def record(self, key: str, payload: Dict[str, Any]) -> None:
+        """Durably append one completed task's scalar payload."""
+        doc = {
+            "v": JOURNAL_VERSION,
+            "key": key,
+            "elapsed_s": payload["elapsed_s"],
+            "phases": payload["phases"],
+            "comm_stats": payload["comm_stats"],
+        }
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.entries[key] = {
+            "elapsed_s": payload["elapsed_s"],
+            "phases": dict(payload["phases"]),
+            "comm_stats": dict(payload["comm_stats"]),
+        }
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,657 @@
+"""The shared task scheduler behind sweeps, autotune, replicas and grids.
+
+One :class:`Scheduler` instance turns batches of
+:class:`~repro.core.config.RunConfig` into deduplicated tasks executed by
+a persistent :class:`concurrent.futures.ProcessPoolExecutor` worker pool.
+See :mod:`repro.sched` for the contract (dedup, cache short-circuit,
+bounded crash retry with poisoning, resumable journal, telemetry).
+
+Execution model
+---------------
+``map(configs)`` is synchronous: it returns results in request order,
+bit-identical to a serial ``[run(c) for c in configs]``.  Internally each
+distinct config key owns one :class:`~repro.sched.task.TaskRecord`;
+requesters of an already-known key — within the batch, across batches, or
+from concurrent threads — coalesce onto the existing record and wait on
+its ``done`` event instead of resubmitting.  Configs that cannot travel
+through the pool (functional or traced runs, or any run while a
+process-global trace capture is installed) execute inline in the parent,
+exactly as the serial path would.
+
+Crash recovery
+--------------
+A dying worker breaks the whole ``ProcessPoolExecutor`` (every pending
+future raises :class:`BrokenExecutor`), so blame is ambiguous: any of the
+in-flight configs could be the culprit.  The scheduler rebuilds the pool,
+bumps the attempt count of every suspect, and resubmits the ones still
+under ``max_retries`` in parallel.  A suspect that *exceeds* the bound is
+never poisoned on ambiguous evidence — it is placed in a **quarantine**
+and re-run *solo* (one task in the pool, everything else parked).  A solo
+crash is exact blame: the config is poisoned and raises
+:class:`PoisonedConfigError` to its requesters; a solo success exonerates
+an innocent that was merely co-scheduled with a crasher.  Once the
+quarantine drains, parked work resumes in parallel.  The deterministic
+crasher is weeded out after at most ``max_retries`` ambiguous crashes
+plus one solo crash; the rest of the batch always completes.
+"""
+
+from __future__ import annotations
+
+import logging
+import statistics
+import threading
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.config import RunConfig, RunResult
+from repro.sched.journal import Journal
+from repro.sched.task import TaskRecord, TaskState
+from repro.sched.worker import execute_task, init_worker
+
+__all__ = [
+    "Scheduler",
+    "SchedulerError",
+    "PoisonedConfigError",
+    "configure",
+    "active_scheduler",
+    "scheduled",
+]
+
+log = logging.getLogger("repro.sched")
+
+#: Counter names reported by :meth:`Scheduler.stats` (always all present).
+COUNTER_NAMES = (
+    "submitted",
+    "coalesced",
+    "cache_hits",
+    "journal_hits",
+    "simulated",
+    "inline",
+    "failed",
+    "poisoned",
+    "retries",
+    "crashes",
+)
+
+
+class SchedulerError(RuntimeError):
+    """Base class for scheduler-raised errors."""
+
+
+class PoisonedConfigError(SchedulerError):
+    """A config crashed its worker more than ``max_retries`` times."""
+
+    def __init__(self, cfg: RunConfig, attempts: int):
+        self.cfg = cfg
+        self.attempts = attempts
+        super().__init__(
+            f"config {cfg.implementation}@{cfg.machine.name} cores={cfg.cores} "
+            f"threads={cfg.threads_per_task} T={cfg.box_thickness} crashed its "
+            f"worker {attempts} times and is poisoned (bound: retries exhausted)"
+        )
+
+
+class Scheduler:
+    """Deduplicating parallel executor for batches of run configs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` executes inline (serial order, no pool)
+        while keeping dedup, cache short-circuit, journal and telemetry.
+    cache_dir:
+        Run-cache directory handed to every worker. Defaults to the
+        directory of the process-wide cache (:func:`repro.cache.active_cache`)
+        when one is installed.
+    journal:
+        Path of the resumable JSONL journal, or an already-open
+        :class:`~repro.sched.journal.Journal`; ``None`` disables
+        journaling.
+    max_retries:
+        Worker crashes a single config may survive before being poisoned.
+    straggler_factor:
+        A completed task is logged as a straggler when its wall time
+        exceeds ``straggler_factor`` x the batch median.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        journal: Optional[Union[str, Journal]] = None,
+        max_retries: int = 2,
+        straggler_factor: float = 3.0,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.jobs = int(jobs)
+        self.max_retries = int(max_retries)
+        self.straggler_factor = float(straggler_factor)
+        if cache_dir is None:
+            from repro.cache import active_cache
+
+            active = active_cache()
+            cache_dir = active.directory if active is not None else None
+        self.cache_dir = cache_dir
+        if isinstance(journal, Journal):
+            self.journal = journal
+        else:
+            self.journal = Journal(journal) if journal is not None else None
+        #: parent-side cache handle for probing/storing when no ambient
+        #: cache is installed (lazy; see _probe_cache)
+        self._cache: Optional[Any] = None
+        #: test/CI hook: ``(cfg, attempt) -> bool`` — True crashes the worker
+        #: assigned to this config on this attempt (see repro.sched.worker).
+        self.fault_injector: Optional[Callable[[RunConfig, int], bool]] = None
+
+        self._lock = threading.RLock()
+        #: signalled by a future's done-callback; drain loops sleep on it
+        self._cond = threading.Condition(self._lock)
+        self._exec: Optional[ProcessPoolExecutor] = None
+        #: key -> terminal record (session-wide dedup, including failures)
+        self._memo: Dict[str, TaskRecord] = {}
+        #: key -> in-flight record (coalescing target)
+        self._inflight: Dict[str, TaskRecord] = {}
+        #: records awaiting a *solo* confirmation run (exact crash blame)
+        self._quarantine: List[TaskRecord] = []
+        #: the record currently running solo, if any
+        self._qactive: Optional[TaskRecord] = None
+        #: records parked while the quarantine drains
+        self._parked: List[TaskRecord] = []
+        self._counters: Dict[str, int] = {k: 0 for k in COUNTER_NAMES}
+        #: wall seconds of every *simulated* task, in completion order
+        self.wall_times: List[float] = []
+        #: telemetry dicts of detected stragglers (see TaskRecord.describe)
+        self.straggler_log: List[Dict[str, Any]] = []
+        #: telemetry dicts of poisoned configs
+        self.poisoned: List[Dict[str, Any]] = []
+        self._closed = False
+
+    # -- pool lifecycle -------------------------------------------------------
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._exec is None:
+            self._exec = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=init_worker,
+                initargs=(self.cache_dir,),
+            )
+        return self._exec
+
+    def _rebuild_pool(self) -> None:
+        if self._exec is not None:
+            self._exec.shutdown(wait=False, cancel_futures=True)
+            self._exec = None
+
+    def close(self) -> None:
+        """Shut the worker pool down and close the journal."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._exec is not None:
+                self._exec.shutdown(wait=True, cancel_futures=True)
+                self._exec = None
+            if self.journal is not None:
+                self.journal.close()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------------
+    @staticmethod
+    def _forced(cfg: RunConfig) -> RunConfig:
+        """Apply the process-global noise override before keying.
+
+        Mirrors :func:`repro.core.runner.run`, so a scheduled run keys and
+        simulates exactly the config the serial path would.
+        """
+        from repro.perturb import forced_override
+
+        forced = forced_override()
+        if forced is not None and cfg.seed is None and cfg.noise is None:
+            return cfg.with_(seed=forced[0], noise=forced[1])
+        return cfg
+
+    @staticmethod
+    def _poolable(cfg: RunConfig) -> bool:
+        """Whether this config's run may execute in a worker process.
+
+        Functional and traced runs carry non-scalar artifacts, and a
+        process-global trace capture hook must observe every run in the
+        installing process — all of those execute inline instead.
+        """
+        from repro.cache import cacheable
+        from repro.obs.capture import active_capture
+
+        return cacheable(cfg) and active_capture() is None
+
+    def _submit_record(self, rec: TaskRecord) -> None:
+        """Dispatch one record to the pool (caller holds the lock)."""
+        payload: Dict[str, Any] = {"cfg": rec.cfg, "key": rec.key}
+        if self.fault_injector is not None and self.fault_injector(
+            rec.cfg, rec.attempts
+        ):
+            payload["crash"] = True
+        rec.state = TaskState.RUNNING
+        rec.t_submit = time.perf_counter()
+        rec.future = self._executor().submit(execute_task, payload)
+        rec.future.add_done_callback(self._wake)
+
+    def _wake(self, _fut: Future) -> None:
+        """Future done-callback: nudge every drain loop to re-scan."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def map(
+        self,
+        configs: Iterable[RunConfig],
+        return_exceptions: bool = False,
+    ) -> List[Union[RunResult, BaseException]]:
+        """Execute a batch; results come back in request order.
+
+        With ``return_exceptions=False`` (default) the first failed or
+        poisoned task raises (after the whole batch settled, so sibling
+        results are journaled/cached).  With ``return_exceptions=True``
+        failures are returned in-slot as the exception object.
+        """
+        if self._closed:
+            raise SchedulerError("scheduler is closed")
+        cfgs = [self._forced(c) for c in configs]
+        slots: List[Optional[TaskRecord]] = [None] * len(cfgs)
+        inline: List[int] = []  # indices executed in the parent
+        owned: List[TaskRecord] = []  # records this call submitted
+        waiting: List[TaskRecord] = []  # records owned by someone else
+
+        from repro.cache import config_key
+
+        cache = self._probe_cache()
+        with self._lock:
+            for i, cfg in enumerate(cfgs):
+                self._counters["submitted"] += 1
+                if not self._poolable(cfg):
+                    inline.append(i)
+                    continue
+                key = config_key(cfg)
+                rec = self._memo.get(key)
+                if rec is not None:  # session dedup (results and failures)
+                    self._counters["coalesced"] += 1
+                    slots[i] = rec
+                    continue
+                rec = self._inflight.get(key)
+                if rec is not None:  # in-flight coalescing
+                    self._counters["coalesced"] += 1
+                    slots[i] = rec
+                    if rec not in waiting and rec not in owned:
+                        waiting.append(rec)
+                    continue
+                rec = TaskRecord(key, cfg)
+                slots[i] = rec
+                # Warm journal entry: replay, no worker occupied.
+                if self.journal is not None and key in self.journal:
+                    rec.payload = self.journal.get(key)
+                    rec.state = TaskState.JOURNALED
+                    rec.done.set()
+                    self._memo[key] = rec
+                    self._counters["journal_hits"] += 1
+                    continue
+                # Warm cache entry: replay, no worker occupied.  Misses are
+                # not charged here — the worker that simulates the config
+                # performs (and counts) the authoritative lookup.
+                if cache is not None:
+                    cached = cache.get(cfg, record_miss=False)
+                    if cached is not None:
+                        rec.payload = {
+                            "elapsed_s": cached.elapsed_s,
+                            "phases": dict(cached.phases),
+                            "comm_stats": dict(cached.comm_stats),
+                        }
+                        rec.state = TaskState.CACHED
+                        rec.done.set()
+                        self._memo[key] = rec
+                        self._counters["cache_hits"] += 1
+                        if self.journal is not None:
+                            self.journal.record(key, rec.payload)
+                        continue
+                self._inflight[key] = rec
+                if self.jobs == 1:
+                    owned.append(rec)  # executed inline below, memoized
+                else:
+                    if self._quarantining():
+                        self._parked.append(rec)  # resumes after quarantine
+                    else:
+                        self._submit_record(rec)
+                    owned.append(rec)
+
+        # Inline execution (functional/traced/captured runs): serial order,
+        # exactly the code path the unscheduled pipeline takes.
+        from repro.core.runner import run
+
+        inline_results: Dict[int, Union[RunResult, BaseException]] = {}
+        for i in inline:
+            with self._lock:
+                self._counters["inline"] += 1
+            try:
+                inline_results[i] = run(cfgs[i])
+            except BaseException as exc:
+                if not return_exceptions:
+                    raise
+                inline_results[i] = exc
+
+        if self.jobs == 1:
+            self._drain_inline(owned)
+        else:
+            self._drain_pool(owned)
+        for rec in waiting:
+            rec.done.wait()
+
+        out: List[Union[RunResult, BaseException]] = []
+        first_error: Optional[BaseException] = None
+        for i, cfg in enumerate(cfgs):
+            rec = slots[i]
+            if rec is None:
+                out.append(inline_results[i])
+                continue
+            rec.done.wait()
+            if rec.ok:
+                out.append(rec.result(cfg))
+            else:
+                err = rec.error or SchedulerError(f"task {rec.key} lost")
+                if first_error is None:
+                    first_error = err
+                out.append(err)
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return out
+
+    def _probe_cache(self):
+        """Parent-side run cache: the ambient one, else a private handle.
+
+        The ambient cache (:func:`repro.cache.active_cache`) wins when
+        installed so its hit/miss counters stay authoritative.  Otherwise
+        a scheduler constructed with an explicit ``cache_dir`` opens its
+        own handle, keeping warm short-circuits (and jobs=1 stores)
+        working without process-global configuration.
+        """
+        from repro.cache import RunCache, active_cache
+
+        cache = active_cache()
+        if cache is not None:
+            return cache
+        if self.cache_dir is None:
+            return None
+        if self._cache is None:
+            self._cache = RunCache(self.cache_dir)
+        return self._cache
+
+    # -- inline (jobs=1) execution -------------------------------------------
+    def _drain_inline(self, owned: Sequence[TaskRecord]) -> None:
+        from repro.cache import active_cache
+        from repro.core.runner import run
+
+        for rec in owned:
+            rec.state = TaskState.RUNNING
+            t0 = time.perf_counter()
+            try:
+                result = run(rec.cfg)
+            except BaseException as exc:
+                self._finish_failure(rec, exc)
+                continue
+            # ``run`` stores through the ambient cache when one is
+            # installed; with only a private ``cache_dir`` handle, mirror
+            # the worker protocol here (authoritative miss, then store) so
+            # jobs=1 leaves the same on-disk artifacts a pool would.
+            cache = self._probe_cache()
+            if cache is not None and cache is not active_cache():
+                if cache.get(rec.cfg) is None:
+                    cache.put(rec.cfg, result)
+            payload = {
+                "elapsed_s": result.elapsed_s,
+                "phases": dict(result.phases),
+                "comm_stats": dict(result.comm_stats),
+                "wall_s": time.perf_counter() - t0,
+            }
+            self._finish_success(rec, payload)
+
+    # -- pool draining --------------------------------------------------------
+    def _quarantining(self) -> bool:
+        """Whether the pool is reserved for solo confirmation runs."""
+        return bool(self._quarantine) or self._qactive is not None or bool(
+            self._parked
+        )
+
+    def _pump(self) -> None:
+        """Advance the quarantine (caller holds the lock).
+
+        Submits the next quarantined record *solo*; once the quarantine is
+        empty, flushes every parked record back into the pool in parallel.
+        """
+        if self._qactive is not None:
+            if not self._qactive.done.is_set():
+                return  # solo run in progress
+            self._qactive = None
+        while self._quarantine:
+            rec = self._quarantine.pop(0)
+            if rec.done.is_set():
+                continue
+            self._submit_record(rec)
+            self._qactive = rec
+            return
+        if self._parked:
+            parked, self._parked = self._parked, []
+            for rec in parked:
+                if not rec.done.is_set():
+                    self._submit_record(rec)
+
+    def _drain_pool(self, owned: Sequence[TaskRecord]) -> None:
+        """Wait for owned records, recovering from broken pools.
+
+        Event-driven: every submitted future carries a done-callback
+        that signals ``self._cond`` (as do the ``_finish_*`` paths and
+        crash recovery), so each pass only scans this call's still
+        pending records for settled futures — no per-iteration waiter
+        registration on every pending future, which made large batches
+        quadratic in future-lock traffic. The wait timeout is a safety
+        net for records parked behind a quarantine, whose future is
+        ``None`` until the pump resubmits them.
+        """
+        pending = [rec for rec in owned if not rec.done.is_set()]
+        while pending:
+            ready: List[Any] = []
+            with self._cond:
+                self._pump()
+                pending = [r for r in pending if not r.done.is_set()]
+                if not pending:
+                    return
+                for rec in pending:
+                    fut = rec.future
+                    if fut is not None and fut.done():
+                        ready.append((rec, fut))
+                if not ready:
+                    self._cond.wait(timeout=0.05)
+                    continue
+            for rec, fut in ready:
+                with self._lock:
+                    if rec.done.is_set() or rec.future is not fut:
+                        continue  # settled or resubmitted by another drainer
+                exc = fut.exception()
+                if exc is None:
+                    payload = fut.result()
+                    self._merge_cache_delta(payload.pop("cache_delta", None))
+                    rec.worker_pid = payload.pop("pid", None)
+                    self._finish_success(rec, payload)
+                elif isinstance(exc, BrokenExecutor):
+                    self._on_broken(fut, rec)
+                else:
+                    self._finish_failure(rec, exc)
+
+    def _on_broken(self, fut: Future, rec: TaskRecord) -> None:
+        """Rebuild the pool after a worker crash; assign blame.
+
+        Every in-flight record with a live future is a *suspect*.  One
+        suspect means exact blame (it was running solo): bump its count
+        and poison past ``max_retries``.  Several suspects mean ambiguous
+        blame: bump everyone and resubmit, except that a suspect past the
+        bound goes to the quarantine for a solo confirmation run instead
+        of being poisoned on circumstantial evidence.
+        """
+        with self._lock:
+            if rec.done.is_set() or rec.future is not fut:
+                return  # this crash was already handled by another drainer
+            self._counters["crashes"] += 1
+            self._rebuild_pool()
+            suspects = [
+                r
+                for r in self._inflight.values()
+                if not r.done.is_set() and r.future is not None
+            ]
+            for r in suspects:
+                r.future = None
+                r.attempts += 1
+            if self._qactive is not None and self._qactive.future is None:
+                self._qactive = None  # the solo run itself crashed
+            solo = len(suspects) == 1
+            over = [r for r in suspects if r.attempts > self.max_retries]
+            under = [r for r in suspects if r.attempts <= self.max_retries]
+            if solo and over:
+                self._finish_poisoned(over[0])  # exact blame
+                return
+            for r in over:
+                self._counters["retries"] += 1
+                log.warning(
+                    "worker crash: %s exceeded %d retries under ambiguous "
+                    "blame; quarantining for a solo confirmation run",
+                    r, self.max_retries,
+                )
+                self._quarantine.append(r)
+            for r in under:
+                self._counters["retries"] += 1
+                log.warning(
+                    "worker crash: retrying %s (attempt %d/%d)",
+                    r, r.attempts, self.max_retries,
+                )
+                if self._quarantining():
+                    self._parked.append(r)  # resumes after the quarantine
+                else:
+                    self._submit_record(r)
+            self._cond.notify_all()  # futures were nulled: drainers re-pump
+
+    # -- completion bookkeeping ----------------------------------------------
+    def _merge_cache_delta(self, delta: Optional[Dict[str, int]]) -> None:
+        if not delta:
+            return
+        from repro.cache import merge_stats
+
+        merge_stats(delta)
+
+    def _finish_success(self, rec: TaskRecord, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            if rec.done.is_set():
+                return
+            rec.wall_s = payload.pop("wall_s", None)
+            payload.pop("key", None)
+            rec.payload = payload
+            rec.state = TaskState.DONE
+            self._memo[rec.key] = rec
+            self._inflight.pop(rec.key, None)
+            self._counters["simulated"] += 1
+            if rec.wall_s is not None:
+                self.wall_times.append(rec.wall_s)
+                self._note_straggler(rec)
+            if self.journal is not None:
+                self.journal.record(rec.key, payload)
+            rec.done.set()
+            self._cond.notify_all()
+
+    def _finish_failure(self, rec: TaskRecord, exc: BaseException) -> None:
+        with self._lock:
+            if rec.done.is_set():
+                return
+            rec.error = exc
+            rec.state = TaskState.FAILED
+            self._memo[rec.key] = rec
+            self._inflight.pop(rec.key, None)
+            self._counters["failed"] += 1
+            log.warning("task failed: %s: %s", rec, exc)
+            rec.done.set()
+            self._cond.notify_all()
+
+    def _finish_poisoned(self, rec: TaskRecord) -> None:
+        # Caller holds the lock (only reached from _handle_broken_pool).
+        rec.error = PoisonedConfigError(rec.cfg, rec.attempts)
+        rec.state = TaskState.POISONED
+        self._memo[rec.key] = rec
+        self._inflight.pop(rec.key, None)
+        self._counters["poisoned"] += 1
+        self.poisoned.append(rec.describe())
+        log.error("poisoned config: %s", rec.error)
+        rec.done.set()
+        self._cond.notify_all()
+
+    def _note_straggler(self, rec: TaskRecord) -> None:
+        """Log tasks whose wall time dwarfs the running median."""
+        if len(self.wall_times) < 4 or rec.wall_s is None:
+            return
+        median = statistics.median(self.wall_times)
+        if median > 0 and rec.wall_s > self.straggler_factor * median:
+            entry = rec.describe()
+            entry["median_s"] = median
+            self.straggler_log.append(entry)
+            log.info(
+                "straggler: %s took %.3fs (median %.3fs)",
+                rec, rec.wall_s, median,
+            )
+
+    # -- telemetry ------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of every counter (all names always present)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def summary(self) -> str:
+        """One greppable line for CLIs and CI logs."""
+        s = self.stats()
+        parts = " ".join(f"{k.replace('_', '-')}={s[k]}" for k in COUNTER_NAMES)
+        return f"scheduler: jobs={self.jobs} {parts}"
+
+
+#: The process-wide scheduler consulted by sweep/autotune/replica drivers.
+_active: Optional[Scheduler] = None
+
+
+def configure(jobs: Optional[int] = None, **kwargs) -> Optional[Scheduler]:
+    """Install (or, with ``None``, remove) the process-wide scheduler.
+
+    The previous scheduler, if any, is closed.  Keyword arguments go to
+    :class:`Scheduler`.
+    """
+    global _active
+    if _active is not None:
+        _active.close()
+    _active = Scheduler(jobs=jobs, **kwargs) if jobs is not None else None
+    return _active
+
+
+def active_scheduler() -> Optional[Scheduler]:
+    """The currently installed scheduler, if any."""
+    return _active
+
+
+@contextmanager
+def scheduled(jobs: int, **kwargs):
+    """Temporarily install a process-wide scheduler (restores the prior)."""
+    global _active
+    prev = _active
+    sched = Scheduler(jobs=jobs, **kwargs)
+    _active = sched
+    try:
+        yield sched
+    finally:
+        _active = prev
+        sched.close()

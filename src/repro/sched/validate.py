@@ -1,0 +1,56 @@
+"""Eager config validation: classify invalid sweep points without simulating.
+
+Sweeps legitimately contain invalid combinations (a box thickness too
+thick for the subdomain, a single-task implementation asked for several
+nodes, a task count with no valid grid).  Historically those were found
+*during* simulation and the sweep driver swallowed every ``ValueError``
+from :func:`repro.core.runner.run` — which also hid real model and
+runtime errors as "invalid points".
+
+:func:`validate_config` re-derives the run-time feasibility rules up
+front, so drivers can skip (and count) genuinely invalid points eagerly
+and let any error raised by the simulator itself propagate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import RunConfig
+
+__all__ = ["validate_config"]
+
+
+def validate_config(cfg: "RunConfig") -> None:
+    """Raise ``ValueError`` iff the simulator would reject ``cfg``.
+
+    Checks, in order (all are re-derivations of checks the simulator
+    performs at run time, none of them simulate anything):
+
+    * implementation-level constraints (:meth:`Implementation.validate`:
+      GPU presence, single-task core limits, box feasibility for the
+      hybrid implementations);
+    * decomposition feasibility (a valid task grid exists for
+      ``(ntasks, domain)``);
+    * GPU thread-block admissibility when an explicit ``block`` is set.
+
+    A config that passes is expected to simulate without ``ValueError``;
+    anything the simulator raises afterwards is a genuine error, not an
+    invalid sweep point.
+    """
+    from repro.core.registry import get_implementation
+    from repro.decomp.partition import Decomposition
+
+    impl = get_implementation(cfg.implementation)
+    impl.validate(cfg)
+    # Raises when no non-empty task grid exists for this ntasks/domain.
+    Decomposition(cfg.ntasks, cfg.domain)
+    if impl.uses_gpu and cfg.block is not None:
+        from repro.simgpu.blockmodel import admissible_blocks
+
+        block = tuple(cfg.block)
+        if block not in set(admissible_blocks(cfg.machine.gpu)):
+            raise ValueError(
+                f"block {block} not admissible on {cfg.machine.gpu.name}"
+            )

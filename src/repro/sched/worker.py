@@ -1,0 +1,69 @@
+"""Process-pool worker side of the scheduler (top-level, picklable).
+
+Workers are plain processes running the same deterministic simulator as
+the parent: a task's result depends only on its config, so executing in a
+pool is bit-identical to executing serially.  Each worker configures its
+own :mod:`repro.cache` handle on the shared cache directory (writes are
+atomic, so concurrent workers are safe) and ships per-task *deltas* of
+its hit/miss/store counters back to the parent for aggregate reporting.
+
+Fault injection: a payload carrying ``"crash": True`` makes the worker
+die via ``os._exit`` *before* touching the simulator.  The scheduler's
+``fault_injector`` hook sets the flag per (config, attempt); tests and
+the CI crash-retry smoke use it to exercise the broken-pool recovery
+path deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+__all__ = ["init_worker", "execute_task", "CRASH_EXIT_CODE"]
+
+#: Exit code of a deliberately crashed worker (fault injection).
+CRASH_EXIT_CODE = 78
+
+
+def init_worker(cache_dir) -> None:
+    """Pool initializer: give the worker its own run-cache handle.
+
+    ``cache_dir=None`` removes any fork-inherited cache so the worker's
+    behaviour does not depend on the parent's module state.
+    """
+    from repro import cache
+
+    cache.configure(cache_dir)
+
+
+def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one config; return its scalar result payload.
+
+    The returned floats are the exact simulator outputs (pickle round-trips
+    floats losslessly).  Simulator exceptions propagate to the parent
+    through the future — the scheduler records them as deterministic task
+    failures, not crashes.
+    """
+    if payload.get("crash"):
+        # Deliberate worker death (fault injection): bypasses Python
+        # exception handling entirely, exactly like a segfaulting worker.
+        os._exit(CRASH_EXIT_CODE)
+
+    from repro import cache
+    from repro.core.runner import run
+
+    before = cache.stats()
+    t0 = time.perf_counter()
+    result = run(payload["cfg"])
+    wall_s = time.perf_counter() - t0
+    after = cache.stats()
+    return {
+        "key": payload["key"],
+        "elapsed_s": result.elapsed_s,
+        "phases": dict(result.phases),
+        "comm_stats": dict(result.comm_stats),
+        "wall_s": wall_s,
+        "pid": os.getpid(),
+        "cache_delta": {k: after[k] - before[k] for k in after},
+    }

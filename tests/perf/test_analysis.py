@@ -64,6 +64,27 @@ class TestResultMetrics:
     def test_unknown_phase_is_zero(self, bulk_result):
         assert host_fraction(bulk_result, "quantum") == 0.0
 
+    def test_exposed_wait_exported(self):
+        """Regression: the helper is part of the module's public API."""
+        from repro.perf import analysis
+
+        assert "exposed_wait_fraction" in analysis.__all__
+
+    def test_empty_measurement_raises_consistently(self, bulk_result):
+        """Regression: both fraction helpers reject an empty measurement.
+
+        ``exposed_wait_fraction`` used to divide straight through
+        ``elapsed_s`` and raise ``ZeroDivisionError`` where
+        ``host_fraction`` raised ``ValueError``.
+        """
+        from dataclasses import replace
+
+        empty = replace(bulk_result, elapsed_s=0.0)
+        with pytest.raises(ValueError, match="empty measurement"):
+            host_fraction(empty, "compute")
+        with pytest.raises(ValueError, match="empty measurement"):
+            exposed_wait_fraction(empty)
+
 
 class TestOverlapEfficiency:
     def test_hybrid_overlap_hides_host_work(self):

@@ -66,3 +66,30 @@ class TestSweep:
         )
         assert best is not None
         assert best.config.box_thickness == 1
+
+    def test_skipped_configs_counted(self):
+        """Regression: infeasible points are counted, not silently eaten."""
+        cfgs = [
+            RunConfig(machine=YONA, implementation="hybrid_overlap",
+                      cores=192, threads_per_task=2, box_thickness=200),
+            RunConfig(machine=YONA, implementation="bulk", cores=12,
+                      threads_per_task=6),
+        ]
+        results = sweep_configs(cfgs)
+        assert len(results) == 1
+        assert results.skipped == 1
+
+    def test_simulator_errors_propagate(self, monkeypatch):
+        """Regression: sweep_configs used to swallow *every* ValueError
+        raised during simulation, hiding genuine model bugs as invalid
+        sweep points.  Only eager feasibility rejections are skipped."""
+        import repro.perf.sweep as sweep_mod
+
+        def boom(cfg):
+            raise ValueError("model bug, not an invalid point")
+
+        monkeypatch.setattr(sweep_mod, "run", boom)
+        cfgs = [RunConfig(machine=YONA, implementation="bulk", cores=12,
+                          threads_per_task=6)]
+        with pytest.raises(ValueError, match="model bug"):
+            sweep_configs(cfgs)

@@ -1,0 +1,173 @@
+"""Journal durability: roundtrip, corruption tolerance, SIGKILL resume."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.sched import Journal
+from repro.sched.journal import JOURNAL_VERSION
+
+
+PAYLOAD = {
+    "elapsed_s": 0.125,
+    "phases": {"compute": 0.1, "pack": 0.025},
+    "comm_stats": {"messages_sent": 12, "bytes_sent": 4096},
+}
+
+
+class TestJournalFile:
+    def test_roundtrip(self, tmp_path):
+        p = str(tmp_path / "j.jsonl")
+        with Journal(p) as j:
+            j.record("k1", PAYLOAD)
+            j.record("k2", dict(PAYLOAD, elapsed_s=0.25))
+        j2 = Journal(p)
+        assert len(j2) == 2
+        assert "k1" in j2 and "k2" in j2
+        assert j2.get("k1")["elapsed_s"] == 0.125
+        assert j2.get("k2")["elapsed_s"] == 0.25
+        assert j2.get("k1")["phases"] == PAYLOAD["phases"]
+        assert j2.corrupt_lines == 0
+        j2.close()
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        p = str(tmp_path / "j.jsonl")
+        value = 0.1 + 0.2  # 0.30000000000000004: repr round-trips
+        with Journal(p) as j:
+            j.record("k", dict(PAYLOAD, elapsed_s=value))
+        j2 = Journal(p)
+        assert j2.get("k")["elapsed_s"] == value
+        j2.close()
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        p = str(tmp_path / "j.jsonl")
+        with Journal(p) as j:
+            j.record("k1", PAYLOAD)
+        with open(p, "a") as fh:
+            fh.write('{"v": 1, "key": "k2", "elapsed')  # torn write
+        j2 = Journal(p)
+        assert len(j2) == 1 and "k1" in j2
+        assert j2.corrupt_lines == 1
+        j2.close()
+
+    def test_wrong_version_skipped(self, tmp_path):
+        p = str(tmp_path / "j.jsonl")
+        doc = {"v": JOURNAL_VERSION + 1, "key": "k", **PAYLOAD}
+        with open(p, "w") as fh:
+            fh.write(json.dumps(doc) + "\n")
+        j = Journal(p)
+        assert len(j) == 0 and j.corrupt_lines == 1
+        j.close()
+
+    def test_ill_shaped_payload_skipped(self, tmp_path):
+        p = str(tmp_path / "j.jsonl")
+        with open(p, "w") as fh:
+            fh.write(json.dumps({"v": JOURNAL_VERSION, "key": "k"}) + "\n")
+            fh.write("[1, 2, 3]\n")
+        j = Journal(p)
+        assert len(j) == 0 and j.corrupt_lines == 2
+        j.close()
+
+    def test_duplicate_keys_last_wins(self, tmp_path):
+        p = str(tmp_path / "j.jsonl")
+        with Journal(p) as j:
+            j.record("k", PAYLOAD)
+            j.record("k", dict(PAYLOAD, elapsed_s=9.0))
+        j2 = Journal(p)
+        assert len(j2) == 1 and j2.get("k")["elapsed_s"] == 9.0
+        j2.close()
+
+
+_DRIVER = """
+import sys
+from repro.core.config import RunConfig
+from repro.machines import LENS
+from repro.sched import Journal, Scheduler
+
+journal_path, cache_dir, n = sys.argv[1], sys.argv[2], int(sys.argv[3])
+cfgs = [
+    RunConfig(machine=LENS, implementation="nonblocking", cores=4,
+              steps=2 + i, domain=(24, 24, 24))
+    for i in range(n)
+]
+sched = Scheduler(jobs=2, cache_dir=cache_dir, journal=Journal(journal_path))
+sched.map(cfgs)
+print("SUMMARY " + sched.summary(), flush=True)
+sched.close()
+"""
+
+
+def _journal_lines(path):
+    try:
+        with open(path) as fh:
+            return sum(1 for line in fh if line.strip())
+    except OSError:
+        return 0
+
+
+class TestSigkillResume:
+    def test_resume_after_sigkill_mid_batch(self, tmp_path):
+        """A SIGKILLed batch restarts from its journaled tasks."""
+        jp = str(tmp_path / "resume.jsonl")
+        cache_dir = str(tmp_path / "cache")
+        driver = tmp_path / "driver.py"
+        driver.write_text(_DRIVER)
+        n = 120
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+
+        proc = subprocess.Popen(
+            [sys.executable, str(driver), jp, cache_dir, str(n)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        )
+        # Kill as soon as a few results are durably journaled.
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if _journal_lines(jp) >= 3 or proc.poll() is not None:
+                break
+            time.sleep(0.005)
+        killed = proc.poll() is None
+        if killed:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        done_at_kill = _journal_lines(jp)
+        assert done_at_kill >= 3, "driver finished nothing before the kill"
+
+        # Second run against the same journal resumes, not restarts.
+        out = subprocess.run(
+            [sys.executable, str(driver), jp, cache_dir, str(n)],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert out.returncode == 0, out.stderr
+        summary = [
+            line for line in out.stdout.splitlines()
+            if line.startswith("SUMMARY")
+        ][0]
+        fields = dict(
+            kv.split("=") for kv in summary.split() if "=" in kv
+        )
+        journal_hits = int(fields["journal-hits"])
+        cache_hits = int(fields["cache-hits"])
+        simulated = int(fields["simulated"])
+        # Everything journaled before the kill is replayed; results a
+        # worker cached but the parent never journaled (the kill window)
+        # come back as cache hits; the remainder is simulated.  Together
+        # they cover the whole batch.
+        assert journal_hits >= min(done_at_kill, n) - 1  # minus a torn line
+        assert journal_hits + cache_hits + simulated == n
+        if killed:
+            assert simulated > 0, "kill landed after the batch completed"
+        # Third run: the journal now covers the batch completely.
+        out2 = subprocess.run(
+            [sys.executable, str(driver), jp, cache_dir, str(n)],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert "journal-hits=%d" % n in out2.stdout

@@ -1,0 +1,57 @@
+"""Eager feasibility validation mirrors what the simulator would reject."""
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.machines import JAGUARPF, LENS, YONA
+from repro.sched import validate_config
+
+
+class TestValidateConfig:
+    def test_feasible_config_passes(self):
+        validate_config(
+            RunConfig(machine=LENS, implementation="nonblocking", cores=4,
+                      steps=2, domain=(24, 24, 24))
+        )
+
+    def test_thickness_too_thick_rejected(self):
+        cfg = RunConfig(machine=YONA, implementation="hybrid_overlap",
+                        cores=192, threads_per_task=2, box_thickness=200)
+        with pytest.raises(ValueError):
+            validate_config(cfg)
+
+    def test_gpu_impl_on_cpu_machine_rejected(self):
+        cfg = RunConfig(machine=JAGUARPF, implementation="gpu_bulk", cores=12)
+        with pytest.raises(ValueError):
+            validate_config(cfg)
+
+    def test_single_task_beyond_node_rejected(self):
+        # 24 cores as two 12-thread tasks: "single" demands exactly one.
+        cfg = RunConfig(machine=JAGUARPF, implementation="single", cores=24,
+                        threads_per_task=12)
+        with pytest.raises(ValueError):
+            validate_config(cfg)
+
+    def test_inadmissible_gpu_block_rejected(self):
+        cfg = RunConfig(machine=YONA, implementation="gpu_bulk", cores=12,
+                        block=(1000, 1, 1))
+        with pytest.raises(ValueError, match="not admissible"):
+            validate_config(cfg)
+
+    def test_admissible_gpu_block_passes(self):
+        from repro.simgpu.blockmodel import admissible_blocks
+
+        block = next(iter(admissible_blocks(YONA.gpu)))
+        validate_config(
+            RunConfig(machine=YONA, implementation="gpu_bulk", cores=12,
+                      block=tuple(block))
+        )
+
+    def test_validation_agrees_with_the_simulator(self):
+        """A config that passes must simulate without ValueError."""
+        from repro.core.runner import run
+
+        cfg = RunConfig(machine=YONA, implementation="hybrid_overlap",
+                        cores=12, threads_per_task=12, box_thickness=2)
+        validate_config(cfg)
+        assert run(cfg).elapsed_s > 0

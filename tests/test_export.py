@@ -46,6 +46,31 @@ class TestCsv:
         write_csv(result, str(p))
         assert p.read_text().startswith("series,x,y")
 
+    def test_numeric_abscissae_sort_numerically(self):
+        """Regression: rows used to sort as strings (1536 < 24 < 384)."""
+        res = ExperimentResult(
+            exp_id="d", title="t", paper_claim="c", columns=[], rows=[],
+            series={"gf": {1536: 3.0, 24: 1.0, 384: 2.0}},
+        )
+        rows = list(csv.reader(io.StringIO(to_csv(res))))
+        assert [r[1] for r in rows[1:]] == ["24", "384", "1536"]
+
+    def test_mixed_abscissae_fall_back_to_string_order(self):
+        res = ExperimentResult(
+            exp_id="d", title="t", paper_claim="c", columns=[], rows=[],
+            series={"gf": {"x=8": 1.0, 16: 2.0, "x=128": 3.0}},
+        )
+        rows = list(csv.reader(io.StringIO(to_csv(res))))
+        assert [r[1] for r in rows[1:]] == sorted(["x=8", "16", "x=128"], key=str)
+
+    def test_float_abscissae_sort_numerically(self):
+        res = ExperimentResult(
+            exp_id="d", title="t", paper_claim="c", columns=[], rows=[],
+            series={"gf": {10.5: 1.0, 2: 2.0, 100: 3.0}},
+        )
+        rows = list(csv.reader(io.StringIO(to_csv(res))))
+        assert [r[1] for r in rows[1:]] == ["2", "10.5", "100"]
+
 
 class TestCliIntegration:
     def test_experiment_export_flags(self, tmp_path, capsys):

@@ -46,3 +46,30 @@ class TestAsciiPlot:
         res = run_experiment("fig8", fast=True)
         out = ascii_plot(res.series, title=res.title)
         assert "x=32" in out
+
+    def test_mixed_type_abscissae_do_not_crash(self):
+        """Regression: ``sorted`` over str+int keys raised ``TypeError``.
+
+        The bounds pass filtered non-numeric abscissae but the per-series
+        pass sorted the raw keys first; a series mixing labels and numbers
+        crashed the renderer.
+        """
+        out = ascii_plot({"s": {"label": 5.0, 1: 10.0, 10: 100.0}})
+        assert "no plottable" not in out
+        assert "o s" in out
+
+    def test_nonpositive_x_skipped_on_log_axis(self):
+        """x=0 under logx used to reach math.log10 and raise."""
+        out = ascii_plot({"s": {0: 5.0, 1: 10.0, 10: 100.0}})
+        assert "o s" in out
+
+    def test_marker_cycling_notes_the_reuse(self):
+        many = {f"s{i:02d}": {1: 1.0 + i, 10: 2.0 + i} for i in range(15)}
+        out = ascii_plot(many)
+        assert "markers cycle" in out
+        # series 0 and 12 share a marker glyph by cycling
+        assert "o s00" in out and "o s12" in out
+
+    def test_no_cycle_note_under_marker_budget(self):
+        out = ascii_plot({"a": {1: 1.0}, "b": {1: 2.0}})
+        assert "markers cycle" not in out
