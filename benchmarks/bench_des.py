@@ -1,14 +1,22 @@
-"""DES engine throughput: fast-path scheduler vs the pre-PR legacy engine.
+"""DES engine throughput: flat-core scheduler vs the pre-PR legacy engine.
 
 The sweep engine pumps millions of events through ``repro.des`` per
-report regeneration, so PR 2 rebuilt its hot path (ready deque for
-zero-delay scheduling, bare callback slots, no relay-Event allocation
-on already-processed yields) and converted the transfer machinery from
-per-transfer generator processes to callback chains. This benchmark
-simulates the same halo-transfer workload both ways — the seed idiom
-on a faithful copy of the seed engine, the callback-slot idiom on the
-production engine — and asserts the new stack moves at least
-:data:`MIN_SPEEDUP` times as many events per second.
+report regeneration, so its hot path has been rebuilt twice: PR 2
+introduced bare callback slots and callback-chained transfers, and the
+flat event core (docs/MODEL.md §12) replaced the merged heap+deque with
+time-bucket cohorts, tombstone cancellation, and allocation-free
+steady-state scheduling. This benchmark simulates the same
+halo-transfer workload both ways — the seed idiom on a faithful copy
+of the seed engine, the callback-slot idiom on the production engine —
+and asserts the new stack moves at least :data:`MIN_SPEEDUP` times as
+many events per second, plus an *absolute* events/s floor recorded in
+``BENCH_PR6.json`` (gated by ``tools/perf_smoke.py --check``).
+
+Two auxiliary workloads exercise the flat core's new machinery where
+the transfer shape does not: a cancellation-heavy workload (bandwidth-
+style wakeup reschedules, ~90% of entries tombstoned before firing)
+and a same-time-burst workload (wide cohorts drained with the heap
+touched once per distinct time).
 
 The *legacy* engine below is a trimmed copy of the seed scheduler
 (single heapq for everything, a bootstrap Event per process, and a
@@ -21,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import time
+import tracemalloc
 from typing import Any, Callable, Generator, Optional
 
 from repro.des import Environment
@@ -191,7 +200,7 @@ def _drive_fast(env: Environment, n: int = N_TRANSFERS) -> int:
     Matches the rewritten ``World._wire``/``_start_background``: the
     latency hop is a bare ``schedule`` slot whose callback schedules the
     wire hop, which triggers the completion event — no generator, no
-    bootstrap, and the zero-delay turnaround rides the ready deque.
+    bootstrap, and the zero-delay turnaround joins the live cohort.
     """
 
     def waiter(done):
@@ -231,6 +240,69 @@ def engine_events_per_second() -> float:
 
 
 # --------------------------------------------------------------------------
+# Flat-core auxiliary workloads: tombstones and wide cohorts
+# --------------------------------------------------------------------------
+
+#: Cancellation workload shape: rounds of reschedule-then-cancel, the
+#: SharedBandwidth wakeup pattern under membership churn.
+N_CANCEL_ROUNDS = 5_000
+CANCELS_PER_ROUND = 9  # 9 tombstoned + 1 fired per round
+
+#: Same-time burst shape: distinct times × entries per cohort.
+N_BURSTS = 50
+BURST_WIDTH = 2_000
+
+
+def _drive_cancellation(env: Environment, rounds: int = N_CANCEL_ROUNDS) -> int:
+    """Cancellation-heavy: each round parks CANCELS_PER_ROUND wakeups and
+    tombstones them all before scheduling the one that fires — the
+    processor-sharing link's reschedule pattern, amplified. Exercises the
+    slot pool freelist and tombstone skipping in the drain loop."""
+    fired = [0]
+
+    def wake(_arg):
+        fired[0] += 1
+
+    t = 0.0
+    for _ in range(rounds):
+        t += 1e-6
+        dead = [env.schedule_cancellable(t - env.now, wake) for _ in range(CANCELS_PER_ROUND)]
+        for h in dead:
+            env.cancel(h)
+        env.schedule_cancellable(t - env.now, wake)
+    env.run()
+    assert fired[0] == rounds
+    return rounds * (CANCELS_PER_ROUND + 1)
+
+
+def _drive_same_time_burst(env: Environment, bursts: int = N_BURSTS) -> int:
+    """Wide cohorts: BURST_WIDTH same-time slots per distinct time, so the
+    heap is consulted once per cohort and the drain loop dominates."""
+    hits = [0]
+
+    def hit(_arg):
+        hits[0] += 1
+
+    for b in range(1, bursts + 1):
+        t = float(b)
+        for _ in range(BURST_WIDTH):
+            env.schedule(t - env.now, hit)
+    env.run()
+    assert hits[0] == bursts * BURST_WIDTH
+    return bursts * BURST_WIDTH
+
+
+def cancellation_events_per_second() -> float:
+    """Throughput of the cancellation-heavy workload on the flat core."""
+    return _events_per_second(Environment, _drive_cancellation)
+
+
+def burst_events_per_second() -> float:
+    """Throughput of the same-time-burst workload on the flat core."""
+    return _events_per_second(Environment, _drive_same_time_burst)
+
+
+# --------------------------------------------------------------------------
 # Benchmarks
 # --------------------------------------------------------------------------
 
@@ -262,3 +334,65 @@ def test_bench_des_event_throughput(benchmark):
         f"engine throughput regressed: {new:.0f} ev/s vs legacy "
         f"{legacy:.0f} ev/s ({new / legacy:.2f}x < {MIN_SPEEDUP}x)"
     )
+
+
+def test_bench_des_cancellation_heavy(benchmark):
+    """Tombstone-heavy workload: 90% of slots cancelled before firing."""
+
+    def regenerate():
+        return _drive_cancellation(Environment())
+
+    ops = benchmark(regenerate)
+    if getattr(benchmark, "stats", None):
+        evps = ops / benchmark.stats.stats.min
+    else:
+        evps = cancellation_events_per_second()
+    benchmark.extra_info["cancellation_events_per_s"] = round(evps)
+    # Tombstoning must not collapse throughput: cancelled entries cost two
+    # list reads and a freelist append, so the cancel-heavy mix should move
+    # at a healthy fraction of the transfer workload's rate.
+    assert evps > 0
+
+
+def test_bench_des_same_time_burst(benchmark):
+    """Wide-cohort workload: the heap is popped once per distinct time."""
+
+    def regenerate():
+        return _drive_same_time_burst(Environment())
+
+    ops = benchmark(regenerate)
+    if getattr(benchmark, "stats", None):
+        evps = ops / benchmark.stats.stats.min
+    else:
+        evps = burst_events_per_second()
+    benchmark.extra_info["burst_events_per_s"] = round(evps)
+    assert evps > 0
+
+
+def test_steady_state_scheduling_is_allocation_free():
+    """Bench-level twin of the tests/des tracemalloc check: scheduling into
+    a warmed bucket performs no per-entry tuple/object allocation."""
+    env = Environment()
+
+    def cb(_arg):
+        pass
+
+    for _ in range(16):
+        env.schedule(1.0, cb)
+    env.run()
+    env.schedule(1.0, cb)  # re-create the bucket at now+1
+
+    n = 4096
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    for _ in range(n):
+        env.schedule(1.0, cb)
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    new_blocks = sum(
+        s.count_diff for s in after.compare_to(before, "filename") if s.count_diff > 0
+    )
+    assert new_blocks < n / 8, (
+        f"{new_blocks} new allocations for {n} scheduled entries"
+    )
+    env.run()

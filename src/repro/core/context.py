@@ -6,6 +6,12 @@ work goes through the :class:`~repro.simgpu.device.Gpu` streams. In mirror
 mode, ``gpu_share`` (> 1 when several MPI tasks drive one GPU) scales both
 kernel durations and PCIe bytes, standing in for the contention that the
 full backend produces naturally when ranks share a device.
+
+Cost helpers charge time with bare callback slots (``env.schedule``) where
+no caller ever yields on the occurrence — on the flat event core
+(docs/MODEL.md §12) those are allocation-free bucket appends — and with
+:class:`~repro.des.Timeout` events where an implementation's coroutine
+waits on the result.
 """
 
 from __future__ import annotations

@@ -14,7 +14,11 @@ GPU (:mod:`repro.simgpu`) substrates need:
   bandwidth (e.g. a NIC or PCIe link shared by concurrent transfers).
 
 Time is a ``float`` in seconds of *virtual* (simulated) machine time; it has
-no relation to wall-clock time of the simulation itself.
+no relation to wall-clock time of the simulation itself. Workloads whose
+delays are exact multiples of a power-of-two quantum can opt into an integer
+tick clock via ``Environment(quantum=...)``; :mod:`repro.des.timebase` has
+the evaluation helpers (the paper experiments stay on float64 — see
+docs/MODEL.md §12).
 """
 
 from repro.des.engine import (

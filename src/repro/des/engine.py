@@ -4,37 +4,58 @@ The engine is deterministic: events scheduled for the same simulated time
 fire in scheduling order (FIFO), which makes simulation results exactly
 reproducible run-to-run.
 
-Scheduling fast paths (see docs/MODEL.md, "engine scheduling fast paths")
+The flat event core (see docs/MODEL.md §12)
 --------------------------------------------------------------------------
 The experiment sweeps pump millions of events through this loop, so the
-hot path avoids both allocation and ``heapq`` churn wherever the ordering
-contract allows:
+hot path is built around flat slot storage instead of per-entry objects:
 
-* **Ready deque.** Zero-delay scheduling (``succeed``/``fail``, process
-  bootstraps, resume-after-processed) lands in a plain FIFO deque instead
-  of the time heap. Because simulated time never decreases and the global
-  tie-break counter is monotonic, the deque is always sorted by
-  ``(time, counter)``; the run loop merges it with the heap head by
-  comparing those keys, so the observable order is *bit-identical* to a
-  single heap while same-time bursts cost O(1) per event instead of
-  O(log n).
-* **Callback slots.** Internal machinery (bandwidth wakeups, wire
-  completions, process bootstrap/resume) schedules a bare
-  ``(fn, arg)`` slot via :meth:`Environment.schedule` /
-  :meth:`Environment.schedule_now` — no :class:`Event` object, no
-  callback list, no state machine. Slots share the counter sequence with
-  events, so FIFO semantics are preserved exactly.
-* **No relay events.** A process yielding an already-*processed* event
-  resumes via a slot carrying ``(ok, value)`` instead of allocating a
-  fresh relay :class:`Event`.
-* **Zero-delay timeouts** skip the heap entirely and ride the ready
-  deque (same-key ordering as before).
+* **Time-bucket cohorts.** All entries due at one simulated time live in a
+  single flat list of ``(kind, payload)`` slot *pairs* (structure-of-arrays
+  layout: even indices hold the callback or a kind sentinel, odd indices
+  the companion payload). The time heap holds each distinct pending time
+  exactly *once*; the run loop pops a time, then drains that cohort start
+  to finish with no further heap traffic. Scheduling into an existing
+  bucket is a dict hit plus two list appends — no tuple, no heap churn.
+* **Allocation-free steady state.** Exhausted cohort lists are recycled
+  through a small pool, so steady-state scheduling allocates no tuples and
+  no per-entry objects: an entry is two slot assignments. (The only
+  allocation on a miss is the float produced by ``now + delay``, which
+  becomes the bucket key; entries landing in an existing bucket allocate
+  nothing that outlives the call.)
+* **FIFO without counters.** Within a bucket, appends happen in scheduling
+  order, and across buckets time strictly orders execution — so the global
+  ``(time, counter)`` FIFO contract of the previous engine holds with no
+  per-entry counter at all. ``docs/MODEL.md`` §12 has the equivalence
+  argument; ``tests/des/test_flat_core.py`` checks it against a reference
+  ``(time, counter)`` heap under hypothesis-generated workloads.
+* **Tombstone cancellation.** :meth:`Environment.schedule_cancellable`
+  parks the callback in a preallocated slot pool (parallel ``fn``/``arg``
+  arrays plus an integer freelist) and returns an ``int`` handle;
+  :meth:`Environment.cancel` nulls the slot, and the drain loop skips the
+  dead pair without executing anything. Cancelling is two array writes —
+  the heap and the bucket are never touched (the Fellow-Simcraft-Ship
+  ``Engine.cancel`` idiom). :class:`~repro.des.resources.SharedBandwidth`
+  wakeups ride this instead of generation-counter invalidation.
+* **Evaluated time base.** Keys are float64 seconds by default — exactly
+  the ``now + delay`` arithmetic of every previous engine, which is what
+  keeps all 20 experiments bit-identical to the pre-refactor dump oracle.
+  Passing ``quantum`` (a power of two) switches the clock to integer ticks
+  for workloads whose delays are exactly representable; non-representable
+  delays raise rather than silently skew. See docs/MODEL.md §12 for why
+  the machine models pin float64.
+* **Callback slots / no relay events.** As before, internal machinery
+  (bandwidth wakeups, wire completions, process bootstrap/resume)
+  schedules a bare ``(fn, arg)`` pair via :meth:`Environment.schedule` /
+  :meth:`Environment.schedule_now` — no :class:`Event`, no callback list —
+  and a process yielding an already-*processed* event resumes through a
+  slot instead of a relay Event.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import deque
+from heapq import heappush as _heappush
+from types import GeneratorType as _GeneratorType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -56,6 +77,18 @@ class SimulationError(RuntimeError):
 _PENDING = 0  # created, not yet triggered
 _TRIGGERED = 1  # value decided, callbacks scheduled to run
 _PROCESSED = 2  # callbacks have run
+
+# Cohort slot-kind sentinels (private identities; user callables can never
+# collide with them). A slot pair whose even element is one of these is an
+# Event firing / cancellable-pool reference; anything else is a bare
+# ``fn(arg)`` callback slot.
+_EVENT = object()
+_CANCELLABLE = object()
+
+#: Exhausted cohort lists kept for reuse (bounds idle memory).
+_POOL_MAX = 64
+
+_EVENT_NEW = None  # bound to Event.__new__ below (Event not yet defined)
 
 
 class Event:
@@ -107,8 +140,12 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
-        env._ready.append((env._now, env._counter, self))
-        env._counter += 1
+        cur = env._cur
+        if cur is not None:
+            cur.append(_EVENT)
+            cur.append(self)
+        else:
+            env._insert(env._now, _EVENT, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -121,45 +158,74 @@ class Event:
         self._ok = False
         self._value = exception
         env = self.env
-        env._ready.append((env._now, env._counter, self))
-        env._counter += 1
+        cur = env._cur
+        if cur is not None:
+            cur.append(_EVENT)
+            cur.append(self)
+        else:
+            env._insert(env._now, _EVENT, self)
         return self
 
     # -- engine internals ---------------------------------------------------
     def _run_callbacks(self) -> None:
         self._state = _PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for cb in callbacks:
+                cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
         return f"<{type(self).__name__} {state[self._state]} at t={self.env.now:g}>"
 
 
+_EVENT_NEW = Event.__new__
+
+
 class Timeout(Event):
     """An event that succeeds ``delay`` simulated seconds after creation.
 
-    Zero-delay timeouts take the ready-deque fast path (no heap traffic);
-    positive delays go on the time heap. Either way the FIFO tie-break is
-    the shared scheduling counter, so ordering is identical to a single
-    queue.
+    The constructor inlines the Event field initialisation and the enqueue
+    (one bucket insert) because experiment programs create one of these per
+    timed cost charge — it is the single most allocated object in a run.
     """
 
     __slots__ = ()
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
         self._state = _TRIGGERED
+        self._ok = True
         self._value = value
-        env._enqueue(self, delay)
+        if delay > 0:  # common case first; bucket insert inlined
+            if env._scale is None:
+                t = env._now + delay
+            else:
+                t = env._now + env._ticks(delay)
+        elif delay == 0:
+            cur = env._cur
+            if cur is not None:
+                cur.append(_EVENT)
+                cur.append(self)
+                return
+            t = env._now
+        else:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        buckets = env._buckets
+        try:
+            bucket = buckets[t]
+        except KeyError:
+            pool = env._pool
+            bucket = pool.pop() if pool else []
+            buckets[t] = bucket
+            _heappush(env._times, t)
+        bucket.append(_EVENT)
+        bucket.append(self)
 
 
-#: Bootstrap resume payload shared by every process start (no per-process
-#: allocation).
-_BOOT = (True, None)
+_TIMEOUT_NEW = Timeout.__new__
 
 
 class Process(Event):
@@ -172,7 +238,7 @@ class Process(Event):
     on each other.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_send", "_name", "_resume_cb", "_resume_with_cb")
 
     def __init__(
         self,
@@ -180,66 +246,182 @@ class Process(Event):
         generator: Generator[Event, Any, Any],
         name: Optional[str] = None,
     ):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        if type(generator) is not _GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
             raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._state = _PENDING
+        self._ok = True
+        self._value = None
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
-        self.name = name or getattr(generator, "__name__", "process")
-        # Kick off at the current time via a bare resume slot (fast path;
-        # the seed engine allocated a bootstrap Event here).
-        env.schedule_now(self._resume_with, _BOOT)
+        self._name = name
+        # Bound methods used on every suspension are cached once (a fresh
+        # bound-method allocation per resume was measurable on the exchange
+        # hot path): the generator's send and our own resume callback. The
+        # slot-resume twin is built lazily (stale yields only); throw stays
+        # an attribute access (failure resumes are rare).
+        self._send = generator.send
+        self._resume_cb = self._resume
+        self._resume_with_cb = None
+        # Kick off at the current time via a bare resume slot calling the
+        # module-level _boot_process (fast path; the seed engine allocated a
+        # bootstrap Event here, and no bound method is needed).
+        cur = env._cur
+        if cur is not None:
+            cur.append(_boot_process)
+            cur.append(self)
+            return
+        t = env._now
+        buckets = env._buckets
+        try:
+            bucket = buckets[t]
+        except KeyError:
+            pool = env._pool
+            bucket = pool.pop() if pool else []
+            buckets[t] = bucket
+            _heappush(env._times, t)
+        bucket.append(_boot_process)
+        bucket.append(self)
+
+    @property
+    def name(self) -> str:
+        """Process name (defaults to the generator's name, resolved lazily)."""
+        return self._name or getattr(self._generator, "__name__", "process")
 
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
         return self._state == _PENDING
 
+    # _resume and _resume_with share their shape (the generator-driving body
+    # is duplicated rather than delegated: one resume per simulated hop makes
+    # an extra call layer measurable); only the trigger unpacking differs.
+
     def _resume(self, trigger: Event) -> None:
-        self._resume_core(trigger._ok, trigger._value)
+        try:
+            if trigger._ok:
+                target = self._send(trigger._value)
+            else:
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            # Inlined _finish (every process ends through here once; the
+            # process event is still pending, so no state check).
+            self._state = _TRIGGERED
+            self._value = stop.value
+            env = self.env
+            cur = env._cur
+            if cur is not None:
+                cur.append(_EVENT)
+                cur.append(self)
+            else:
+                env._insert(env._now, _EVENT, self)
+            return
+        except BaseException as exc:
+            self._crash(exc)
+            return
+        cls = target.__class__
+        if cls is Timeout or cls is Event or isinstance(target, Event):
+            if target.env is self.env:
+                if target._state != _PROCESSED:
+                    target.callbacks.append(self._resume_cb)
+                else:
+                    self._stale_resume(target)
+                return
+        self._bad_yield(target)
 
     def _resume_with(self, okval) -> None:
         """Slot-callback resume carrying a pre-decided ``(ok, value)``."""
-        self._resume_core(okval[0], okval[1])
-
-    def _resume_core(self, ok: bool, value: Any) -> None:
-        self._waiting_on = None
         try:
-            if ok:
-                target = self._generator.send(value)
+            if okval[0]:
+                target = self._send(okval[1])
             else:
-                target = self._generator.throw(value)
+                target = self._generator.throw(okval[1])
         except StopIteration as stop:
-            self.succeed(stop.value)
+            self._finish(stop.value)
             return
         except BaseException as exc:
-            # A crashed process fails its own event so waiters see the error;
-            # with no waiters attached, Environment.run re-raises instead of
-            # letting the crash vanish silently.
-            has_waiters = bool(self.callbacks)
-            self.fail(exc)
-            if not has_waiters:
-                self.env._record_crash(self, exc)
+            self._crash(exc)
             return
-        if not isinstance(target, Event):
+        cls = target.__class__
+        if cls is Timeout or cls is Event or isinstance(target, Event):
+            if target.env is self.env:
+                if target._state != _PROCESSED:
+                    target.callbacks.append(self._resume_cb)
+                else:
+                    self._stale_resume(target)
+                return
+        self._bad_yield(target)
+
+    def _stale_resume(self, target: Event) -> None:
+        """Yielded an already-*processed* event: resume via a bare slot
+        carrying the same outcome (the seed engine allocated a relay Event
+        here)."""
+        cb = self._resume_with_cb
+        if cb is None:
+            cb = self._resume_with_cb = self._resume_with
+        self.env.schedule_now(cb, (target._ok, target._value))
+
+    def _finish(self, value: Any) -> None:
+        """Generator returned: succeed the process event (it is still
+        pending — the generator was alive — so the state check is skipped)."""
+        self._state = _TRIGGERED
+        self._value = value
+        env = self.env
+        cur = env._cur
+        if cur is not None:
+            cur.append(_EVENT)
+            cur.append(self)
+        else:
+            env._insert(env._now, _EVENT, self)
+
+    def _crash(self, exc: BaseException) -> None:
+        # A crashed process fails its own event so waiters see the error;
+        # with no waiters attached, Environment.run re-raises instead of
+        # letting the crash vanish silently.
+        has_waiters = bool(self.callbacks)
+        self.fail(exc)
+        if not has_waiters:
+            self.env._record_crash(self, exc)
+
+    def _bad_yield(self, target: Any) -> None:
+        if isinstance(target, Event):
+            err = SimulationError(
+                "process yielded an event from a different Environment"
+            )
+        else:
             err = SimulationError(
                 f"process {self.name!r} yielded {type(target).__name__}, expected Event"
             )
-            self.fail(err)
-            self.env._record_crash(self, err)
+        self.fail(err)
+        self.env._record_crash(self, err)
+
+
+_PROCESS_NEW = Process.__new__
+
+
+def _boot_process(p: Process) -> None:
+    """First resume of a fresh process generator (a bare slot callback, so
+    no bootstrap Event and no bound method): always ``send(None)`` — the
+    specialized twin of :meth:`Process._resume_with`."""
+    try:
+        target = p._send(None)
+    except StopIteration as stop:
+        p._finish(stop.value)
+        return
+    except BaseException as exc:
+        p._crash(exc)
+        return
+    cls = target.__class__
+    if cls is Timeout or cls is Event or isinstance(target, Event):
+        if target.env is p.env:
+            if target._state != _PROCESSED:
+                target.callbacks.append(p._resume_cb)
+            else:
+                p._stale_resume(target)
             return
-        if target.env is not self.env:
-            err = SimulationError("process yielded an event from a different Environment")
-            self.fail(err)
-            self.env._record_crash(self, err)
-            return
-        self._waiting_on = target
-        if target._state == _PROCESSED:
-            # Already fully processed: resume via a bare slot carrying the
-            # same outcome (the seed engine allocated a relay Event here).
-            self.env.schedule_now(self._resume_with, (target._ok, target._value))
-        else:
-            target.callbacks.append(self._resume)
+    p._bad_yield(target)
 
 
 class _Condition(Event):
@@ -268,12 +450,28 @@ class _Condition(Event):
     def _observe(self, ev: Event) -> None:
         raise NotImplementedError
 
+    def _detach_losers(self) -> None:
+        """Drop our observer from still-pending constituents.
+
+        Once the condition has settled, the observers are dead weight: they
+        would fire as no-ops and keep the whole condition (and its captured
+        values) alive until every loser resolves. Detaching is the
+        callback-list analogue of tombstoning a queue slot.
+        """
+        observe = self._observe
+        for ev in self._events:
+            if ev._state == _PENDING:
+                try:
+                    ev.callbacks.remove(observe)
+                except ValueError:
+                    pass
+
 
 class AllOf(_Condition):
     """Succeeds when every constituent event has succeeded.
 
     Value is the list of constituent values, in constructor order. Fails as
-    soon as any constituent fails.
+    soon as any constituent fails (detaching from the still-pending rest).
     """
 
     __slots__ = ("_remaining",)
@@ -293,6 +491,7 @@ class AllOf(_Condition):
             return
         if not ev._ok:
             self.fail(ev._value)
+            self._detach_losers()
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -302,7 +501,9 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Succeeds with the value of the first constituent event to succeed.
 
-    Fails only if *all* constituents fail (with the last failure).
+    Fails only if *all* constituents fail (with the last failure). Losers
+    are detached as soon as the race settles, so a long-lived loser event
+    does not pin the condition (or its value) in memory.
     """
 
     __slots__ = ("_failures",)
@@ -322,6 +523,7 @@ class AnyOf(_Condition):
             return
         if ev._ok:
             self.succeed(ev._value)
+            self._detach_losers()
         else:
             self._failures += 1
             if self._failures == len(self._events):
@@ -331,46 +533,156 @@ class AnyOf(_Condition):
 class Environment:
     """Simulation clock, event queue, and process factory.
 
-    Internally two structures hold scheduled work, merged on the shared
-    ``(time, counter)`` key so the observable order equals a single FIFO
-    heap:
+    Scheduled work lives in *time buckets*: ``_buckets`` maps an absolute
+    arrival time to a flat list of ``(kind, payload)`` slot pairs in FIFO
+    order, and ``_times`` is a heap holding each distinct pending time once.
+    The run loop pops the earliest time, pins ``_cur`` to that bucket (the
+    executing *cohort*), and drains it front to back; entries scheduled for
+    "now" while a cohort executes are appended straight to ``_cur``.
+    Exhausted bucket lists are recycled through ``_pool``.
 
-    * ``_queue`` — a heap of future entries (positive-delay timeouts and
-      callback slots);
-    * ``_ready`` — a FIFO deque of entries due "now" (zero-delay); it is
-      sorted by construction because time and counter are both monotonic.
-
-    Entries are ``(time, counter, event)`` triples or
-    ``(time, counter, fn, arg)`` callback slots. The counter is unique, so
-    heap/deque comparisons never reach the third element.
+    ``quantum`` switches the clock from float64 seconds to integer ticks of
+    that size (pass a power of two, e.g. ``2**-30``); delays that are not
+    exact multiples raise :class:`SimulationError`. The default (``None``)
+    keeps the float64 time base whose arithmetic is bit-identical to every
+    previous engine generation.
     """
 
-    def __init__(self, initial_time: float = 0.0):
-        self._now = float(initial_time)
-        self._queue: list[tuple] = []
-        self._ready: deque[tuple] = deque()
-        self._counter = 0  # FIFO tie-break for same-time entries
+    def __init__(self, initial_time: float = 0.0, *, quantum: Optional[float] = None):
+        if quantum is None:
+            self._quantum: Optional[float] = None
+            self._scale: Optional[float] = None
+            self._now: Any = float(initial_time)
+        else:
+            if quantum <= 0:
+                raise ValueError("quantum must be positive")
+            self._quantum = float(quantum)
+            self._scale = 1.0 / float(quantum)
+            self._now = self._ticks(float(initial_time))
+        #: heap of pending bucket times; each distinct time appears once and
+        #: the currently draining cohort's time is *not* in it.
+        self._times: list = []
+        #: time -> flat [kind0, payload0, kind1, payload1, ...] slot pairs.
+        self._buckets: dict = {}
+        self._cur: Optional[list] = None  # cohort being drained (== _buckets[_now])
+        self._cur_i = 0  # cursor into _cur (pair-aligned: always even)
+        self._pool: list = []  # recycled bucket lists
+        # Cancellable-slot pool: parallel fn/arg arrays + integer freelist.
+        self._slot_fn: list = []
+        self._slot_arg: list = []
+        self._slot_free: list = []
         self._crashed: list[tuple[Process, BaseException]] = []
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return self._now
+        q = self._quantum
+        return self._now if q is None else self._now * q
+
+    @property
+    def quantum(self) -> Optional[float]:
+        """Tick size of the fixed-point time base, or None on float64."""
+        return self._quantum
+
+    def _ticks(self, delay: float) -> int:
+        """Exact tick count for ``delay`` seconds (fixed time base only)."""
+        ticks = delay * self._scale
+        i = int(ticks)
+        if i != ticks:
+            raise SimulationError(
+                f"delay {delay!r} is not representable on the fixed time base "
+                f"(quantum {self._quantum!r}); use the float64 time base for "
+                "non-quantized delays"
+            )
+        return i
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
         """Create an untriggered event."""
-        return Event(self)
+        # Fields written directly (skipping __init__ dispatch): env.event()
+        # is called once per transfer/sync on the exchange hot path.
+        ev = _EVENT_NEW(Event)
+        ev.env = self
+        ev.callbacks = []
+        ev._state = _PENDING
+        ev._ok = True
+        ev._value = None
+        return ev
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        # Timeout.__init__ body inlined via __new__ (one Timeout per cost
+        # charge — the hottest factory in the engine).
+        to = _TIMEOUT_NEW(Timeout)
+        to.env = self
+        to.callbacks = []
+        to._state = _TRIGGERED
+        to._ok = True
+        to._value = value
+        if delay > 0:
+            if self._scale is None:
+                t = self._now + delay
+            else:
+                t = self._now + self._ticks(delay)
+        elif delay == 0:
+            cur = self._cur
+            if cur is not None:
+                cur.append(_EVENT)
+                cur.append(to)
+                return to
+            t = self._now
+        else:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        buckets = self._buckets
+        try:
+            bucket = buckets[t]
+        except KeyError:
+            pool = self._pool
+            bucket = pool.pop() if pool else []
+            buckets[t] = bucket
+            _heappush(self._times, t)
+        bucket.append(_EVENT)
+        bucket.append(to)
+        return to
 
     def process(
         self, generator: Generator[Event, Any, Any], name: Optional[str] = None
     ) -> Process:
         """Start a process driving ``generator``; returns its Process event."""
-        return Process(self, generator, name=name)
+        # Process.__init__ body inlined via __new__ (one per exchange wait
+        # chain; keep in sync with the constructor).
+        if type(generator) is not _GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        p = _PROCESS_NEW(Process)
+        p.env = self
+        p.callbacks = []
+        p._state = _PENDING
+        p._ok = True
+        p._value = None
+        p._generator = generator
+        p._name = name
+        p._send = generator.send
+        p._resume_cb = p._resume
+        p._resume_with_cb = None
+        cur = self._cur
+        if cur is not None:
+            cur.append(_boot_process)
+            cur.append(p)
+            return p
+        t = self._now
+        buckets = self._buckets
+        try:
+            bucket = buckets[t]
+        except KeyError:
+            pool = self._pool
+            bucket = pool.pop() if pool else []
+            buckets[t] = bucket
+            _heappush(self._times, t)
+        bucket.append(_boot_process)
+        bucket.append(p)
+        return p
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that succeeds when all ``events`` succeed."""
@@ -381,81 +693,223 @@ class Environment:
         return AnyOf(self, events)
 
     # -- scheduling -----------------------------------------------------------
+    def _insert(self, t, a, b) -> None:
+        """Append slot pair ``(a, b)`` to the bucket at absolute time ``t``."""
+        buckets = self._buckets
+        try:
+            bucket = buckets[t]
+        except KeyError:
+            pool = self._pool
+            bucket = pool.pop() if pool else []
+            buckets[t] = bucket
+            _heappush(self._times, t)
+        bucket.append(a)
+        bucket.append(b)
+
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         """Schedule ``event``'s callbacks to run ``delay`` seconds from now."""
-        if delay:
-            heapq.heappush(self._queue, (self._now + delay, self._counter, event))
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        if delay == 0:
+            cur = self._cur
+            if cur is not None:
+                cur.append(_EVENT)
+                cur.append(event)
+                return
+            t = self._now
+        elif self._scale is None:
+            t = self._now + delay
         else:
-            self._ready.append((self._now, self._counter, event))
-        self._counter += 1
+            t = self._now + self._ticks(delay)
+        self._insert(t, _EVENT, event)
 
     def schedule(self, delay: float, fn: Callable[[Any], None], arg: Any = None) -> None:
         """Slot-based scheduling: run ``fn(arg)`` ``delay`` seconds from now.
 
         This is the engine's allocation-free alternative to spawning a
         process around a :class:`Timeout`: no Event, no generator, no
-        callback list — just a heap (or ready-deque) entry. Slots share the
-        FIFO counter with events, so ordering against same-time events is
+        callback list — just a slot pair in a time bucket. Bucket append
+        order is scheduling order, so ordering against same-time events is
         exactly what an equivalently scheduled event would see.
+        """
+        if delay > 0:  # common case first; bucket insert inlined
+            if self._scale is None:
+                t = self._now + delay
+            else:
+                t = self._now + self._ticks(delay)
+        elif delay == 0:
+            cur = self._cur
+            if cur is not None:
+                cur.append(fn)
+                cur.append(arg)
+                return
+            t = self._now
+        else:
+            raise ValueError(f"negative schedule delay: {delay!r}")
+        buckets = self._buckets
+        try:
+            bucket = buckets[t]
+        except KeyError:
+            pool = self._pool
+            bucket = pool.pop() if pool else []
+            buckets[t] = bucket
+            _heappush(self._times, t)
+        bucket.append(fn)
+        bucket.append(arg)
+
+    def schedule_now(self, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Slot-based scheduling at the current time (cohort fast path)."""
+        cur = self._cur
+        if cur is not None:
+            cur.append(fn)
+            cur.append(arg)
+        else:
+            self._insert(self._now, fn, arg)
+
+    def schedule_cancellable(
+        self, delay: float, fn: Callable[[Any], None], arg: Any = None
+    ) -> int:
+        """Like :meth:`schedule`, but returns an ``int`` handle for
+        :meth:`cancel`.
+
+        The callback is parked in a preallocated slot pool (parallel
+        ``fn``/``arg`` arrays recycled through an integer freelist), so the
+        steady state allocates nothing per entry. Contract: a handle dies
+        the moment its callback fires or :meth:`cancel` is called — callers
+        must clear their stored handle in the callback itself and never
+        cancel twice (handles are recycled; see
+        :class:`~repro.des.resources.SharedBandwidth` for the idiom).
         """
         if delay < 0:
             raise ValueError(f"negative schedule delay: {delay!r}")
-        if delay:
-            heapq.heappush(self._queue, (self._now + delay, self._counter, fn, arg))
+        free = self._slot_free
+        if free:
+            h = free.pop()
+            self._slot_fn[h] = fn
+            self._slot_arg[h] = arg
         else:
-            self._ready.append((self._now, self._counter, fn, arg))
-        self._counter += 1
+            h = len(self._slot_fn)
+            self._slot_fn.append(fn)
+            self._slot_arg.append(arg)
+        if delay == 0:
+            cur = self._cur
+            if cur is not None:
+                cur.append(_CANCELLABLE)
+                cur.append(h)
+                return h
+            t = self._now
+        elif self._scale is None:
+            t = self._now + delay
+        else:
+            t = self._now + self._ticks(delay)
+        self._insert(t, _CANCELLABLE, h)
+        return h
 
-    def schedule_now(self, fn: Callable[[Any], None], arg: Any = None) -> None:
-        """Slot-based scheduling at the current time (ready-deque fast path)."""
-        self._ready.append((self._now, self._counter, fn, arg))
-        self._counter += 1
+    def cancel(self, handle: int) -> None:
+        """Tombstone a pending :meth:`schedule_cancellable` entry.
+
+        The queue is untouched: the slot is nulled and the drain loop skips
+        the dead pair when its time comes. Raises if the handle's slot is
+        already empty (double-cancel, or cancel after the callback fired).
+        """
+        slot_fn = self._slot_fn
+        if slot_fn[handle] is None:
+            raise SimulationError(
+                "cancel() of a dead handle (already cancelled or already fired)"
+            )
+        slot_fn[handle] = None
+        self._slot_arg[handle] = None
 
     def _record_crash(self, process: Process, exc: BaseException) -> None:
         self._crashed.append((process, exc))
 
     # -- queue inspection -------------------------------------------------------
-    def _head_key(self) -> Optional[tuple]:
-        """(time, counter) of the next entry across both queues, or None."""
-        ready, queue = self._ready, self._queue
-        if ready:
-            if queue:
-                qh, rh = queue[0], ready[0]
-                if qh[0] < rh[0] or (qh[0] == rh[0] and qh[1] < rh[1]):
-                    return (qh[0], qh[1])
-            return (ready[0][0], ready[0][1])
-        if queue:
-            return (queue[0][0], queue[0][1])
-        return None
+    def _open_cohort(self) -> Optional[list]:
+        """Position the engine at the next nonempty cohort, or return None.
+
+        This is the engine's *single* ordering implementation (shared by
+        :meth:`run` and :meth:`step`): the current cohort's remaining
+        entries come first; when it is exhausted its bucket is recycled and
+        the heap-minimum time opens the next cohort, advancing the clock.
+        The returned cohort may still lead with tombstoned pairs — skipping
+        those is the caller's (trivial, order-free) job.
+        """
+        cur = self._cur
+        while True:
+            if cur is not None:
+                if self._cur_i < len(cur):
+                    return cur
+                buckets = self._buckets
+                del buckets[self._now]
+                cur.clear()
+                pool = self._pool
+                if len(pool) < _POOL_MAX:
+                    pool.append(cur)
+                cur = self._cur = None
+                self._cur_i = 0
+            times = self._times
+            if not times:
+                return None
+            t = heapq.heappop(times)
+            self._now = t
+            cur = self._cur = self._buckets[t]
+            self._cur_i = 0
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        key = self._head_key()
-        return key[0] if key is not None else float("inf")
+        """Time of the next scheduled entry, or ``inf`` if none.
 
-    def _pop(self) -> tuple:
-        """Remove and return the next entry in (time, counter) order."""
-        ready, queue = self._ready, self._queue
-        if ready:
-            # The deque is sorted; take the heap entry only when it strictly
-            # precedes the deque head (counter is the unique tie-break).
-            if queue:
-                qh, rh = queue[0], ready[0]
-                if qh[0] < rh[0] or (qh[0] == rh[0] and qh[1] < rh[1]):
-                    return heapq.heappop(queue)
-            return ready.popleft()
-        return heapq.heappop(queue)
+        Pure read: no clock movement, no queue mutation. Tombstoned entries
+        at the head of the *current* cohort are looked through; a future
+        bucket containing only tombstones still reports its time (it will
+        be drained as a no-op when reached).
+        """
+        cur = self._cur
+        if cur is not None:
+            i = self._cur_i
+            n = len(cur)
+            slot_fn = self._slot_fn
+            while i < n:
+                if cur[i] is _CANCELLABLE and slot_fn[cur[i + 1]] is None:
+                    i += 2
+                    continue
+                return self.now
+        times = self._times
+        if times:
+            t = times[0]
+            q = self._quantum
+            return t if q is None else t * q
+        return float("inf")
 
     def step(self) -> None:
-        """Process exactly one entry (event callbacks or a callback slot)."""
-        if not self._ready and not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        entry = self._pop()
-        self._now = entry[0]
-        if len(entry) == 3:
-            entry[2]._run_callbacks()
-        else:
-            entry[2](entry[3])
+        """Process exactly one live entry (event callbacks or a callback slot).
+
+        Tombstoned (cancelled) entries are skipped and recycled without
+        counting as the processed entry.
+        """
+        while True:
+            cur = self._open_cohort()
+            if cur is None:
+                raise SimulationError("step() on an empty event queue")
+            i = self._cur_i
+            a = cur[i]
+            b = cur[i + 1]
+            self._cur_i = i + 2
+            if a is _EVENT:
+                b._run_callbacks()
+                return
+            if a is _CANCELLABLE:
+                fn = self._slot_fn[b]
+                if fn is None:  # tombstone: skip, recycle the slot
+                    self._slot_free.append(b)
+                    continue
+                self._slot_fn[b] = None
+                arg = self._slot_arg[b]
+                self._slot_arg[b] = None
+                self._slot_free.append(b)
+                fn(arg)
+                return
+            a(b)
+            return
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -471,62 +925,148 @@ class Environment:
         crash is re-raised here so errors are never silently swallowed.
         """
         stop_event: Optional[Event] = None
-        stop_time = float("inf")
+        stop_key = None
         if isinstance(until, Event):
             stop_event = until
         elif until is not None:
             stop_time = float(until)
-            if stop_time < self._now:
+            if self._scale is None:
+                stop_key = stop_time
+            else:
+                stop_key = self._ticks(stop_time)
+            if stop_key < self._now:
                 raise ValueError("until is in the past")
 
-        # Hot loop: locals for the queues, merged pops inline, and the
-        # ready deque drained in batches between heap consultations.
-        ready = self._ready
-        queue = self._queue
+        # Hot loop: heap consulted only at cohort boundaries; the cohort is
+        # drained inline (event callback execution unrolled — Event has no
+        # subclass overriding _run_callbacks) with everything in locals.
+        times = self._times
+        buckets = self._buckets
+        pool = self._pool
         heappop = heapq.heappop
         crashed = self._crashed
-        while ready or queue:
-            if ready:
-                if queue:
-                    qh, rh = queue[0], ready[0]
-                    if qh[0] < rh[0] or (qh[0] == rh[0] and qh[1] < rh[1]):
-                        if qh[0] > stop_time:
-                            self._now = stop_time
+        slot_fn = self._slot_fn
+        slot_arg = self._slot_arg
+        slot_free = self._slot_free
+        kind_event = _EVENT  # sentinels as locals: LOAD_FAST per entry
+        kind_cancellable = _CANCELLABLE
+        cur = self._cur
+        i = self._cur_i
+        try:
+            if stop_event is None and stop_key is None:
+                # Specialized drain for plain run(): no stop checks per
+                # entry or per cohort (this is the sweep/report regeneration
+                # path, so the duplication buys real throughput).
+                while True:
+                    if cur is None:
+                        if not times:
                             break
-                        entry = heappop(queue)
-                    else:
-                        if rh[0] > stop_time:
-                            self._now = stop_time
+                        t = heappop(times)
+                        self._now = t
+                        cur = self._cur = buckets[t]
+                        i = 0
+                    while True:
+                        try:
+                            a = cur[i]
+                        except IndexError:
                             break
-                        entry = ready.popleft()
-                else:
-                    if ready[0][0] > stop_time:
-                        self._now = stop_time
-                        break
-                    entry = ready.popleft()
-            else:
-                if queue[0][0] > stop_time:
-                    self._now = stop_time
-                    break
-                entry = heappop(queue)
-            self._now = entry[0]
-            if len(entry) == 3:
-                entry[2]._run_callbacks()
-            else:
-                entry[2](entry[3])
-            if crashed:
-                if stop_event is None or not stop_event.triggered:
+                        b = cur[i + 1]
+                        i += 2
+                        if a is kind_event:
+                            # inlined Event._run_callbacks
+                            b._state = _PROCESSED
+                            callbacks = b.callbacks
+                            if callbacks:
+                                b.callbacks = []
+                                for cb in callbacks:
+                                    cb(b)
+                        elif a is kind_cancellable:
+                            fn = slot_fn[b]
+                            if fn is None:  # tombstone: dead slot, skip
+                                slot_free.append(b)
+                                continue
+                            slot_fn[b] = None
+                            arg = slot_arg[b]
+                            slot_arg[b] = None
+                            slot_free.append(b)
+                            fn(arg)
+                        else:
+                            a(b)
+                        if crashed:
+                            raise crashed[0][1]
+                    # Cohort exhausted: recycle its bucket.
+                    del buckets[self._now]
+                    cur.clear()
+                    if len(pool) < _POOL_MAX:
+                        pool.append(cur)
+                    cur = self._cur = None
+                    i = 0
+                if crashed:
                     raise crashed[0][1]
-            if stop_event is not None and stop_event._state == _PROCESSED:
-                if not stop_event._ok:
-                    raise stop_event._value
-                return stop_event._value
+                return None
+            while True:
+                if cur is None:
+                    if not times:
+                        break
+                    t = times[0]
+                    if stop_key is not None and t > stop_key:
+                        self._now = stop_key
+                        break
+                    heappop(times)
+                    self._now = t
+                    cur = self._cur = buckets[t]
+                    i = 0
+                while True:
+                    # Appends made by the executing entries extend the live
+                    # cohort; IndexError (zero-cost until raised on 3.11+)
+                    # replaces a len() recheck per entry.
+                    try:
+                        a = cur[i]
+                    except IndexError:
+                        break
+                    b = cur[i + 1]
+                    i += 2
+                    if a is kind_event:
+                        # inlined Event._run_callbacks
+                        b._state = _PROCESSED
+                        callbacks = b.callbacks
+                        if callbacks:
+                            b.callbacks = []
+                            for cb in callbacks:
+                                cb(b)
+                    elif a is kind_cancellable:
+                        fn = slot_fn[b]
+                        if fn is None:  # tombstone: dead slot, skip
+                            slot_free.append(b)
+                            continue
+                        slot_fn[b] = None
+                        arg = slot_arg[b]
+                        slot_arg[b] = None
+                        slot_free.append(b)
+                        fn(arg)
+                    else:
+                        a(b)
+                    if crashed and (stop_event is None or not stop_event.triggered):
+                        raise crashed[0][1]
+                    if stop_event is not None and stop_event._state == _PROCESSED:
+                        if not stop_event._ok:
+                            raise stop_event._value
+                        return stop_event._value
+                # Cohort exhausted: recycle its bucket, back to the heap.
+                del buckets[self._now]
+                cur.clear()
+                if len(pool) < _POOL_MAX:
+                    pool.append(cur)
+                cur = self._cur = None
+                i = 0
+        finally:
+            self._cur_i = i
 
         if stop_event is not None and not stop_event.processed:
             raise SimulationError(
                 "run(until=event) exhausted the queue before the event fired "
                 "(deadlock: some process is waiting on an event nobody triggers)"
             )
-        if self._crashed:
-            raise self._crashed[0][1]
+        if crashed:
+            raise crashed[0][1]
         return None

@@ -108,7 +108,11 @@ class SharedBandwidth:
         self.name = name
         self._active: list[_Transfer] = []
         self._last_update = env.now
-        self._wakeup_id = 0  # invalidates stale completion wakeups
+        #: pending completion-wakeup handle (tombstoned on membership
+        #: change), or None. The bound wake callback is cached so each
+        #: reschedule is slot traffic only — no allocation.
+        self._wakeup_handle: Optional[int] = None
+        self._wake_cb = self._wake
         #: optional repro.obs tracer: per-transfer wire intervals (lane =
         #: the link's name) and an in-flight counter series. Zero-cost when
         #: None (one attribute check per transfer).
@@ -180,19 +184,26 @@ class SharedBandwidth:
     def _reschedule(self) -> None:
         """Schedule a wakeup at the earliest projected completion.
 
-        Uses the engine's slot-based scheduling path: a bare callback on the
-        time heap instead of a waker process (which cost a Process, a
-        bootstrap slot, and a Timeout per membership change).
+        A bare cancellable slot on the time heap instead of a waker process
+        (which cost a Process, a bootstrap slot, and a Timeout per
+        membership change). A superseded wakeup is *tombstoned* via
+        :meth:`Environment.cancel` — the drain loop skips the dead slot, so
+        stale wakeups never execute (the previous engine let them fire as
+        generation-checked no-ops).
         """
-        self._wakeup_id += 1
+        h = self._wakeup_handle
+        if h is not None:
+            self.env.cancel(h)
+            self._wakeup_handle = None
         if not self._active:
             return
         total_w = self._total_weight()
         next_done = min(t.remaining / (self.rate * t.weight / total_w) for t in self._active)
-        self.env.schedule(next_done, self._wake, self._wakeup_id)
+        self._wakeup_handle = self.env.schedule_cancellable(next_done, self._wake_cb)
 
-    def _wake(self, my_id: int) -> None:
-        if my_id != self._wakeup_id:
-            return  # superseded by a newer membership change
+    def _wake(self, _arg) -> None:
+        # The handle died the moment this fired; clear it before _advance
+        # can run completion callbacks that start new transfers.
+        self._wakeup_handle = None
         self._advance()
         self._reschedule()

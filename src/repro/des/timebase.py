@@ -1,0 +1,87 @@
+"""Time-base evaluation: can a workload run on fixed-point integer ticks?
+
+The flat event core supports two clocks (docs/MODEL.md §12):
+
+* **float64 seconds** (default) — bucket keys are exactly the ``now + delay``
+  sums the previous engines produced, so results are bit-identical to the
+  dump-experiments oracle.
+* **integer ticks** (``Environment(quantum=...)``) — keys are exact integers,
+  immune to float-summation order effects. Only sound when *every* delay the
+  workload schedules is an exact multiple of the quantum; the engine raises
+  on the first one that is not.
+
+This module holds the evaluation helpers: check a set of delays against a
+candidate quantum, or search the power-of-two quanta for one that represents
+them all. The paper's machine models charge delays like ``bytes / rate`` and
+``points * flops_per_point / (gflops * 1e9)`` — arbitrary float quotients
+that no practical quantum represents exactly — which is why the experiment
+runner stays on the float64 time base (verified bit-identical per experiment
+against ``tools/dump_experiments.py``).
+
+Quanta must be powers of two: dividing by a power of two is exact in binary
+floating point, so ``delay / quantum`` introduces no rounding of its own and
+representability is decided by the delay's mantissa alone. A decimal quantum
+like 1e-9 would itself be inexact and defeat the purpose.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+__all__ = [
+    "is_power_of_two",
+    "is_representable",
+    "find_unrepresentable",
+    "suggest_quantum",
+]
+
+
+def is_power_of_two(x: float) -> bool:
+    """True if ``x`` is a (possibly negative-exponent) power of two."""
+    if x <= 0 or math.isinf(x) or math.isnan(x):
+        return False
+    mantissa, _exp = math.frexp(x)
+    return mantissa == 0.5
+
+
+def is_representable(delay: float, quantum: float) -> bool:
+    """True if ``delay`` is an exact integer multiple of ``quantum``.
+
+    Mirrors the engine's own check (``Environment._ticks``): the division is
+    exact for power-of-two quanta, so this is a pure mantissa test.
+    """
+    if math.isinf(delay) or math.isnan(delay):
+        return False
+    ticks = delay / quantum
+    if math.isinf(ticks):
+        return False  # overflowed: quantum far too fine for this magnitude
+    return ticks == int(ticks)
+
+
+def find_unrepresentable(delays: Iterable[float], quantum: float) -> List[float]:
+    """The subset of ``delays`` that the fixed time base would reject."""
+    return [d for d in delays if not is_representable(d, quantum)]
+
+
+def suggest_quantum(
+    delays: Iterable[float],
+    coarsest: float = 1.0,
+    finest: float = 2.0**-40,
+) -> Optional[float]:
+    """Coarsest power-of-two quantum representing every delay, or None.
+
+    Scans from ``coarsest`` down to ``finest`` by halving. Returns None when
+    no quantum in the range works — the caller should stay on the float64
+    time base (the experiment machine models always land here; see module
+    docstring).
+    """
+    if not is_power_of_two(coarsest) or not is_power_of_two(finest):
+        raise ValueError("quantum bounds must be powers of two")
+    delays = list(delays)
+    q = coarsest
+    while q >= finest:
+        if not find_unrepresentable(delays, q):
+            return q
+        q /= 2.0
+    return None

@@ -38,7 +38,11 @@ class Stream:
     Operations are sequenced by callback chaining on the previous tail
     event rather than by spawning a driver process per operation (the seed
     engine's per-op ``runner()`` generators): issuing an op costs one
-    completion :class:`Event` and one scheduling slot.
+    completion :class:`Event` and one scheduling slot. When the tail is
+    already processed, ``schedule_now`` appends the begin callback to the
+    flat core's *live cohort*, so it runs this very timestamp after
+    everything already scheduled for it — the same position the seed
+    engine's counter would have assigned.
     """
 
     def __init__(self, gpu: "Gpu", name: str):

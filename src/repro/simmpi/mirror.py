@@ -185,7 +185,8 @@ class MirrorComm(RankComm):
         # Callback-chained completion (latency slot, then wire slot) replaces
         # the bg() generator process. Two separate slots — not one at
         # ``lat + wire`` — so the time arithmetic ``(now + lat) + wire``
-        # matches the seed engine bit-for-bit.
+        # matches the seed engine bit-for-bit. On the flat event core each
+        # slot is two appends into the time bucket (no per-hop allocation).
         if frac > 0:
             def after_latency(_a, *, xfer=xfer, frac=frac, mult=wire_mult):
                 self.env.schedule(

@@ -3,6 +3,15 @@
 Every rank runs as a DES process; sends and receives match on
 ``(src, dst, tag)`` in FIFO order like real MPI. See the package docstring
 for the progress model.
+
+Transfer stages drive the flat event core (docs/MODEL.md §12) through
+bare ``(fn, arg)`` callback slots — latency, wire and completion hops are
+bucket appends, not Event/Process allocations — and the shared-NIC
+wakeup reschedules underneath :class:`~repro.des.SharedBandwidth` are
+tombstoned cancellable slots rather than fire-and-ignore generations.
+Same-time completions across ranks land in one drain cohort in exactly
+the order they were scheduled, which is what keeps full-backend runs
+bit-identical to the seed engine's ``(time, counter)`` order.
 """
 
 from __future__ import annotations

@@ -1,0 +1,299 @@
+"""Flat event core vs reference ``(time, counter)`` FIFO semantics.
+
+The cohort engine (docs/MODEL.md §12) replaces the merged heap+deque of the
+previous engine with per-time buckets and no per-entry counter; the claim is
+that bucket-FIFO draining is observably identical to a global
+``(time, counter)`` priority queue. These tests check that claim directly:
+
+* a hypothesis property test executes randomized programs — mixes of event
+  timeouts, bare callback slots, cancellable slots (some tombstoned), and
+  zero-delay bursts, nested so that entries are scheduled both up front and
+  from inside running cohorts — on the real engine and on an oracle-simple
+  reference executor, and requires the exact same firing order;
+* deterministic stress tests hammer tombstone cancellation (cancel-heavy
+  queues, handle recycling, cancel/fire error contract);
+* a tracemalloc smoke check pins the allocation-free steady state.
+"""
+
+import heapq
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, SimulationError
+
+# ---------------------------------------------------------------------------
+# Program representation
+#
+# An action = (delay, kind, cancel, children). Executing an action fires its
+# label and schedules its children (exercising scheduling from *inside* a
+# draining cohort). Labels are assigned by a pre-order walk of the program so
+# both executors agree on them independently of execution order.
+# ---------------------------------------------------------------------------
+
+_DELAYS = [0.0, 0.0, 0.25, 0.5, 1.0]  # 0.0 twice: bias toward same-time bursts
+_KINDS = ["event", "slot", "cancellable"]
+
+
+def _label_program(program):
+    """Attach a pre-order label to every action; returns labelled copies."""
+    counter = [0]
+
+    def walk(action):
+        delay, kind, cancel, children = action
+        label = counter[0]
+        counter[0] += 1
+        return (label, delay, kind, cancel, [walk(c) for c in children])
+
+    return [walk(a) for a in program]
+
+
+def run_reference(program):
+    """Oracle: a single heap of ``(time, counter, action)`` entries.
+
+    This is the seed engine's semantics — every scheduled entry gets a
+    global monotonically increasing counter; execution pops the least
+    ``(time, counter)``; a cancelled entry is a no-op when popped.
+    """
+    labelled = _label_program(program)
+    order = []
+    heap = []
+    counter = [0]
+
+    def push(action, now):
+        heapq.heappush(heap, (now + action[1], counter[0], action))
+        counter[0] += 1
+
+    for action in labelled:
+        push(action, 0.0)
+    while heap:
+        t, _, action = heapq.heappop(heap)
+        label, _delay, kind, cancel, children = action
+        if kind == "cancellable" and cancel:
+            continue  # tombstone: dead when reached
+        order.append(label)
+        for child in children:
+            push(child, t)
+    return order
+
+
+def run_engine(program):
+    """Execute the same program on the production flat-core engine."""
+    labelled = _label_program(program)
+    env = Environment()
+    order = []
+
+    def schedule_action(action):
+        label, delay, kind, cancel, children = action
+
+        def fire(_arg):
+            order.append(label)
+            for child in children:
+                schedule_action(child)
+
+        if kind == "event":
+            ev = env.timeout(delay, label)
+            ev.callbacks.append(fire)
+        elif kind == "slot":
+            env.schedule(delay, fire)
+        else:
+            handle = env.schedule_cancellable(delay, fire)
+            if cancel:
+                env.cancel(handle)
+
+    for action in labelled:
+        schedule_action(action)
+    env.run()
+    return order
+
+
+def _actions(depth: int):
+    base = st.tuples(
+        st.sampled_from(_DELAYS),
+        st.sampled_from(_KINDS),
+        st.booleans(),
+        st.just([]),
+    )
+    if depth == 0:
+        return base
+    return st.tuples(
+        st.sampled_from(_DELAYS),
+        st.sampled_from(_KINDS),
+        st.booleans(),
+        st.lists(_actions(depth - 1), max_size=3),
+    )
+
+
+class TestOrderEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_actions(2), min_size=1, max_size=10))
+    def test_engine_order_matches_reference_fifo(self, program):
+        assert run_engine(program) == run_reference(program)
+
+    def test_interleaved_kinds_same_bucket(self):
+        """Events, slots, and cancellables interleaved at one time share the
+        FIFO exactly (the bucket replaces the global counter)."""
+        env = Environment()
+        order = []
+        env.timeout(1.0, "e0").callbacks.append(lambda ev: order.append(ev.value))
+        env.schedule(1.0, order.append, "s0")
+        h = env.schedule_cancellable(1.0, order.append, "c0")
+        env.timeout(1.0, "e1").callbacks.append(lambda ev: order.append(ev.value))
+        env.schedule_cancellable(1.0, order.append, "c1")
+        env.schedule(1.0, order.append, "s1")
+        env.cancel(h)  # tombstone c0; everything else keeps its position
+        env.run()
+        assert order == ["e0", "s0", "e1", "c1", "s1"]
+
+    def test_zero_delay_burst_from_inside_cohort(self):
+        """Zero-delay entries scheduled by a firing entry join the *live*
+        cohort after everything already scheduled for that time."""
+        env = Environment()
+        order = []
+
+        def spawn(_a):
+            order.append("spawn")
+            env.schedule(0.0, order.append, "child")
+            env.timeout(0.0, "child-ev").callbacks.append(
+                lambda ev: order.append(ev.value)
+            )
+
+        env.schedule(1.0, spawn)
+        env.schedule(1.0, order.append, "sibling")
+        env.run()
+        assert order == ["spawn", "sibling", "child", "child-ev"]
+
+
+class TestCancellation:
+    def test_cancelled_slot_never_fires(self):
+        env = Environment()
+        fired = []
+        h = env.schedule_cancellable(1.0, fired.append, "x")
+        env.cancel(h)
+        env.run()
+        assert fired == []
+        assert env.now == 1.0  # the tombstoned bucket still advances the clock
+
+    def test_double_cancel_raises(self):
+        env = Environment()
+        h = env.schedule_cancellable(1.0, lambda _a: None)
+        env.cancel(h)
+        with pytest.raises(SimulationError, match="dead handle"):
+            env.cancel(h)
+
+    def test_cancel_after_fire_raises(self):
+        env = Environment()
+        h = env.schedule_cancellable(1.0, lambda _a: None)
+        env.run()
+        with pytest.raises(SimulationError, match="dead handle"):
+            env.cancel(h)
+
+    def test_handles_are_recycled(self):
+        """The slot pool reaches a steady state: sequential schedule/fire
+        cycles reuse one slot index instead of growing the arrays."""
+        env = Environment()
+        env.schedule_cancellable(1.0, lambda _a: None)
+        env.run()
+        for _ in range(50):
+            env.schedule_cancellable(1.0, lambda _a: None)
+            env.run()
+        assert len(env._slot_fn) == 1
+
+    def test_cancellation_heavy_stress(self):
+        """90% of a large cancellable population is tombstoned; survivors
+        fire in exact scheduling order and the pool fully recycles."""
+        env = Environment()
+        fired = []
+        survivors = []
+        handles = []
+        for i in range(2000):
+            t = 1.0 + (i % 7)
+            handles.append((i, t, env.schedule_cancellable(t, fired.append, i)))
+        for i, _t, h in handles:
+            if i % 10 != 0:
+                env.cancel(h)
+            else:
+                survivors.append((_t, i))
+        env.run()
+        survivors.sort()  # (time, scheduling order) — the FIFO contract
+        assert fired == [i for _t, i in survivors]
+        assert len(env._slot_free) == len(env._slot_fn)  # every slot recycled
+
+    def test_cancel_from_inside_cohort(self):
+        """An entry can tombstone a later same-time entry while the cohort
+        is already draining."""
+        env = Environment()
+        fired = []
+        h = {}
+
+        def killer(_a):
+            fired.append("killer")
+            env.cancel(h["victim"])
+
+        env.schedule(1.0, killer)
+        h["victim"] = env.schedule_cancellable(1.0, fired.append, "victim")
+        env.schedule(1.0, fired.append, "bystander")
+        env.run()
+        assert fired == ["killer", "bystander"]
+
+    def test_step_skips_tombstones(self):
+        env = Environment()
+        fired = []
+        h = env.schedule_cancellable(1.0, fired.append, "dead")
+        env.schedule(1.0, fired.append, "live")
+        env.cancel(h)
+        env.step()
+        assert fired == ["live"]
+
+
+class TestEnqueueValidation:
+    def test_enqueue_negative_delay_raises(self):
+        """Regression: _enqueue used to accept negative delays, scheduling
+        into the past and silently breaking clock monotonicity."""
+        env = Environment()
+        with pytest.raises(ValueError, match="negative"):
+            env._enqueue(env.event().succeed(), -1.0)
+
+    def test_schedule_cancellable_negative_delay_raises(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="negative"):
+            env.schedule_cancellable(-0.5, lambda _a: None)
+
+
+class TestAllocationFreeSteadyState:
+    def test_steady_state_scheduling_allocates_no_per_entry_objects(self):
+        """Scheduling N entries into warmed buckets must not allocate per
+        entry: the tracemalloc live-block delta is bounded by list growth
+        (O(log N) reallocations), not O(N) tuples/wrappers."""
+        env = Environment()
+        sink = []
+
+        def cb(_a):
+            pass
+
+        # Warm up: create the buckets, the pool, and the slot arrays.
+        for _ in range(16):
+            env.schedule(1.0, cb)
+            env.schedule_cancellable(1.0, cb)
+        env.run()
+        env.schedule(1.0, cb)  # re-create the t=now+1 bucket
+
+        n = 4096
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(n):
+            env.schedule(1.0, cb)  # same bucket: two appends, no objects
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        stats = after.compare_to(before, "filename")
+        new_blocks = sum(s.count_diff for s in stats if s.count_diff > 0)
+        # List doubling yields a handful of reallocations; per-entry tuple
+        # churn would show up as ~n new blocks.
+        assert new_blocks < n / 8, (
+            f"{new_blocks} new allocations for {n} scheduled entries — "
+            "per-entry allocation crept back into the hot path"
+        )
+        env.run()
+        assert sink == []

@@ -1,0 +1,132 @@
+"""Fixed-point tick clock (Environment quantum mode) and timebase helpers."""
+
+import math
+
+import pytest
+
+from repro.des import Environment, SimulationError
+from repro.des.timebase import (
+    find_unrepresentable,
+    is_power_of_two,
+    is_representable,
+    suggest_quantum,
+)
+
+
+class TestTickEnvironment:
+    def test_exact_delays_run_identically(self):
+        q = 2.0**-20
+        order = []
+        for env in (Environment(), Environment(quantum=q)):
+            local = []
+
+            def proc(env=env, local=local):
+                yield env.timeout(0.25)
+                local.append(env.now)
+                yield env.timeout(0.5)
+                local.append(env.now)
+
+            env.process(proc())
+            env.run()
+            order.append(local)
+        assert order[0] == order[1] == [0.25, 0.75]
+
+    def test_now_is_seconds_not_ticks(self):
+        env = Environment(quantum=0.25)
+        env.timeout(1.5)
+        env.run()
+        assert env.now == 1.5
+        assert env._now == 6  # 6 ticks of 0.25s
+
+    def test_unrepresentable_delay_raises(self):
+        env = Environment(quantum=0.25)
+        with pytest.raises(SimulationError, match="not representable"):
+            env.timeout(0.1)
+
+    def test_unrepresentable_schedule_raises(self):
+        env = Environment(quantum=0.25)
+        with pytest.raises(SimulationError, match="not representable"):
+            env.schedule(1e-3, lambda _a: None)
+
+    def test_run_until_time_in_ticks(self):
+        env = Environment(quantum=0.25)
+        ticks = []
+
+        def proc():
+            while True:
+                yield env.timeout(0.25)
+                ticks.append(env.now)
+
+        env.process(proc())
+        env.run(until=0.75)
+        assert ticks == [0.25, 0.5, 0.75]
+        assert env.now == 0.75
+
+    def test_unrepresentable_until_raises(self):
+        env = Environment(quantum=0.25)
+        env.timeout(0.25)
+        with pytest.raises(SimulationError, match="not representable"):
+            env.run(until=0.3)
+
+    def test_peek_converts_ticks_to_seconds(self):
+        env = Environment(quantum=0.25)
+        env.timeout(1.25)
+        assert env.peek() == 1.25
+
+    def test_integer_keys_no_float_drift(self):
+        """1000 steps of 0.1s drift on float64 but are exact on a tick
+        clock with a quantum that represents the step — the motivating
+        difference between the two bases."""
+        q = 2.0**-8
+        step = 3 * q  # exactly representable, not a power of two itself
+        env = Environment(quantum=q)
+
+        def proc():
+            for _ in range(1000):
+                yield env.timeout(step)
+
+        env.process(proc())
+        env.run()
+        assert env._now == 3000  # exact integer arithmetic
+        assert env.now == 1000 * step
+
+    def test_quantum_property_and_validation(self):
+        assert Environment().quantum is None
+        assert Environment(quantum=0.5).quantum == 0.5
+        with pytest.raises(ValueError):
+            Environment(quantum=-1.0)
+
+
+class TestHelpers:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1.0)
+        assert is_power_of_two(2.0**-30)
+        assert is_power_of_two(1024.0)
+        assert not is_power_of_two(0.1)
+        assert not is_power_of_two(0.0)
+        assert not is_power_of_two(-2.0)
+        assert not is_power_of_two(float("inf"))
+
+    def test_is_representable(self):
+        assert is_representable(0.75, 0.25)
+        assert is_representable(0.0, 2.0**-30)
+        assert not is_representable(0.1, 0.25)
+        assert not is_representable(float("nan"), 0.25)
+
+    def test_find_unrepresentable(self):
+        assert find_unrepresentable([0.5, 0.3, 0.25], 0.25) == [0.3]
+
+    def test_suggest_quantum_finds_coarsest(self):
+        q = suggest_quantum([0.5, 0.25, 0.125])
+        assert q == 0.125  # coarsest power of two representing all three
+
+    def test_suggest_quantum_none_for_machine_model_delays(self):
+        """Delays shaped like the paper's machine models (bytes/rate with a
+        decimal rate) defeat every practical quantum — this is why the
+        experiments pin the float64 time base."""
+        delays = [8192 / 12.5e9, 1e-6, 262144 / 6.0e9]
+        assert suggest_quantum(delays) is None
+
+    def test_suggest_quantum_validates_bounds(self):
+        with pytest.raises(ValueError):
+            suggest_quantum([0.5], coarsest=0.3)

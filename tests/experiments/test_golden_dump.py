@@ -1,0 +1,39 @@
+"""Every experiment bit-identical to the committed full-precision dump.
+
+The golden (``golden_dump_fast.json``) is the ``tools/dump_experiments.py
+--fast`` output — every row and series value at ``repr`` precision — and
+is the contract that engine refactors (the flat event core, the callback
+slots before it) change *nothing* observable. Regenerate it only when the
+performance model itself changes (``MODEL_VERSION`` bumps)::
+
+    PYTHONPATH=src python tools/dump_experiments.py --fast \
+        tests/experiments/golden_dump_fast.json
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+_GOLDEN = os.path.join(os.path.dirname(__file__), "golden_dump_fast.json")
+
+with open(_GOLDEN) as _fh:
+    _golden = json.load(_fh)
+
+
+def test_golden_covers_every_experiment():
+    assert sorted(_golden) == sorted(EXPERIMENTS)
+
+
+@pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+def test_experiment_bit_identical_to_golden(eid):
+    r = run_experiment(eid, fast=True)
+    want = _golden[eid]
+    assert r.columns == want["columns"]
+    assert [[repr(v) for v in row] for row in r.rows] == want["rows"]
+    assert {
+        name: {repr(k): repr(v) for k, v in pts.items()}
+        for name, pts in r.series.items()
+    } == want["series"]
