@@ -34,6 +34,23 @@ The cache is **opt-in**: nothing is read or written unless
 ``experiment`` runs unless ``--no-cache``). Writes are atomic
 (temp file + ``os.replace``), so concurrent sweep workers sharing a
 directory are safe.
+
+Layout and hashing at sweep scale
+---------------------------------
+Entries are sharded into 256 two-hex-char subdirectories keyed by the
+cache-key prefix (``<dir>/<key[:2]>/<key>.json``), so million-entry
+sweeps never funnel every store through one directory inode and a
+resume only has to list the shards it touches. The original flat v1
+layout (``<dir>/<key>.json``) stays readable: lookups fall back to the
+flat path and migrate the entry into its shard on first hit, and
+``prune``/``len`` walk both layouts.
+
+Hashing is memoized: :func:`config_key` caches the digest on the
+(frozen, hence immutable) :class:`RunConfig` instance, and the
+machine-spec canonical form — by far the largest part of the document —
+is cached on each (frozen) :class:`MachineSpec` and precomputed for the
+whole registry at catalog load via :func:`warm_machine_digests`. Probing
+a warm batch therefore hashes each config instance at most once.
 """
 
 from __future__ import annotations
@@ -51,13 +68,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 __all__ = [
     "MODEL_VERSION",
     "DEFAULT_CACHE_DIR",
+    "SHARD_PREFIX_CHARS",
     "RunCache",
+    "cacheable",
     "config_key",
     "configure",
     "active_cache",
     "stats",
     "merge_stats",
     "reset_stats",
+    "warm_machine_digests",
 ]
 
 #: Behaviour generation of the performance model. Bump whenever a code
@@ -68,6 +88,10 @@ MODEL_VERSION = "pr3-obs-copy-engines-1"
 #: Default on-disk location (relative to the working directory) used by the
 #: CLI; override with ``--cache-dir`` or ``REPRO_CACHE_DIR``.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Hex characters of the cache key naming an entry's shard directory
+#: (2 -> 256 shards). Shared by the sharded journal and the lease fabric.
+SHARD_PREFIX_CHARS = 2
 
 
 def _canonical(obj: Any, path: str = "config") -> Any:
@@ -98,6 +122,37 @@ def _canonical(obj: Any, path: str = "config") -> Any:
     )
 
 
+def _machine_canonical(spec: Any) -> Any:
+    """Canonical form of a machine spec, memoized on the (frozen) instance.
+
+    The spec dominates the canonical document (~50 calibrated constants
+    across node/interconnect/GPU), is immutable, and is shared by every
+    config of a sweep — so its rendering is computed once per instance and
+    cached via ``object.__setattr__`` (legal on frozen dataclasses). The
+    memo is never mutated afterwards, only serialized.
+    """
+    memo = spec.__dict__.get("_canonical_memo")
+    if memo is None:
+        memo = _canonical(spec, "config.machine")
+        try:
+            object.__setattr__(spec, "_canonical_memo", memo)
+        except (AttributeError, TypeError):  # slotted/odd spec: skip memo
+            pass
+    return memo
+
+
+def warm_machine_digests(specs) -> None:
+    """Precompute canonical forms for a registry of machine specs.
+
+    Called at :mod:`repro.machines.catalog` import, so by the time any
+    sweep hashes its first config every registry machine's canonical form
+    is already cached and :func:`config_key` only renders the few scalar
+    config fields.
+    """
+    for spec in specs:
+        _machine_canonical(spec)
+
+
 def config_key(cfg: "RunConfig", model_version: Optional[str] = None) -> str:
     """Stable content hash of (config, machine spec, model version).
 
@@ -105,16 +160,35 @@ def config_key(cfg: "RunConfig", model_version: Optional[str] = None) -> str:
     set: a noiseless config (both ``None``) hashes exactly as it did
     before the perturbation layer existed, so prior cache entries stay
     addressable without a model-version bump.
+
+    The digest is memoized on the (frozen) config instance: every
+    dedup/probe/journal/cache touch of the same instance reuses one
+    hash. ``RunConfig.with_()`` builds a fresh instance, so the memo can
+    never go stale; a ``model_version`` override bypasses a mismatched
+    memo and re-memoizes under the new version.
     """
     if model_version is None:
         model_version = MODEL_VERSION  # dynamic lookup: bumps take effect
-    canon = _canonical(cfg)
+    memo = cfg.__dict__.get("_key_memo") if hasattr(cfg, "__dict__") else None
+    if memo is not None and memo[0] == model_version:
+        return memo[1]
+    canon = {}
+    for f in dataclasses.fields(cfg):
+        if f.name == "machine":
+            canon["machine"] = _machine_canonical(cfg.machine)
+        else:
+            canon[f.name] = _canonical(getattr(cfg, f.name), f"config.{f.name}")
     if canon.get("seed") is None and canon.get("noise") is None:
         canon.pop("seed", None)
         canon.pop("noise", None)
     doc = {"model_version": model_version, "config": canon}
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    key = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    try:
+        object.__setattr__(cfg, "_key_memo", (model_version, key))
+    except (AttributeError, TypeError):  # non-dataclass stand-in: skip memo
+        pass
+    return key
 
 
 def cacheable(cfg: "RunConfig") -> bool:
@@ -123,7 +197,15 @@ def cacheable(cfg: "RunConfig") -> bool:
 
 
 class RunCache:
-    """A directory of content-addressed run results (one JSON file each)."""
+    """A sharded directory of content-addressed run results (JSON files).
+
+    Entries live at ``<dir>/<key[:2]>/<key>.json`` (256 shard
+    directories, lazily created), so concurrent schedulers touch
+    distinct inodes and per-shard resume scans stay O(shard). A flat v1
+    directory (``<dir>/<key>.json``) remains fully readable: lookups
+    fall back to the flat path and migrate the entry into its shard on
+    first hit; ``__len__``/``prune``/``keys`` walk both layouts.
+    """
 
     def __init__(self, directory: str):
         self.directory = str(directory)
@@ -131,12 +213,60 @@ class RunCache:
         self.misses = 0
         self.stores = 0
         os.makedirs(self.directory, exist_ok=True)
+        #: shard directories known to exist (skip mkdir on the hot path)
+        self._shards_made: set = set()
+        # One probe at open: does this directory hold flat v1 entries?
+        # Only then do lookups pay the second (fallback) stat.
+        try:
+            self._flat_fallback = any(
+                name.endswith(".json") for name in os.listdir(self.directory)
+            )
+        except OSError:
+            self._flat_fallback = False
 
     # -- addressing ---------------------------------------------------------
+    def _shard_dir(self, key: str) -> str:
+        return os.path.join(self.directory, key[:SHARD_PREFIX_CHARS])
+
     def _path(self, key: str) -> str:
+        return os.path.join(self._shard_dir(key), f"{key}.json")
+
+    def _flat_path(self, key: str) -> str:
+        """v1 (pre-shard) location of an entry; read-only fallback."""
         return os.path.join(self.directory, f"{key}.json")
 
+    def _ensure_shard(self, key: str) -> str:
+        d = self._shard_dir(key)
+        if d not in self._shards_made:
+            os.makedirs(d, exist_ok=True)
+            self._shards_made.add(d)
+        return d
+
+    def _migrate_flat(self, key: str) -> None:
+        """Move a v1 flat entry into its shard (best-effort, atomic)."""
+        try:
+            self._ensure_shard(key)
+            os.replace(self._flat_path(key), self._path(key))
+        except OSError:
+            pass
+
     # -- lookup -------------------------------------------------------------
+    def has_key(self, key: str) -> bool:
+        """Existence probe by key — no read, no counter traffic."""
+        if os.path.exists(self._path(key)):
+            return True
+        return self._flat_fallback and os.path.exists(self._flat_path(key))
+
+    def probe_keys(self, keys) -> int:
+        """Count how many of ``keys`` have an entry on disk (batch probe).
+
+        Pure existence checks: nothing is read, validated or charged to
+        the hit/miss counters. The ``sweep --dry-run`` warm/cold split
+        uses this to classify a whole cross-product without touching
+        payloads.
+        """
+        return sum(1 for k in keys if self.has_key(k))
+
     def get(
         self, cfg: "RunConfig", record_miss: bool = True
     ) -> Optional["RunResult"]:
@@ -151,10 +281,20 @@ class RunCache:
         if not cacheable(cfg):
             return None
         key = config_key(cfg)
+        flat_hit = False
         try:
             with open(self._path(key), "r") as fh:
                 payload = json.load(fh)
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            payload = None
+        if payload is None and self._flat_fallback:
+            try:
+                with open(self._flat_path(key), "r") as fh:
+                    payload = json.load(fh)
+                flat_hit = True
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                payload = None
+        if payload is None:
             # Missing, unreadable, truncated or torn entry: a plain miss —
             # the run is re-simulated and the entry rewritten atomically.
             self.misses += record_miss
@@ -181,6 +321,10 @@ class RunCache:
             # partially corrupted entry): also a miss, never a crash.
             self.misses += record_miss
             return None
+        if flat_hit:
+            # Valid v1 entry: promote it into its shard so the flat
+            # directory drains as it is re-read (lazy migration).
+            self._migrate_flat(key)
         self.hits += 1
         return result
 
@@ -199,7 +343,8 @@ class RunCache:
             "comm_stats": dict(result.comm_stats),
         }
         # Atomic publish so concurrent sweep workers never see torn files.
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        shard = self._ensure_shard(key)
+        fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh)
@@ -210,27 +355,57 @@ class RunCache:
             except OSError:
                 pass
             raise
+        if self._flat_fallback:
+            # The shard entry is now authoritative; drop any stale v1 copy
+            # so the two layouts never hold diverging duplicates.
+            try:
+                os.unlink(self._flat_path(key))
+            except OSError:
+                pass
         self.stores += 1
         return True
 
     # -- maintenance --------------------------------------------------------
+    def _entry_paths(self):
+        """Every entry file, across the sharded and flat (v1) layouts."""
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if name.endswith(".json"):
+                yield path  # flat v1 entry
+            elif len(name) == SHARD_PREFIX_CHARS and os.path.isdir(path):
+                try:
+                    inner = sorted(os.listdir(path))
+                except OSError:
+                    continue
+                for sub in inner:
+                    if sub.endswith(".json"):
+                        yield os.path.join(path, sub)
+
     def __len__(self) -> int:
-        return sum(1 for n in os.listdir(self.directory) if n.endswith(".json"))
+        return sum(1 for _ in self._entry_paths())
 
     def prune(self) -> int:
-        """Delete entries from other model versions; returns count removed."""
+        """Delete entries from other model versions; returns count removed.
+
+        Shard-aware: walks the 256 shard directories *and* any remaining
+        flat v1 entries, so a partially migrated cache prunes completely.
+        """
         removed = 0
-        for name in os.listdir(self.directory):
-            if not name.endswith(".json"):
-                continue
-            path = os.path.join(self.directory, name)
+        for path in list(self._entry_paths()):
             try:
                 with open(path, "r") as fh:
                     if json.load(fh).get("model_version") == MODEL_VERSION:
                         continue
             except (OSError, json.JSONDecodeError):
                 pass
-            os.unlink(path)
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
             removed += 1
         return removed
 

@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     expp.add_argument("--csv", metavar="PATH", default=None,
                       help="write the series as long-form CSV (suffixed as "
                            "for --json)")
+    expp.add_argument("--journal", metavar="PATH", default=None,
+                      help="resumable journal for the regeneration (a .jsonl "
+                           "path is a single file, anything else a sharded "
+                           "journal directory); a killed regeneration "
+                           "restarted with the same journal replays its "
+                           "finished configs")
     expp.add_argument("--no-cache", action="store_true",
                       help="always re-simulate; do not read or write the "
                            "run-result cache")
@@ -126,14 +132,35 @@ def build_parser() -> argparse.ArgumentParser:
                              "config is simulated at most once per session "
                              "and results are bit-identical to --jobs 1")
     sweepp.add_argument("--journal", metavar="PATH", default=None,
-                        help="resumable JSONL journal: an interrupted sweep "
-                             "restarts from its completed tasks")
+                        help="resumable journal: an interrupted sweep "
+                             "restarts from its completed tasks (a .jsonl "
+                             "path is a single file, anything else a "
+                             "sharded journal directory)")
     sweepp.add_argument("--no-cache", action="store_true",
                         help="always re-simulate; do not read or write the "
                              "run-result cache")
     sweepp.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="run-result cache directory (default: "
                              "$REPRO_CACHE_DIR or .repro-cache)")
+    sweepp.add_argument("--dry-run", action="store_true",
+                        help="expand the cross-product and print config/"
+                             "dedup counts and the warm/cold split (batched "
+                             "cache+journal probes) without running anything")
+    sweepp.add_argument("--fabric", metavar="DIR", default=None,
+                        help="cooperate with concurrent sweep processes "
+                             "through a shared fabric directory (sharded "
+                             "journal + shard leases); any number of "
+                             "processes may run the same command against "
+                             "the same DIR and split the work")
+    sweepp.add_argument("--owner", metavar="NAME", default=None,
+                        help="lease owner identity in --fabric mode "
+                             "(default: host:pid)")
+    sweepp.add_argument("--lease-ttl", type=float, default=30.0, metavar="S",
+                        help="seconds before a dead scheduler's shard lease "
+                             "may be stolen by a peer (--fabric mode)")
+    sweepp.add_argument("--shards", type=int, default=16, metavar="N",
+                        help="task shards the batch is partitioned into in "
+                             "--fabric mode (1-256)")
 
     valp = sub.add_parser("validate", help="run every correctness oracle")
     valp.add_argument("--impl", default="all",
@@ -314,7 +341,8 @@ def _cmd_experiment(args) -> int:
     ))
     cache_dir = _resolve_cache_dir(args)
     results = run_experiments(ids, fast=args.fast, jobs=getattr(args, "jobs", 1),
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir,
+                              journal=getattr(args, "journal", None))
     multiple = len(results) > 1
     for result in results:
         print(result.to_text())
@@ -348,10 +376,122 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _sweep_groups(args, machine, thicknesses):
+    """Expand the sweep cross-product: one feasible-config group per
+    (impl, cores) point, plus total/infeasible counts.
+
+    Every sweep mode (run, ``--dry-run``, ``--fabric``) shares this
+    expansion, so the printed tables stay byte-identical across modes.
+    """
+    from repro.perf.sweep import tuning_configs
+    from repro.sched import validate_config
+
+    impls = (
+        sorted(IMPLEMENTATIONS) if "all" in args.impl
+        else list(dict.fromkeys(args.impl))
+    )
+    groups = []
+    total = skipped = 0
+    for impl in impls:
+        for cores in args.cores:
+            cfgs = tuning_configs(
+                machine, impl, cores,
+                thicknesses=thicknesses, steps=args.steps,
+                network=args.network,
+            )
+            feasible = []
+            for cfg in cfgs:
+                total += 1
+                try:
+                    validate_config(cfg)
+                except ValueError:
+                    skipped += 1
+                    continue
+                feasible.append(cfg)
+            groups.append((impl, cores, feasible))
+    return groups, total, skipped
+
+
+def _print_sweep_table(rows) -> None:
+    print(f"{'impl':16s} {'cores':>6s} {'threads':>7s} {'T':>3s} "
+          f"{'GF':>8s} {'ms/step':>8s}")
+    for impl, cores, best in rows:
+        if best is None:
+            print(f"{impl:16s} {cores:6d} {'-':>7s} {'-':>3s} {'-':>8s} {'-':>8s}")
+            continue
+        print(
+            f"{impl:16s} {cores:6d} {best.config.threads_per_task:7d} "
+            f"{best.config.box_thickness:3d} {best.gflops:8.2f} "
+            f"{best.seconds_per_step * 1e3:8.3f}"
+        )
+
+
+def _sweep_dry_run(args, groups, total, skipped, cache_dir) -> int:
+    """Expand, dedup and probe the sweep — run nothing.
+
+    The warm/cold split comes from *batched existence probes* of the
+    memoized cache keys against the run cache and (when given) the
+    journal: no payloads are read, no counters move, nothing simulates.
+    """
+    import os
+
+    from repro.cache import RunCache, config_key
+    from repro.sched import open_journal
+
+    distinct = {}
+    for _impl, _cores, feasible in groups:
+        for cfg in feasible:
+            distinct.setdefault(config_key(cfg), cfg)
+    warm_keys = set()
+    if cache_dir is not None and os.path.isdir(cache_dir):
+        cache = RunCache(cache_dir)
+        warm_keys.update(k for k in distinct if cache.has_key(k))
+    if args.journal and os.path.exists(args.journal):
+        journal = open_journal(args.journal)
+        try:
+            warm_keys.update(k for k in distinct if k in journal)
+        finally:
+            journal.close()
+    warm = len(warm_keys)
+    print(
+        f"dry-run: configs={total} infeasible={skipped} "
+        f"feasible={total - skipped} distinct={len(distinct)} "
+        f"warm={warm} cold={len(distinct) - warm}"
+    )
+    for impl, cores, feasible in groups:
+        print(f"  {impl:16s} {cores:6d} configs={len(feasible)}")
+    return 0
+
+
+def _sweep_fabric(args, groups, cache_dir) -> int:
+    """Run the sweep cooperatively with concurrent peer processes."""
+    from repro.sched import run_fabric
+
+    if not 1 <= args.shards <= 256:
+        print(f"sweep: --shards must be in [1, 256], got {args.shards}",
+              file=sys.stderr)
+        return 2
+    flat = [cfg for _impl, _cores, feasible in groups for cfg in feasible]
+    fr = run_fabric(
+        flat, args.fabric,
+        owner=args.owner, jobs=args.jobs, nshards=args.shards,
+        ttl=args.lease_ttl, cache_dir=cache_dir,
+    )
+    rows = []
+    it = iter(fr.results)
+    for impl, cores, feasible in groups:
+        results = [next(it) for _ in feasible]
+        best = max(results, key=lambda r: r.gflops) if results else None
+        rows.append((impl, cores, best))
+    _print_sweep_table(rows)
+    print(fr.summary())
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     """Tuning sweep over (impl, cores) points through the scheduler."""
     from repro import cache as run_cache
-    from repro.perf.sweep import best_over_threads
+    from repro.perf.sweep import sweep_configs
     from repro.sched import scheduled
 
     machine = get_machine(args.machine)
@@ -365,37 +505,24 @@ def _cmd_sweep(args) -> int:
         except ValueError:
             print(f"sweep: bad --thicknesses {args.thicknesses!r}", file=sys.stderr)
             return 2
-    impls = (
-        sorted(IMPLEMENTATIONS) if "all" in args.impl
-        else list(dict.fromkeys(args.impl))
-    )
     cache_dir = _resolve_cache_dir(args)
+    groups, total, skipped = _sweep_groups(args, machine, thicknesses)
+    if args.dry_run:
+        return _sweep_dry_run(args, groups, total, skipped, cache_dir)
+    if args.fabric:
+        return _sweep_fabric(args, groups, cache_dir)
     if cache_dir is not None:
         run_cache.configure(cache_dir)
 
     rows = []
     with scheduled(args.jobs, cache_dir=cache_dir, journal=args.journal) as sched:
-        for impl in impls:
-            for cores in args.cores:
-                best = best_over_threads(
-                    machine, impl, cores,
-                    thicknesses=thicknesses, steps=args.steps,
-                    network=args.network,
-                )
-                rows.append((impl, cores, best))
+        for impl, cores, feasible in groups:
+            results = sweep_configs(feasible)
+            best = max(results, key=lambda r: r.gflops) if results else None
+            rows.append((impl, cores, best))
         summary = sched.summary()
 
-    print(f"{'impl':16s} {'cores':>6s} {'threads':>7s} {'T':>3s} "
-          f"{'GF':>8s} {'ms/step':>8s}")
-    for impl, cores, best in rows:
-        if best is None:
-            print(f"{impl:16s} {cores:6d} {'-':>7s} {'-':>3s} {'-':>8s} {'-':>8s}")
-            continue
-        print(
-            f"{impl:16s} {cores:6d} {best.config.threads_per_task:7d} "
-            f"{best.config.box_thickness:3d} {best.gflops:8.2f} "
-            f"{best.seconds_per_step * 1e3:8.3f}"
-        )
+    _print_sweep_table(rows)
     print(summary)
     if cache_dir is not None:
         s = run_cache.stats()

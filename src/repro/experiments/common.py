@@ -113,6 +113,7 @@ def run_experiments(
     fast: bool = False,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    journal: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Regenerate several experiments, optionally in parallel.
 
@@ -132,6 +133,13 @@ def run_experiments(
     model version are replayed from disk, bit-identically. ``None``
     leaves the current cache configuration (usually: no cache) untouched.
 
+    ``journal`` attaches a resumable result journal to the scheduler this
+    call creates (a ``.jsonl`` path for a flat journal, a directory for a
+    key-prefix-sharded one — see :func:`repro.sched.open_journal`);
+    records are group-committed and a killed regeneration restarted with
+    the same journal replays finished configs.  Ignored when a scheduler
+    is already installed (its journal, if any, stays in charge).
+
     An already-installed process-wide scheduler
     (:func:`repro.sched.configure`) is reused as-is; otherwise one is
     created for the duration of this call.
@@ -146,7 +154,7 @@ def run_experiments(
 
     if cache_dir is not None:
         run_cache.configure(cache_dir)
-    if jobs == 1 or len(exp_ids) <= 1:
+    if journal is None and (jobs == 1 or len(exp_ids) <= 1):
         return [run_experiment(e, fast=fast) for e in exp_ids]
 
     from concurrent.futures import ThreadPoolExecutor
@@ -161,5 +169,5 @@ def run_experiments(
 
     if active_scheduler() is not None:
         return _fan_out()
-    with scheduled(jobs, cache_dir=cache_dir):
+    with scheduled(jobs, cache_dir=cache_dir, journal=journal):
         return _fan_out()

@@ -191,3 +191,12 @@ def get_machine(name: str) -> MachineSpec:
     if key not in MACHINES:
         raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}")
     return MACHINES[key]
+
+
+# Precompute cache-key canonical forms for the whole registry: a machine
+# spec is by far the largest part of a config's cache document, and every
+# sweep config references one of these four instances, so warming here
+# makes the first config_key of any sweep as cheap as the millionth.
+from repro.cache import warm_machine_digests  # noqa: E402  (after registry)
+
+warm_machine_digests(set(MACHINES.values()))

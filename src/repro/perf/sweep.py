@@ -14,6 +14,7 @@ __all__ = [
     "valid_thread_counts",
     "SweepResults",
     "sweep_configs",
+    "tuning_configs",
     "best_over_threads",
     "best_hybrid_config",
 ]
@@ -104,7 +105,7 @@ def _thickness_options(impl_key: str, thicknesses: Optional[Sequence[int]]) -> S
     return thicknesses if thicknesses is not None else DEFAULT_THICKNESSES
 
 
-def best_over_threads(
+def tuning_configs(
     machine: MachineSpec,
     impl_key: str,
     cores: int,
@@ -113,11 +114,15 @@ def best_over_threads(
     thread_counts: Optional[Sequence[int]] = None,
     steps: int = 2,
     network: str = "mirror",
-) -> Optional[RunResult]:
-    """Best result over the tuning space, like each point of Figs. 3-12.
+) -> List[RunConfig]:
+    """The tuning cross-product for one (impl, cores) sweep point.
 
-    Returns ``None`` when no valid configuration exists (e.g. a single-task
-    implementation asked for multiple nodes).
+    Enumerates threads x thicknesses in a deterministic order (the same
+    order :func:`best_over_threads` evaluates, so tie-breaking by ``max``
+    is reproducible); combinations the config constructor itself rejects
+    are dropped here, deeper feasibility is left to
+    :func:`repro.sched.validate_config`.  Shared by ``best_over_threads``
+    and the sweep CLI's ``--dry-run``/``--fabric`` paths.
     """
     impl = get_implementation(impl_key)
     threads = list(thread_counts if thread_counts is not None else
@@ -142,6 +147,29 @@ def best_over_threads(
                 )
             except ValueError:
                 continue
+    return cfgs
+
+
+def best_over_threads(
+    machine: MachineSpec,
+    impl_key: str,
+    cores: int,
+    *,
+    thicknesses: Optional[Sequence[int]] = None,
+    thread_counts: Optional[Sequence[int]] = None,
+    steps: int = 2,
+    network: str = "mirror",
+) -> Optional[RunResult]:
+    """Best result over the tuning space, like each point of Figs. 3-12.
+
+    Returns ``None`` when no valid configuration exists (e.g. a single-task
+    implementation asked for multiple nodes).
+    """
+    cfgs = tuning_configs(
+        machine, impl_key, cores,
+        thicknesses=thicknesses, thread_counts=thread_counts,
+        steps=steps, network=network,
+    )
     results = sweep_configs(cfgs)
     if not results:
         return None

@@ -23,12 +23,22 @@ set of independent tasks and handed to one shared
   times, and a config that keeps crashing its worker is marked *poisoned*
   and reported instead of retried forever.
 * **Resumable journal** — completed task results are appended to a JSONL
-  journal (:mod:`repro.sched.journal`); a ``SIGKILL``-interrupted batch
-  restarted against the same journal replays finished configs instead of
-  re-simulating them.
+  journal (:mod:`repro.sched.journal`) under *group commit* (one
+  flush+fsync per drain cycle, never surfacing an undurable result); a
+  ``SIGKILL``-interrupted batch restarted against the same journal
+  replays finished configs instead of re-simulating them.  At sweep
+  scale the journal shards into per-key-prefix files
+  (:class:`~repro.sched.journal.ShardedJournal`).
+* **Multi-scheduler fabric** — N independent scheduler processes share
+  one batch by leasing task shards via atomic lease files with expiry
+  (:mod:`repro.sched.lease`, :mod:`repro.sched.fabric`); a dead
+  scheduler's shard is stolen by a peer after the lease expires, and
+  results stay bit-identical because execution is idempotent by content
+  address.
 * **Telemetry** — submitted / coalesced / cache-hit / journal-hit /
-  simulated / failed / poisoned / retry counters, per-task wall times and
-  a straggler log, consumed by ``tools/perf_smoke.py`` and the
+  simulated / failed / poisoned / retry counters, journal corruption
+  tallies (torn / wrong-version / ill-shaped lines), per-task wall times
+  and a straggler log, consumed by ``tools/perf_smoke.py`` and the
   ``advection-repro sweep`` CLI.
 
 Results are **bit-identical** to the serial path: workers run the same
@@ -36,7 +46,9 @@ deterministic simulator, results travel back as exact floats, and the
 journal stores them with full round-trip precision.
 """
 
-from repro.sched.journal import Journal
+from repro.sched.fabric import FabricResult, run_fabric, shard_of
+from repro.sched.journal import Journal, ShardedJournal, open_journal
+from repro.sched.lease import ShardLeases
 from repro.sched.scheduler import (
     PoisonedConfigError,
     Scheduler,
@@ -49,14 +61,20 @@ from repro.sched.task import TaskRecord, TaskState
 from repro.sched.validate import validate_config
 
 __all__ = [
+    "FabricResult",
     "Journal",
     "PoisonedConfigError",
     "Scheduler",
     "SchedulerError",
+    "ShardLeases",
+    "ShardedJournal",
     "TaskRecord",
     "TaskState",
     "active_scheduler",
     "configure",
+    "open_journal",
+    "run_fabric",
     "scheduled",
+    "shard_of",
     "validate_config",
 ]

@@ -38,6 +38,8 @@ plus one solo crash; the rest of the batch always completes.
 from __future__ import annotations
 
 import logging
+import os
+import pickle
 import statistics
 import threading
 import time
@@ -46,9 +48,9 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.config import RunConfig, RunResult
-from repro.sched.journal import Journal
+from repro.sched.journal import Journal, open_journal
 from repro.sched.task import TaskRecord, TaskState
-from repro.sched.worker import execute_task, init_worker
+from repro.sched.worker import execute_chunk, init_worker
 
 __all__ = [
     "Scheduler",
@@ -106,14 +108,22 @@ class Scheduler:
         directory of the process-wide cache (:func:`repro.cache.active_cache`)
         when one is installed.
     journal:
-        Path of the resumable JSONL journal, or an already-open
-        :class:`~repro.sched.journal.Journal`; ``None`` disables
-        journaling.
+        Path of the resumable journal (a ``.jsonl`` file or a sharded
+        journal directory, see :func:`repro.sched.journal.open_journal`),
+        or an already-open :class:`~repro.sched.journal.Journal` /
+        :class:`~repro.sched.journal.ShardedJournal`; ``None`` disables
+        journaling.  Journal appends are group-committed; ``map`` flushes
+        before surfacing results, so nothing unjournaled is ever returned.
     max_retries:
         Worker crashes a single config may survive before being poisoned.
     straggler_factor:
         A completed task is logged as a straggler when its wall time
         exceeds ``straggler_factor`` x the batch median.
+    chunk_max_tasks:
+        Upper bound on tasks per pool submission.  Payloads are pickled
+        once and shipped in chunks of roughly ``len(batch)/(jobs*4)``
+        (clamped to ``[1, chunk_max_tasks]``) to amortize per-future IPC
+        while keeping enough chunks in flight to load every worker.
     """
 
     def __init__(
@@ -123,24 +133,32 @@ class Scheduler:
         journal: Optional[Union[str, Journal]] = None,
         max_retries: int = 2,
         straggler_factor: float = 3.0,
+        chunk_max_tasks: int = 32,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if chunk_max_tasks < 1:
+            raise ValueError(
+                f"chunk_max_tasks must be >= 1, got {chunk_max_tasks}"
+            )
         self.jobs = int(jobs)
         self.max_retries = int(max_retries)
         self.straggler_factor = float(straggler_factor)
+        self.chunk_max_tasks = int(chunk_max_tasks)
         if cache_dir is None:
             from repro.cache import active_cache
 
             active = active_cache()
             cache_dir = active.directory if active is not None else None
         self.cache_dir = cache_dir
-        if isinstance(journal, Journal):
-            self.journal = journal
+        if journal is None:
+            self.journal = None
+        elif isinstance(journal, (str, os.PathLike)):
+            self.journal = open_journal(journal)
         else:
-            self.journal = Journal(journal) if journal is not None else None
+            self.journal = journal  # already-open Journal/ShardedJournal
         #: parent-side cache handle for probing/storing when no ambient
         #: cache is installed (lazy; see _probe_cache)
         self._cache: Optional[Any] = None
@@ -156,6 +174,8 @@ class Scheduler:
         self._memo: Dict[str, TaskRecord] = {}
         #: key -> in-flight record (coalescing target)
         self._inflight: Dict[str, TaskRecord] = {}
+        #: chunk future -> the records it carries (drainers claim by pop)
+        self._chunk_records: Dict[Future, List[TaskRecord]] = {}
         #: records awaiting a *solo* confirmation run (exact crash blame)
         self._quarantine: List[TaskRecord] = []
         #: the record currently running solo, if any
@@ -232,17 +252,55 @@ class Scheduler:
 
         return cacheable(cfg) and active_capture() is None
 
+    def _submit_chunk(self, recs: Sequence[TaskRecord]) -> None:
+        """Dispatch one chunk of records to the pool (caller holds the lock).
+
+        Each record's payload is pickled exactly once (``rec.blob``,
+        reused verbatim across crash retries); the pool then ships the
+        whole chunk through a single future, amortizing submit/IPC
+        overhead over ``len(recs)`` tasks.
+        """
+        items: List[Union[bytes, Dict[str, Any]]] = []
+        for rec in recs:
+            if self.fault_injector is not None and self.fault_injector(
+                rec.cfg, rec.attempts
+            ):
+                items.append({"crash": True, "key": rec.key})
+                continue
+            if rec.blob is None:
+                rec.blob = pickle.dumps(
+                    {"cfg": rec.cfg, "key": rec.key},
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            items.append(rec.blob)
+        fut = self._executor().submit(execute_chunk, items)
+        now = time.perf_counter()
+        for rec in recs:
+            rec.state = TaskState.RUNNING
+            rec.t_submit = now
+            rec.future = fut
+        self._chunk_records[fut] = list(recs)
+        fut.add_done_callback(self._wake)
+
     def _submit_record(self, rec: TaskRecord) -> None:
-        """Dispatch one record to the pool (caller holds the lock)."""
-        payload: Dict[str, Any] = {"cfg": rec.cfg, "key": rec.key}
-        if self.fault_injector is not None and self.fault_injector(
-            rec.cfg, rec.attempts
-        ):
-            payload["crash"] = True
-        rec.state = TaskState.RUNNING
-        rec.t_submit = time.perf_counter()
-        rec.future = self._executor().submit(execute_task, payload)
-        rec.future.add_done_callback(self._wake)
+        """Dispatch one record solo (quarantine confirmation runs)."""
+        self._submit_chunk([rec])
+
+    def _submit_records(self, recs: Sequence[TaskRecord]) -> None:
+        """Dispatch a batch in size-tuned chunks (caller holds the lock).
+
+        Chunk size targets ~4 chunks per worker so stragglers cannot
+        serialize the tail, bounded by ``chunk_max_tasks`` so one future
+        never carries an unbounded payload.
+        """
+        if not recs:
+            return
+        size = max(
+            1,
+            min(self.chunk_max_tasks, -(-len(recs) // (self.jobs * 4))),
+        )
+        for i in range(0, len(recs), size):
+            self._submit_chunk(recs[i:i + size])
 
     def _wake(self, _fut: Future) -> None:
         """Future done-callback: nudge every drain loop to re-scan."""
@@ -263,22 +321,43 @@ class Scheduler:
         """
         if self._closed:
             raise SchedulerError("scheduler is closed")
-        cfgs = [self._forced(c) for c in configs]
+        # The per-config loop below is the warm-lookup hot path (millions
+        # of configs resolve here without touching a worker), so the
+        # ambient lookups are hoisted out: one forced-noise resolution,
+        # one capture check, and batch key hashing (memoized per config
+        # instance) before the lock is taken.
+        from repro.cache import cacheable, config_key
+        from repro.obs.capture import active_capture
+        from repro.perturb import forced_override
+
+        forced = forced_override()
+        if forced is not None:
+            cfgs = [
+                c.with_(seed=forced[0], noise=forced[1])
+                if c.seed is None and c.noise is None else c
+                for c in configs
+            ]
+        else:
+            cfgs = list(configs)
+        capturing = active_capture() is not None
+        keys: List[Optional[str]] = [
+            config_key(c) if not capturing and cacheable(c) else None
+            for c in cfgs
+        ]
         slots: List[Optional[TaskRecord]] = [None] * len(cfgs)
         inline: List[int] = []  # indices executed in the parent
         owned: List[TaskRecord] = []  # records this call submitted
+        to_submit: List[TaskRecord] = []  # new records, chunked below
         waiting: List[TaskRecord] = []  # records owned by someone else
-
-        from repro.cache import config_key
 
         cache = self._probe_cache()
         with self._lock:
             for i, cfg in enumerate(cfgs):
                 self._counters["submitted"] += 1
-                if not self._poolable(cfg):
+                key = keys[i]
+                if key is None:  # functional/traced/captured: not poolable
                     inline.append(i)
                     continue
-                key = config_key(cfg)
                 rec = self._memo.get(key)
                 if rec is not None:  # session dedup (results and failures)
                     self._counters["coalesced"] += 1
@@ -326,8 +405,10 @@ class Scheduler:
                     if self._quarantining():
                         self._parked.append(rec)  # resumes after quarantine
                     else:
-                        self._submit_record(rec)
+                        to_submit.append(rec)
                     owned.append(rec)
+            # One chunked dispatch for the whole batch's fresh records.
+            self._submit_records(to_submit)
 
         # Inline execution (functional/traced/captured runs): serial order,
         # exactly the code path the unscheduled pipeline takes.
@@ -350,6 +431,12 @@ class Scheduler:
             self._drain_pool(owned)
         for rec in waiting:
             rec.done.wait()
+
+        # Durability invariant: group-committed journal records covering
+        # this batch become durable *before* any result is surfaced, so a
+        # caller can never hold a result whose record a SIGKILL would lose.
+        if self.journal is not None:
+            self.journal.flush()
 
         out: List[Union[RunResult, BaseException]] = []
         first_error: Optional[BaseException] = None
@@ -445,9 +532,9 @@ class Scheduler:
             return
         if self._parked:
             parked, self._parked = self._parked, []
-            for rec in parked:
-                if not rec.done.is_set():
-                    self._submit_record(rec)
+            self._submit_records(
+                [rec for rec in parked if not rec.done.is_set()]
+            )
 
     def _drain_pool(self, owned: Sequence[TaskRecord]) -> None:
         """Wait for owned records, recovering from broken pools.
@@ -463,33 +550,64 @@ class Scheduler:
         """
         pending = [rec for rec in owned if not rec.done.is_set()]
         while pending:
-            ready: List[Any] = []
+            ready: List[Future] = []
             with self._cond:
                 self._pump()
                 pending = [r for r in pending if not r.done.is_set()]
                 if not pending:
                     return
+                seen = set()
                 for rec in pending:
                     fut = rec.future
-                    if fut is not None and fut.done():
-                        ready.append((rec, fut))
+                    if fut is not None and fut.done() and id(fut) not in seen:
+                        seen.add(id(fut))
+                        ready.append(fut)
                 if not ready:
                     self._cond.wait(timeout=0.05)
                     continue
-            for rec, fut in ready:
-                with self._lock:
-                    if rec.done.is_set() or rec.future is not fut:
-                        continue  # settled or resubmitted by another drainer
-                exc = fut.exception()
-                if exc is None:
-                    payload = fut.result()
+            for fut in ready:
+                self._handle_chunk(fut)
+
+    def _handle_chunk(self, fut: Future) -> None:
+        """Settle one completed chunk future (claimed by pop, so exactly
+        one drainer processes it even when several own records in it)."""
+        with self._lock:
+            recs = self._chunk_records.pop(fut, None)
+        if recs is None:
+            return  # another drainer claimed it, or it went stale
+        # Records resubmitted by crash recovery carry a newer future and
+        # must not be settled from this (stale) one.
+        live = [r for r in recs if not r.done.is_set() and r.future is fut]
+        exc = fut.exception()
+        if exc is None:
+            outcomes = fut.result()
+            by_key = {o.get("key"): o for o in outcomes}
+            for rec in live:
+                outcome = by_key.get(rec.key)
+                if outcome is None:
+                    self._finish_failure(
+                        rec,
+                        SchedulerError(
+                            f"task {rec.key[:12]} missing from its chunk result"
+                        ),
+                    )
+                elif "error" in outcome:
+                    # Per-task simulator exception, shipped back as data so
+                    # chunk-mates keep their results.
+                    self._finish_failure(rec, outcome["error"])
+                else:
+                    payload = dict(outcome)
                     self._merge_cache_delta(payload.pop("cache_delta", None))
                     rec.worker_pid = payload.pop("pid", None)
                     self._finish_success(rec, payload)
-                elif isinstance(exc, BrokenExecutor):
-                    self._on_broken(fut, rec)
-                else:
-                    self._finish_failure(rec, exc)
+        elif isinstance(exc, BrokenExecutor):
+            if live:
+                self._on_broken(fut, live[0])
+        else:
+            # CancelledError after a pool rebuild (records were already
+            # resubmitted, live is empty) or a submit-side error.
+            for rec in live:
+                self._finish_failure(rec, exc)
 
     def _on_broken(self, fut: Future, rec: TaskRecord) -> None:
         """Rebuild the pool after a worker crash; assign blame.
@@ -514,6 +632,14 @@ class Scheduler:
             for r in suspects:
                 r.future = None
                 r.attempts += 1
+            # Chunk futures whose records were all nulled above will still
+            # complete (broken/cancelled); drop their bookkeeping now so
+            # the claim table cannot leak across pool rebuilds.
+            self._chunk_records = {
+                f: rs
+                for f, rs in self._chunk_records.items()
+                if any(r.future is f for r in rs)
+            }
             if self._qactive is not None and self._qactive.future is None:
                 self._qactive = None  # the solo run itself crashed
             solo = len(suspects) == 1
@@ -530,6 +656,7 @@ class Scheduler:
                     r, self.max_retries,
                 )
                 self._quarantine.append(r)
+            resubmit: List[TaskRecord] = []
             for r in under:
                 self._counters["retries"] += 1
                 log.warning(
@@ -539,7 +666,8 @@ class Scheduler:
                 if self._quarantining():
                     self._parked.append(r)  # resumes after the quarantine
                 else:
-                    self._submit_record(r)
+                    resubmit.append(r)
+            self._submit_records(resubmit)  # re-chunked for the fresh pool
             self._cond.notify_all()  # futures were nulled: drainers re-pump
 
     # -- completion bookkeeping ----------------------------------------------
@@ -614,11 +742,32 @@ class Scheduler:
         with self._lock:
             return dict(self._counters)
 
+    def journal_counts(self) -> Optional[Dict[str, int]]:
+        """Journal telemetry (entries, pending, corruption by kind)."""
+        if self.journal is None:
+            return None
+        return self.journal.counts()
+
     def summary(self) -> str:
-        """One greppable line for CLIs and CI logs."""
+        """One greppable line for CLIs and CI logs.
+
+        When a journal is attached, its entry count and the per-kind
+        corruption tallies (torn batched writes, wrong-version lines,
+        ill-shaped payloads) are appended instead of being silently
+        dropped at load time.
+        """
         s = self.stats()
         parts = " ".join(f"{k.replace('_', '-')}={s[k]}" for k in COUNTER_NAMES)
-        return f"scheduler: jobs={self.jobs} {parts}"
+        line = f"scheduler: jobs={self.jobs} {parts}"
+        counts = self.journal_counts()
+        if counts is not None:
+            line += (
+                f" journal-entries={counts['entries']}"
+                f" journal-torn={counts['torn']}"
+                f" journal-wrong-version={counts['wrong_version']}"
+                f" journal-ill-shaped={counts['ill_shaped']}"
+            )
+        return line
 
 
 #: The process-wide scheduler consulted by sweep/autotune/replica drivers.

@@ -58,6 +58,7 @@ class TaskRecord:
         "done",
         "future",
         "t_submit",
+        "blob",
     )
 
     def __init__(self, key: str, cfg: "RunConfig"):
@@ -76,6 +77,9 @@ class TaskRecord:
         self.done = threading.Event()
         self.future = None
         self.t_submit: Optional[float] = None
+        #: task payload pickled exactly once (reused across crash retries,
+        #: shipped inside size-tuned chunks; see Scheduler._submit_chunk)
+        self.blob: Optional[bytes] = None
 
     # -- results --------------------------------------------------------------
     @property

@@ -17,10 +17,11 @@ path deterministically.
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence, Union
 
-__all__ = ["init_worker", "execute_task", "CRASH_EXIT_CODE"]
+__all__ = ["init_worker", "execute_task", "execute_chunk", "CRASH_EXIT_CODE"]
 
 #: Exit code of a deliberately crashed worker (fault injection).
 CRASH_EXIT_CODE = 78
@@ -37,19 +38,12 @@ def init_worker(cache_dir) -> None:
     cache.configure(cache_dir)
 
 
-def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _execute_one(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Simulate one config; return its scalar result payload.
 
     The returned floats are the exact simulator outputs (pickle round-trips
-    floats losslessly).  Simulator exceptions propagate to the parent
-    through the future — the scheduler records them as deterministic task
-    failures, not crashes.
+    floats losslessly).
     """
-    if payload.get("crash"):
-        # Deliberate worker death (fault injection): bypasses Python
-        # exception handling entirely, exactly like a segfaulting worker.
-        os._exit(CRASH_EXIT_CODE)
-
     from repro import cache
     from repro.core.runner import run
 
@@ -67,3 +61,54 @@ def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "pid": os.getpid(),
         "cache_delta": {k: after[k] - before[k] for k in after},
     }
+
+
+def execute_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Single-task entry point (kept for solo/compat submissions).
+
+    Simulator exceptions propagate to the parent through the future — the
+    scheduler records them as deterministic task failures, not crashes.
+    """
+    if payload.get("crash"):
+        # Deliberate worker death (fault injection): bypasses Python
+        # exception handling entirely, exactly like a segfaulting worker.
+        os._exit(CRASH_EXIT_CODE)
+    return _execute_one(payload)
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """The exception itself if it survives pickling, else a stand-in.
+
+    A chunk outcome travels back through the pool as data, so an
+    unpicklable simulator exception must be replaced before the return
+    pickle would break the whole chunk future.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def execute_chunk(
+    items: Sequence[Union[bytes, Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """Chunked entry point: run several pre-pickled task payloads.
+
+    Each item is either the parent's once-pickled ``{"cfg", "key"}`` blob
+    (unpickled here, so the parent never re-serializes a payload across
+    retries) or a small marker dict (fault injection).  Per-task simulator
+    exceptions come back *as data* (``{"key", "error"}``) so one failing
+    config stays a task failure instead of poisoning its chunk-mates;
+    only a genuine worker death breaks the future.
+    """
+    out: List[Dict[str, Any]] = []
+    for item in items:
+        payload = pickle.loads(item) if isinstance(item, bytes) else item
+        if payload.get("crash"):
+            os._exit(CRASH_EXIT_CODE)
+        try:
+            out.append(_execute_one(payload))
+        except BaseException as exc:
+            out.append({"key": payload.get("key"), "error": _picklable(exc)})
+    return out

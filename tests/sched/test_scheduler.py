@@ -234,4 +234,5 @@ class TestKeying:
             sched.map([cfg])
         cache = RunCache(cache_dir)
         assert cache.get(cfg) is not None
-        assert (tmp_path / "c" / f"{config_key(cfg)}.json").exists()
+        key = config_key(cfg)
+        assert (tmp_path / "c" / key[:2] / f"{key}.json").exists()

@@ -113,7 +113,7 @@ class TestInvalidation:
     def test_corrupt_entry_is_a_miss(self, cfg, cache):
         run(cfg)
         key = config_key(cfg)
-        path = os.path.join(cache.directory, f"{key}.json")
+        path = cache._path(key)  # sharded location
         with open(path, "w") as fh:
             fh.write("{not json")
         r = run(cfg)  # falls back to simulation, re-stores
@@ -125,7 +125,7 @@ class TestInvalidation:
     def test_wrong_version_payload_is_a_miss(self, cfg, cache):
         run(cfg)
         key = config_key(cfg)
-        path = os.path.join(cache.directory, f"{key}.json")
+        path = cache._path(key)  # sharded location
         with open(path) as fh:
             payload = json.load(fh)
         payload["model_version"] = "pr0-forged"
@@ -252,6 +252,109 @@ class TestCorruptEntries:
         warm = run(cfg)
         assert cache.stats()["hits"] == 1
         assert warm.elapsed_s == cold.elapsed_s
+
+
+class TestShardedLayout:
+    def test_entries_land_in_prefix_shards(self, cfg, cache):
+        run(cfg)
+        key = config_key(cfg)
+        shard = os.path.join(cache.directory, key[:2])
+        assert os.path.isdir(shard)
+        assert os.path.exists(os.path.join(shard, f"{key}.json"))
+        # Nothing at the old flat location.
+        assert not os.path.exists(os.path.join(cache.directory, f"{key}.json"))
+
+    def test_len_counts_across_shards(self, cfg, cache):
+        run(cfg)
+        run(cfg.with_(steps=3))
+        run(cfg.with_(steps=4))
+        assert len(cache) == 3
+
+    def test_v1_flat_layout_still_readable(self, cfg, tmp_path):
+        """A pre-shard cache directory is a warm cache, not an empty one."""
+        d = str(tmp_path / "c")
+        # Populate through the current layout, then flatten to v1 by hand.
+        c1 = run_cache.configure(d)
+        cold = run(cfg)
+        key = config_key(cfg)
+        os.replace(c1._path(key), os.path.join(d, f"{key}.json"))
+        os.rmdir(os.path.dirname(c1._path(key)))
+        # A fresh handle on the flat directory must hit, bit-identically.
+        c2 = run_cache.configure(d)
+        assert len(c2) == 1
+        warm = run(cfg)
+        assert c2.stats()["hits"] == 1
+        assert warm.elapsed_s == cold.elapsed_s
+        assert warm.phases == cold.phases
+        run_cache.configure(None)
+
+    def test_v1_entry_migrates_into_shard_on_hit(self, cfg, tmp_path):
+        d = str(tmp_path / "c")
+        c1 = run_cache.configure(d)
+        run(cfg)
+        key = config_key(cfg)
+        flat = os.path.join(d, f"{key}.json")
+        os.replace(c1._path(key), flat)
+        c2 = run_cache.configure(d)
+        assert run(cfg).elapsed_s > 0
+        assert c2.stats()["hits"] == 1
+        assert not os.path.exists(flat), "hit should migrate the v1 entry"
+        assert os.path.exists(c2._path(key))
+        run_cache.configure(None)
+
+    def test_prune_covers_both_layouts(self, cfg, cache):
+        run(cfg)  # sharded, current version
+        flat_stale = os.path.join(cache.directory, "deadbeef.json")
+        with open(flat_stale, "w") as fh:
+            json.dump({"model_version": "pr0-ancient"}, fh)
+        sharded_stale = os.path.join(cache.directory, "ab")
+        os.makedirs(sharded_stale, exist_ok=True)
+        with open(os.path.join(sharded_stale, "ab123.json"), "w") as fh:
+            json.dump({"model_version": "pr0-ancient"}, fh)
+        assert len(cache) == 3
+        assert cache.prune() == 2
+        assert len(cache) == 1
+
+    def test_probe_keys_counts_existence_without_counters(self, cfg, cache):
+        run(cfg)
+        key = config_key(cfg)
+        run_cache.reset_stats()
+        assert cache.probe_keys([key, "0" * 64]) == 1
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+
+
+class TestKeyMemoization:
+    def test_key_memoized_on_the_instance(self, cfg):
+        k1 = config_key(cfg)
+        memo = cfg.__dict__.get("_key_memo")
+        assert memo == (MODEL_VERSION, k1)
+        assert config_key(cfg) is memo[1]  # returned without rehashing
+
+    def test_with_builds_a_fresh_memo(self, cfg):
+        config_key(cfg)
+        derived = cfg.with_(steps=cfg.steps + 1)
+        assert "_key_memo" not in derived.__dict__
+        assert config_key(derived) != config_key(cfg)
+
+    def test_model_version_override_bypasses_memo(self, cfg):
+        k_default = config_key(cfg)
+        k_other = config_key(cfg, model_version="other")
+        assert k_other != k_default
+        # And the default version still resolves correctly afterwards.
+        assert config_key(cfg) == k_default
+
+    def test_machine_canonical_memoized_at_catalog_load(self):
+        # warm_machine_digests ran at repro.machines import, so every
+        # registry spec already carries its canonical form.
+        from repro.machines import MACHINES
+
+        for spec in MACHINES.values():
+            assert "_canonical_memo" in spec.__dict__
+
+    def test_memo_does_not_leak_into_equality_or_repr(self, cfg):
+        config_key(cfg)
+        assert cfg == cfg.with_()
+        assert "_key_memo" not in repr(cfg)
 
 
 class TestSeedNoiseKeys:

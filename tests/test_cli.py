@@ -93,3 +93,54 @@ class TestCommands:
         )
         assert rc == 0
         assert "best:" in capsys.readouterr().out
+
+
+def _sweep_args(*extra):
+    return ["sweep", "--machine", "lens", "--impl", "nonblocking",
+            "--cores", "16", "--steps", "2", *extra]
+
+
+class TestSweepModes:
+    def test_dry_run_counts_and_runs_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        journal = tmp_path / "j.jsonl"
+        rc = main(_sweep_args("--dry-run", "--cache-dir", str(cache_dir),
+                              "--journal", str(journal)))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dry-run: configs=" in out
+        assert "warm=0" in out and "cold=" in out
+        # a dry run probes but never creates cache or journal state
+        assert not cache_dir.exists() and not journal.exists()
+
+    def test_dry_run_sees_warm_entries(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(_sweep_args("--cache-dir", cache_dir)) == 0
+        capsys.readouterr()
+        assert main(_sweep_args("--dry-run", "--cache-dir", cache_dir)) == 0
+        out = capsys.readouterr().out
+        assert "cold=0" in out and "warm=0" not in out
+
+    def test_fabric_table_matches_scheduled(self, tmp_path, capsys):
+        assert main(_sweep_args("--no-cache")) == 0
+        plain = [
+            line for line in capsys.readouterr().out.splitlines()
+            if not line.startswith(("scheduler:", "run cache:"))
+        ]
+        rc = main(_sweep_args(
+            "--no-cache", "--fabric", str(tmp_path / "fab"),
+            "--owner", "t", "--shards", "4",
+        ))
+        assert rc == 0
+        out = capsys.readouterr().out
+        fabric = [
+            line for line in out.splitlines()
+            if not line.startswith("fabric:")
+        ]
+        assert fabric == plain
+        assert "fabric: owner=t" in out and "journal-torn=0" in out
+
+    def test_fabric_bad_shards_rejected(self, tmp_path, capsys):
+        rc = main(_sweep_args("--fabric", str(tmp_path / "fab"),
+                              "--shards", "0"))
+        assert rc == 2

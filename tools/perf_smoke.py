@@ -3,7 +3,7 @@
 
 Run from the repository root::
 
-    python tools/perf_smoke.py [--out BENCH_PR6.json] [--check]
+    python tools/perf_smoke.py [--out BENCH_PR7.json] [--check]
 
 Measures, on the current machine:
 
@@ -43,9 +43,14 @@ Measures, on the current machine:
   bit-identical to the pre-perturbation simulator (the ``perturb is
   None`` guards are priced with the same analytic bound, ceiling 3%),
   and a fixed ``(seed, noise)`` pair must reproduce bit-identically
-  across repeat runs while actually changing the timeline.
+  across repeat runs while actually changing the timeline,
+* the sweep fabric's hot paths: warm cached lookups/s through the
+  scheduler parent short-circuit (memoized keys + sharded journal, no
+  worker), gated by an absolute >= 20k lookups/s floor, and the
+  group-commit journal's append throughput against the
+  one-fsync-per-line baseline, gated at >= 10x.
 
-Results are written as JSON (default ``BENCH_PR6.json``) so each PR can
+Results are written as JSON (default ``BENCH_PR7.json``) so each PR can
 record its perf point and the trajectory stays auditable. The committed
 numbers come from the reference container; regenerate locally before
 comparing machines.
@@ -110,6 +115,11 @@ FLOOR_SCHED_COLD_SPEEDUP = 2.0
 #: ("no slower", with room for timer noise on sub-second measurements)
 CEIL_SCHED_WARM_FACTOR = 1.25
 CEIL_SCHED_WARM_SLACK_S = 0.30
+#: sweep fabric: warm lookups/s through the scheduler parent path
+#: (memoized keys + journal short-circuit, no worker, no re-hash)
+FLOOR_WARM_LOOKUPS_PER_S = 20_000
+#: sweep fabric: group-commit journal appends vs one-fsync-per-line
+FLOOR_JOURNAL_APPEND_SPEEDUP = 10.0
 
 
 def usable_cores() -> int:
@@ -431,6 +441,91 @@ def time_perturb_overhead() -> dict:
     }
 
 
+def time_fabric() -> dict:
+    """Sweep-fabric hot paths: warm parent lookups and group commit.
+
+    Two micro-benchmarks against million-config sweep scale:
+
+    * **Warm lookups/s** — a fresh scheduler pointed at a pre-populated
+      sharded journal maps a large batch of distinct configs; every one
+      short-circuits in the parent (memoized cache key + journal hit, no
+      worker, no redundant hashing). Gated by an absolute lookups/s
+      floor: resuming a million-config sweep must be bounded by I/O, not
+      by re-keying.
+    * **Journal append throughput** — group commit (one flush+fsync per
+      batch of records) raced against the one-fsync-per-line baseline
+      (``flush_max_records=1``, the pre-PR behaviour) on the same
+      records. Gated by a relative speedup floor.
+    """
+    from repro.cache import config_key
+    from repro.core.config import RunConfig
+    from repro.machines import get_machine
+    from repro.sched import Scheduler, ShardedJournal
+    from repro.sched.journal import Journal
+
+    machine = get_machine("yona")
+    n = 4096
+    cfgs = [
+        RunConfig(machine=machine, implementation="nonblocking", cores=12,
+                  threads_per_task=1, steps=s + 1)
+        for s in range(n)
+    ]
+    payloads = [
+        {"elapsed_s": 0.001 * (i + 1), "phases": {"compute": 0.001 * (i + 1)},
+         "comm_stats": {"messages": i}}
+        for i in range(n)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fabric-") as tmp:
+        # Pre-populate a sharded journal: every config warm on disk.
+        jroot = os.path.join(tmp, "journal")
+        j = ShardedJournal(jroot, flush_max_records=1024)
+        keys = [config_key(c) for c in cfgs]  # memoizes every key
+        for key, payload in zip(keys, payloads):
+            j.record(key, payload)
+        j.close()
+
+        lookups_per_s = 0.0
+        for _ in range(3):  # best-of: fresh scheduler, warm journal
+            sched = Scheduler(jobs=1, journal=ShardedJournal(jroot))
+            try:
+                t0 = time.perf_counter()
+                out = sched.map(cfgs)
+                elapsed = time.perf_counter() - t0
+                stats = sched.stats()
+            finally:
+                sched.close()
+            assert stats["journal_hits"] == n, "warm map left the parent path"
+            assert all(
+                r.elapsed_s == p["elapsed_s"] for r, p in zip(out, payloads)
+            ), "journal replay not bit-identical"
+            lookups_per_s = max(lookups_per_s, n / elapsed)
+
+        def append_rate(path: str, flush_max: int, count: int) -> float:
+            jj = Journal(path, flush_max_records=flush_max,
+                         flush_interval=3600.0)
+            t0 = time.perf_counter()
+            for key, payload in zip(keys[:count], payloads[:count]):
+                jj.record(key, payload)
+            jj.close()  # the final flush belongs in the measurement
+            return count / (time.perf_counter() - t0)
+
+        # The per-line baseline pays one fsync per record — bound its
+        # sample size so the benchmark stays quick on slow disks.
+        base = append_rate(os.path.join(tmp, "per-line.jsonl"), 1, 256)
+        grouped = append_rate(os.path.join(tmp, "grouped.jsonl"), 256, n)
+
+    return {
+        "configs": n,
+        "warm_lookups_per_s": round(lookups_per_s),
+        "journal_append_per_line_fsync_per_s": round(base),
+        "journal_append_group_commit_per_s": round(grouped),
+        "journal_append_speedup": round(grouped / base, 2),
+        "acceptance_floor_warm_lookups_per_s": FLOOR_WARM_LOOKUPS_PER_S,
+        "acceptance_floor_journal_append_speedup": FLOOR_JOURNAL_APPEND_SPEEDUP,
+    }
+
+
 def time_fig9() -> float:
     from repro.experiments import run_experiment
 
@@ -443,7 +538,7 @@ def time_fig9() -> float:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_PR6.json", metavar="PATH")
+    ap.add_argument("--out", default="BENCH_PR7.json", metavar="PATH")
     ap.add_argument("--size", type=int, default=256, help="grid points per dim")
     ap.add_argument("--steps", type=int, default=3)
     ap.add_argument("--check", action="store_true",
@@ -490,6 +585,16 @@ def main(argv=None) -> int:
         f"{sched['cold_identical_to_serial'] and sched['warm_identical_to_serial']}"
     )
 
+    fabric = time_fabric()
+    print(
+        f"sweep fabric: {fabric['warm_lookups_per_s']:,} warm lookups/s "
+        f"(floor {FLOOR_WARM_LOOKUPS_PER_S:,}); journal appends "
+        f"{fabric['journal_append_group_commit_per_s']:,}/s grouped vs "
+        f"{fabric['journal_append_per_line_fsync_per_s']:,}/s per-line fsync "
+        f"({fabric['journal_append_speedup']:.1f}x, floor "
+        f"{FLOOR_JOURNAL_APPEND_SPEEDUP:.0f}x)"
+    )
+
     fig9_s = time_fig9()
     print(f"fig9 regeneration: {fig9_s:.2f} s")
 
@@ -513,7 +618,7 @@ def main(argv=None) -> int:
     )
 
     payload = {
-        "pr": 6,
+        "pr": 7,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -531,6 +636,7 @@ def main(argv=None) -> int:
         "des_engine": des,
         "sweep_cache": sweep,
         "scheduled_sweep": sched,
+        "sweep_fabric": fabric,
         "experiments": {"fig9_seconds": round(fig9_s, 2)},
         "tracing": trace,
         "perturbation": perturb,
@@ -577,6 +683,17 @@ def main(argv=None) -> int:
         failures.append("scheduled cold results differ from serial")
     if not sched["warm_identical_to_serial"]:
         failures.append("scheduled warm results differ from serial")
+    if fabric["warm_lookups_per_s"] < FLOOR_WARM_LOOKUPS_PER_S:
+        failures.append(
+            f"fabric warm lookups {fabric['warm_lookups_per_s']:,}/s < "
+            f"{FLOOR_WARM_LOOKUPS_PER_S:,}/s floor"
+        )
+    if fabric["journal_append_speedup"] < FLOOR_JOURNAL_APPEND_SPEEDUP:
+        failures.append(
+            f"journal group-commit speedup "
+            f"{fabric['journal_append_speedup']:.1f}x < "
+            f"{FLOOR_JOURNAL_APPEND_SPEEDUP:.0f}x floor"
+        )
     if not trace["traced_bit_identical_to_untraced"]:
         failures.append("traced run scalars differ from untraced")
     if trace["disabled_overhead_bound"] > CEIL_TRACE_OFF_OVERHEAD:
