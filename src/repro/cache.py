@@ -257,6 +257,16 @@ class RunCache:
             return True
         return self._flat_fallback and os.path.exists(self._flat_path(key))
 
+    def warm_keys(self, keys) -> set:
+        """The subset of ``keys`` with an entry on disk (batch probe).
+
+        Pure existence checks: nothing is read, validated or charged to
+        the hit/miss counters. The serve daemon uses this to classify a
+        sweep request into warm/cold halves before admitting the cold
+        half to a worker.
+        """
+        return {k for k in keys if self.has_key(k)}
+
     def probe_keys(self, keys) -> int:
         """Count how many of ``keys`` have an entry on disk (batch probe).
 
@@ -265,7 +275,7 @@ class RunCache:
         uses this to classify a whole cross-product without touching
         payloads.
         """
-        return sum(1 for k in keys if self.has_key(k))
+        return len(self.warm_keys(keys))
 
     def get(
         self, cfg: "RunConfig", record_miss: bool = True

@@ -14,6 +14,7 @@
     advection-repro tune --machine yona --impl hybrid_overlap --cores 48
     advection-repro trace --machine yona --impl hybrid_overlap --out t.json
     advection-repro trace --experiments all --fast --check
+    advection-repro serve --port 7753 --jobs 4 --journal serve.jsonl
 """
 
 from __future__ import annotations
@@ -161,6 +162,49 @@ def build_parser() -> argparse.ArgumentParser:
     sweepp.add_argument("--shards", type=int, default=16, metavar="N",
                         help="task shards the batch is partitioned into in "
                              "--fabric mode (1-256)")
+
+    servep = sub.add_parser(
+        "serve",
+        help="long-running query daemon: NDJSON + HTTP/1.1 on one "
+             "listener, warm queries answered from cache without a "
+             "worker, identical in-flight queries coalesced",
+    )
+    servep.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind address (default 127.0.0.1)")
+    servep.add_argument("--port", type=int, default=0, metavar="P",
+                        help="TCP port (0 = ephemeral; printed and "
+                             "written to --ready-file)")
+    servep.add_argument("--socket", metavar="PATH", default=None,
+                        help="also (or instead, with --no-tcp) listen on "
+                             "a unix socket")
+    servep.add_argument("--no-tcp", action="store_true",
+                        help="unix socket only (requires --socket)")
+    servep.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scheduler worker processes for cold queries")
+    servep.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                        help="admission bound: concurrent cold jobs before "
+                             "new cold queries get a structured 'busy' "
+                             "error / HTTP 429 (warm queries are never "
+                             "rejected)")
+    servep.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                        help="default per-request timeout in seconds "
+                             "(requests may override with 'timeout')")
+    servep.add_argument("--journal", metavar="PATH", default=None,
+                        help="group-commit journal: simulations survive "
+                             "SIGTERM and replay warm on the next start")
+    servep.add_argument("--no-cache", action="store_true",
+                        help="serve without the on-disk run cache")
+    servep.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="run-result cache directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+    servep.add_argument("--ready-file", metavar="PATH", default=None,
+                        help="write {host, port, socket, pid} as JSON once "
+                             "listening (test/CI discovery of ephemeral "
+                             "ports)")
+    servep.add_argument("--drain-grace", type=float, default=30.0,
+                        metavar="S",
+                        help="seconds SIGTERM waits for in-flight jobs "
+                             "before closing anyway")
 
     valp = sub.add_parser("validate", help="run every correctness oracle")
     valp.add_argument("--impl", default="all",
@@ -535,6 +579,33 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.server import serve
+
+    if args.no_tcp and not args.socket:
+        print("serve: --no-tcp requires --socket", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"serve: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.max_inflight < 1:
+        print(f"serve: --max-inflight must be >= 1, got {args.max_inflight}",
+              file=sys.stderr)
+        return 2
+    return serve(
+        host=args.host,
+        port=None if args.no_tcp else args.port,
+        socket_path=args.socket,
+        jobs=args.jobs,
+        cache_dir=_resolve_cache_dir(args),
+        journal=args.journal,
+        max_inflight=args.max_inflight,
+        timeout_s=args.timeout,
+        ready_file=args.ready_file,
+        drain_grace_s=args.drain_grace,
+    )
+
+
 def _cmd_validate(args) -> int:
     from repro.validation import validate_implementation
 
@@ -687,6 +758,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "tune":

@@ -183,6 +183,10 @@ class Scheduler:
         #: records parked while the quarantine drains
         self._parked: List[TaskRecord] = []
         self._counters: Dict[str, int] = {k: 0 for k in COUNTER_NAMES}
+        #: completion hooks: ``fn(record)`` fired exactly once per record
+        #: reaching a terminal state, always *outside* the scheduler lock
+        #: (see add_completion_hook)
+        self._hooks: List[Callable[[TaskRecord], None]] = []
         #: wall seconds of every *simulated* task, in completion order
         self.wall_times: List[float] = []
         #: telemetry dicts of detected stragglers (see TaskRecord.describe)
@@ -307,6 +311,54 @@ class Scheduler:
         with self._cond:
             self._cond.notify_all()
 
+    # -- completion hooks ------------------------------------------------------
+    def add_completion_hook(
+        self, fn: Callable[[TaskRecord], None]
+    ) -> Callable[[TaskRecord], None]:
+        """Register ``fn(record)`` to fire when a record goes terminal.
+
+        Fired exactly once per distinct record — on simulation completion,
+        failure, poisoning, or a warm cache/journal short-circuit — never
+        for coalesced re-requests of an already-terminal key.  Hooks are
+        invoked **outside** the scheduler lock, from whichever thread
+        completed the record, so a hook may safely call back into
+        ``stats()``/``snapshot()`` (or hand the event to another thread
+        that does) without deadlocking a concurrent ``map()``.  Hook
+        exceptions are logged and swallowed.  Returns ``fn`` so callers
+        can unregister it later.
+        """
+        with self._lock:
+            self._hooks.append(fn)
+        return fn
+
+    def remove_completion_hook(self, fn: Callable[[TaskRecord], None]) -> None:
+        """Unregister a completion hook (no-op when not registered)."""
+        with self._lock:
+            try:
+                self._hooks.remove(fn)
+            except ValueError:
+                pass
+
+    def _fire_hooks(self, recs: Sequence[TaskRecord]) -> None:
+        """Invoke completion hooks for newly terminal records.
+
+        Must be called WITHOUT the scheduler lock held: hooks are user
+        code (the serve path bridges them onto an event loop) and may
+        re-enter telemetry methods from other threads.
+        """
+        if not recs:
+            return
+        with self._lock:
+            hooks = list(self._hooks)
+        if not hooks:
+            return
+        for rec in recs:
+            for fn in hooks:
+                try:
+                    fn(rec)
+                except Exception:  # never let a hook break the scheduler
+                    log.exception("completion hook failed for %s", rec)
+
     def map(
         self,
         configs: Iterable[RunConfig],
@@ -349,6 +401,7 @@ class Scheduler:
         owned: List[TaskRecord] = []  # records this call submitted
         to_submit: List[TaskRecord] = []  # new records, chunked below
         waiting: List[TaskRecord] = []  # records owned by someone else
+        fresh_done: List[TaskRecord] = []  # warm short-circuits (hooks fire)
 
         cache = self._probe_cache()
         with self._lock:
@@ -379,6 +432,7 @@ class Scheduler:
                     rec.done.set()
                     self._memo[key] = rec
                     self._counters["journal_hits"] += 1
+                    fresh_done.append(rec)
                     continue
                 # Warm cache entry: replay, no worker occupied.  Misses are
                 # not charged here — the worker that simulates the config
@@ -395,6 +449,7 @@ class Scheduler:
                         rec.done.set()
                         self._memo[key] = rec
                         self._counters["cache_hits"] += 1
+                        fresh_done.append(rec)
                         if self.journal is not None:
                             self.journal.record(key, rec.payload)
                         continue
@@ -409,6 +464,9 @@ class Scheduler:
                     owned.append(rec)
             # One chunked dispatch for the whole batch's fresh records.
             self._submit_records(to_submit)
+        # Warm short-circuits went terminal during intake; notify hooks
+        # now that the lock is released.
+        self._fire_hooks(fresh_done)
 
         # Inline execution (functional/traced/captured runs): serial order,
         # exactly the code path the unscheduled pipeline takes.
@@ -619,6 +677,7 @@ class Scheduler:
         bound goes to the quarantine for a solo confirmation run instead
         of being poisoned on circumstantial evidence.
         """
+        poisoned_rec: Optional[TaskRecord] = None
         with self._lock:
             if rec.done.is_set() or rec.future is not fut:
                 return  # this crash was already handled by another drainer
@@ -647,7 +706,9 @@ class Scheduler:
             under = [r for r in suspects if r.attempts <= self.max_retries]
             if solo and over:
                 self._finish_poisoned(over[0])  # exact blame
-                return
+                poisoned_rec = over[0]
+                under = []
+                over = []
             for r in over:
                 self._counters["retries"] += 1
                 log.warning(
@@ -669,6 +730,8 @@ class Scheduler:
                     resubmit.append(r)
             self._submit_records(resubmit)  # re-chunked for the fresh pool
             self._cond.notify_all()  # futures were nulled: drainers re-pump
+        if poisoned_rec is not None:
+            self._fire_hooks([poisoned_rec])
 
     # -- completion bookkeeping ----------------------------------------------
     def _merge_cache_delta(self, delta: Optional[Dict[str, int]]) -> None:
@@ -696,6 +759,7 @@ class Scheduler:
                 self.journal.record(rec.key, payload)
             rec.done.set()
             self._cond.notify_all()
+        self._fire_hooks([rec])
 
     def _finish_failure(self, rec: TaskRecord, exc: BaseException) -> None:
         with self._lock:
@@ -709,9 +773,11 @@ class Scheduler:
             log.warning("task failed: %s: %s", rec, exc)
             rec.done.set()
             self._cond.notify_all()
+        self._fire_hooks([rec])
 
     def _finish_poisoned(self, rec: TaskRecord) -> None:
-        # Caller holds the lock (only reached from _handle_broken_pool).
+        # Caller holds the lock (only reached from _on_broken, which fires
+        # the completion hooks once it has released the lock).
         rec.error = PoisonedConfigError(rec.cfg, rec.attempts)
         rec.state = TaskState.POISONED
         self._memo[rec.key] = rec
@@ -748,18 +814,58 @@ class Scheduler:
             return None
         return self.journal.counts()
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Consistent telemetry snapshot under a single lock acquire.
+
+        Everything ``summary()`` and the serve ``/metrics`` endpoint
+        report is gathered while the scheduler lock is held *once*:
+        counters, in-flight/memo/quarantine gauges, wall-time aggregates
+        and the journal tallies.  Assembling these field-by-field (one
+        ``stats()`` call here, one ``journal_counts()`` there) can
+        interleave with a concurrent batch and produce torn readings —
+        e.g. a ``coalesced`` observed from a later batch than the
+        ``submitted`` it is compared against.  Within one snapshot the
+        counter invariants always hold (every terminal tally is counted
+        against an already-incremented ``submitted``).
+        """
+        with self._lock:
+            wall = {
+                "count": len(self.wall_times),
+                "total_s": float(sum(self.wall_times)),
+                "max_s": max(self.wall_times) if self.wall_times else 0.0,
+            }
+            snap: Dict[str, Any] = {
+                "jobs": self.jobs,
+                "counters": dict(self._counters),
+                "inflight": len(self._inflight),
+                "memoized": len(self._memo),
+                "quarantined": len(self._quarantine)
+                + (1 if self._qactive is not None else 0),
+                "parked": len(self._parked),
+                "poisoned_configs": len(self.poisoned),
+                "stragglers": len(self.straggler_log),
+                "wall": wall,
+                "journal": (
+                    self.journal.counts() if self.journal is not None else None
+                ),
+            }
+        return snap
+
     def summary(self) -> str:
         """One greppable line for CLIs and CI logs.
 
+        Built from a single :meth:`snapshot`, so the printed counters are
+        mutually consistent even while other threads complete tasks.
         When a journal is attached, its entry count and the per-kind
         corruption tallies (torn batched writes, wrong-version lines,
         ill-shaped payloads) are appended instead of being silently
         dropped at load time.
         """
-        s = self.stats()
+        snap = self.snapshot()
+        s = snap["counters"]
         parts = " ".join(f"{k.replace('_', '-')}={s[k]}" for k in COUNTER_NAMES)
         line = f"scheduler: jobs={self.jobs} {parts}"
-        counts = self.journal_counts()
+        counts = snap["journal"]
         if counts is not None:
             line += (
                 f" journal-entries={counts['entries']}"

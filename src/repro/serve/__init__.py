@@ -1,0 +1,40 @@
+"""Long-running query service for the performance model (PR 8).
+
+``advection-repro serve`` turns the repo's batch machinery into a
+daemon: one listener answers newline-delimited JSON *and* HTTP/1.1,
+warm queries resolve from memo/cache/journal tiers without touching a
+worker, identical in-flight cold queries coalesce into a single
+scheduler task, and cold-miss storms hit bounded admission instead of
+an unbounded queue.  See ``docs/MODEL.md`` §14 for the architecture.
+
+Modules
+-------
+``protocol``
+    Wire framing, request parsing, response/error/progress documents.
+``service``
+    :class:`SimulationService` — cache tiers, coalescing, admission,
+    timeouts, drain.
+``server``
+    :class:`ServeDaemon` — the dual-protocol listener and signal
+    handling.
+``client``
+    :class:`ServeClient` — a small blocking client (tests, scripts,
+    benchmarks).
+``metrics``
+    Counters + latency histograms and the Prometheus text renderer.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import ServeDaemon, serve
+from repro.serve.service import SimulationService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "SimulationService",
+    "serve",
+]

@@ -1,0 +1,184 @@
+"""Service telemetry: counters, gauges and latency histograms.
+
+A tiny self-contained metrics registry (no prometheus_client dependency;
+the container bakes in only the scientific stack).  The daemon exposes it
+two ways: the ``stats`` verb returns :meth:`ServiceMetrics.to_dict`
+embedded in a JSON document, and ``GET /metrics`` renders
+:func:`render_prometheus` — Prometheus text exposition format, flat
+counters plus cumulative histogram buckets.
+
+Thread-safety: the event loop observes latencies while scheduler
+completion hooks (worker/drainer threads) bump progress counters, so
+every mutation takes one small lock.  Snapshots are taken under the same
+lock — a ``/metrics`` scrape can never see a histogram whose ``count``
+disagrees with its buckets.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "render_prometheus"]
+
+#: Histogram bucket upper bounds in seconds (geometric, ~x4 steps, spans
+#: 100 us warm hits through multi-minute cold sweeps).
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket cumulative histogram with exact count/sum.
+
+    Not locked itself — :class:`ServiceMetrics` serializes access.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BOUNDS):
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.buckets[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum += seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q`` quantile.
+
+        Conservative (the true latency is <= the returned bound); the
+        +Inf bucket reports the largest finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum_s": self.sum,
+            "p50_s": self.quantile(0.50),
+            "p99_s": self.quantile(0.99),
+            "buckets": [
+                [le, n] for le, n in zip(self.bounds, self.buckets)
+            ] + [["+Inf", self.buckets[-1]]],
+        }
+
+
+#: Counter names the service always reports (zeros included).
+COUNTER_NAMES = (
+    "connections",
+    "http_requests",
+    "requests",
+    "responses_ok",
+    "responses_error",
+    "protocol_errors",
+    "warm_memo_hits",
+    "warm_cache_hits",
+    "coalesced",
+    "admitted",
+    "rejected_busy",
+    "rejected_draining",
+    "timeouts",
+    "progress_events",
+)
+
+
+class ServiceMetrics:
+    """The daemon's counters, gauges and latency histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {k: 0 for k in COUNTER_NAMES}
+        self._gauges: Dict[str, int] = {"active_connections": 0, "inflight": 0}
+        #: warm = served without a scheduler dispatch; all = every request
+        self._hist: Dict[str, LatencyHistogram] = {
+            "warm": LatencyHistogram(),
+            "all": LatencyHistogram(),
+        }
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge_add(self, name: str, delta: int) -> None:
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0) + delta
+
+    def observe_latency(self, seconds: float, warm: bool) -> None:
+        with self._lock:
+            self._hist["all"].observe(seconds)
+            if warm:
+                self._hist["warm"].observe(seconds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """One consistent snapshot of every counter/gauge/histogram."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "latency": {
+                    name: hist.snapshot()
+                    for name, hist in self._hist.items()
+                },
+            }
+
+
+def _prom_float(v: float) -> str:
+    return repr(float(v))
+
+
+def render_prometheus(
+    service: Dict[str, Any],
+    scheduler: Optional[Mapping[str, Any]] = None,
+    cache: Optional[Mapping[str, int]] = None,
+) -> str:
+    """Prometheus text exposition of the service + scheduler + cache.
+
+    ``service`` is :meth:`ServiceMetrics.to_dict`; ``scheduler`` is
+    :meth:`repro.sched.Scheduler.snapshot` (a single-lock-acquire
+    consistent snapshot, so no ``coalesced > submitted`` torn read can
+    ever be exposed); ``cache`` is ``RunCache.stats()``.
+    """
+    lines: List[str] = []
+    for name, value in sorted(service["counters"].items()):
+        lines.append(f"repro_serve_{name}_total {value}")
+    for name, value in sorted(service["gauges"].items()):
+        lines.append(f"repro_serve_{name} {value}")
+    for hname, hist in sorted(service["latency"].items()):
+        metric = f"repro_serve_latency_{hname}_seconds"
+        cumulative = 0
+        for le, n in hist["buckets"]:
+            cumulative += n
+            bound = le if isinstance(le, str) else _prom_float(le)
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f"{metric}_count {hist['count']}")
+        lines.append(f"{metric}_sum {_prom_float(hist['sum_s'])}")
+    if scheduler is not None:
+        for name, value in sorted(scheduler["counters"].items()):
+            lines.append(f"repro_sched_{name}_total {value}")
+        for name in ("inflight", "memoized", "quarantined", "parked",
+                     "poisoned_configs", "stragglers"):
+            lines.append(f"repro_sched_{name} {scheduler[name]}")
+        journal = scheduler.get("journal")
+        if journal is not None:
+            for name, value in sorted(journal.items()):
+                lines.append(f"repro_journal_{name} {value}")
+    if cache is not None:
+        for name, value in sorted(cache.items()):
+            lines.append(f"repro_cache_{name}_total {value}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,374 @@
+"""Wire protocol of the simulation service.
+
+One framing, two carriers: the daemon speaks **newline-delimited JSON**
+(one request document per line, one or more response documents per line
+each) and **HTTP/1.1** (the same documents as request/response bodies)
+on the same listener — :mod:`repro.serve.server` sniffs the first line
+of each connection to pick the carrier.
+
+Documents
+---------
+A request is a JSON object::
+
+    {"verb": "run",  "id": 7, "config": {...}}
+    {"verb": "run",  "id": 8, "config": {...}, "replicas": 16}
+    {"verb": "sweep", "id": 9, "configs": [{...}, ...], "stream": true}
+    {"verb": "stats", "id": 10}
+    {"verb": "ping", "id": 11}
+
+``config`` carries one :class:`~repro.core.config.RunConfig` by value:
+the machine by catalog name, the noise spec as the CLI's ``--noise``
+string, everything else as plain scalars (see :func:`config_from_dict`).
+Field values are validated here — unknown fields, functional/traced
+runs (whose results cannot travel as scalars) and infeasible values are
+rejected with a structured error before anything touches the scheduler.
+
+A response echoes the request ``id``::
+
+    {"id": 7, "ok": true, "result": {...}, "source": "cache", ...}
+    {"id": 9, "event": "progress", "done": 3, "total": 12, ...}   # stream
+    {"id": 8, "ok": false, "error": {"type": "busy", "message": "..."}}
+
+Floats round-trip exactly: CPython's ``json`` renders a float with its
+shortest round-trip repr and parses it back to the same double, so a
+served result is *numerically identical* to the ``RunResult`` the
+simulator produced.
+
+Framing limits: an incoming line longer than :data:`MAX_LINE_BYTES` is
+rejected (the connection is closed after a structured error — an
+unbounded line is indistinguishable from a memory attack), and a sweep
+request may carry at most :data:`MAX_SWEEP_CONFIGS` configs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import RunConfig, RunResult
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "MAX_SWEEP_CONFIGS",
+    "PROTOCOL_VERSION",
+    "VERBS",
+    "ProtocolError",
+    "Request",
+    "config_from_dict",
+    "decode_line",
+    "encode_message",
+    "error_body",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "progress_event",
+    "result_to_dict",
+]
+
+#: Protocol generation, echoed by ``ping`` and ``stats``.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one incoming request line (defends the reader buffer).
+MAX_LINE_BYTES = 1 << 20
+
+#: Hard ceiling on configs carried by one sweep request.
+MAX_SWEEP_CONFIGS = 4096
+
+#: Request verbs the service understands.
+VERBS = ("run", "sweep", "stats", "ping")
+
+#: RunConfig fields settable over the wire -> their request spelling.
+_CONFIG_KEYS = {
+    "machine": "machine",
+    "impl": "impl",
+    "implementation": "impl",  # alias
+    "cores": "cores",
+    "threads": "threads",
+    "thickness": "thickness",
+    "steps": "steps",
+    "domain": "domain",
+    "network": "network",
+    "seed": "seed",
+    "noise": "noise",
+}
+
+#: Config fields deliberately NOT servable (non-scalar results).
+_REJECTED_CONFIG_KEYS = ("functional", "trace")
+
+
+class ProtocolError(ValueError):
+    """A malformed or unservable request document.
+
+    ``kind`` names the structured error type returned to the client
+    (``protocol`` for framing/JSON problems, ``bad-request`` for schema
+    problems, ``invalid-config`` for values the simulator would reject).
+    """
+
+    def __init__(self, message: str, kind: str = "bad-request"):
+        super().__init__(message)
+        self.kind = kind
+
+
+# -- framing ------------------------------------------------------------------
+def encode_message(doc: Dict[str, Any]) -> bytes:
+    """One response/request document as a single JSON line.
+
+    ``ensure_ascii=False`` keeps unicode payloads compact; JSON string
+    escaping guarantees the rendered document itself contains no raw
+    newline, so the line framing can never tear.
+    """
+    return json.dumps(
+        doc, ensure_ascii=False, separators=(",", ":")
+    ).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one incoming line into a request document.
+
+    Raises :class:`ProtocolError` (kind ``protocol``) on oversize lines,
+    undecodable bytes, invalid JSON, or a non-object document.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte limit",
+            kind="protocol",
+        )
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"request is not UTF-8: {exc}", kind="protocol")
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not JSON: {exc}", kind="protocol")
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(doc).__name__}",
+            kind="protocol",
+        )
+    return doc
+
+
+# -- request schema -----------------------------------------------------------
+@dataclass
+class Request:
+    """One validated request, ready for the service layer."""
+
+    verb: str
+    #: echoed verbatim in every response document (may be None)
+    id: Any = None
+    #: the configs to run (1 for ``run``, N for ``sweep``)
+    configs: List[RunConfig] = field(default_factory=list)
+    #: Monte-Carlo replication (``run`` only, requires a seeded config)
+    replicas: int = 1
+    #: per-request timeout override in seconds (None = service default)
+    timeout_s: Optional[float] = None
+    #: emit per-task progress events before the final response
+    stream: bool = False
+
+
+def _require_int(doc: Dict[str, Any], key: str, value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"config field {key!r} must be an integer, "
+                            f"got {value!r}")
+    return value
+
+
+def config_from_dict(d: Dict[str, Any]) -> RunConfig:
+    """Build a :class:`RunConfig` from its wire representation.
+
+    Accepted fields: ``machine`` (catalog name), ``impl`` (or
+    ``implementation``), ``cores``, ``threads``, ``thickness``,
+    ``steps``, ``domain`` (one int or ``[nx, ny, nz]``), ``network``,
+    ``seed``, ``noise`` (the CLI's ``--noise`` string; ``"machine"``
+    selects the machine's calibration).  Anything else — including
+    ``functional`` and ``trace``, whose results cannot travel as JSON
+    scalars — is rejected with a structured error.
+    """
+    from repro.machines import get_machine
+
+    if not isinstance(d, dict):
+        raise ProtocolError(
+            f"config must be a JSON object, got {type(d).__name__}"
+        )
+    for key in _REJECTED_CONFIG_KEYS:
+        if key in d:
+            raise ProtocolError(
+                f"config field {key!r} is not servable: {key} runs carry "
+                "non-scalar artifacts that cannot travel over the wire"
+            )
+    unknown = sorted(k for k in d if k not in _CONFIG_KEYS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown config field(s) {unknown}; "
+            f"accepted: {sorted(set(_CONFIG_KEYS))}"
+        )
+    norm = {}
+    for key, value in d.items():
+        canon = _CONFIG_KEYS[key]
+        if canon in norm and norm[canon] != value:
+            raise ProtocolError(
+                f"config fields {key!r} and {canon!r} disagree"
+            )
+        norm[canon] = value
+    for req in ("machine", "impl", "cores"):
+        if req not in norm:
+            raise ProtocolError(f"config field {req!r} is required")
+
+    try:
+        machine = get_machine(str(norm["machine"]))
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"unknown machine {norm['machine']!r}: {exc}",
+                            kind="invalid-config")
+
+    domain = norm.get("domain", 420)
+    if isinstance(domain, int) and not isinstance(domain, bool):
+        domain = (domain,) * 3
+    elif (
+        isinstance(domain, (list, tuple))
+        and len(domain) == 3
+        and all(isinstance(v, int) and not isinstance(v, bool) for v in domain)
+    ):
+        domain = tuple(domain)
+    else:
+        raise ProtocolError(
+            f"config field 'domain' must be an int or [nx, ny, nz], "
+            f"got {domain!r}"
+        )
+
+    seed = norm.get("seed")
+    if seed is not None:
+        seed = _require_int(norm, "seed", seed)
+    noise = None
+    noise_text = norm.get("noise")
+    if noise_text is not None:
+        from repro.perturb import NoiseSpec
+
+        if not isinstance(noise_text, str):
+            raise ProtocolError(
+                f"config field 'noise' must be a spec string, "
+                f"got {noise_text!r}"
+            )
+        try:
+            if noise_text == "machine":
+                noise = NoiseSpec.for_machine(machine.name)
+            else:
+                noise = NoiseSpec.parse(noise_text)
+        except ValueError as exc:
+            raise ProtocolError(str(exc), kind="invalid-config")
+
+    network = norm.get("network", "mirror")
+    if not isinstance(network, str):
+        raise ProtocolError(f"config field 'network' must be a string, "
+                            f"got {network!r}")
+    try:
+        return RunConfig(
+            machine=machine,
+            implementation=str(norm["impl"]),
+            cores=_require_int(norm, "cores", norm["cores"]),
+            threads_per_task=_require_int(norm, "threads",
+                                          norm.get("threads", 1)),
+            box_thickness=_require_int(norm, "thickness",
+                                       norm.get("thickness", 1)),
+            steps=_require_int(norm, "steps", norm.get("steps", 2)),
+            domain=domain,
+            network=network,
+            seed=seed,
+            noise=noise,
+        )
+    except ValueError as exc:
+        # RunConfig.__post_init__ rejected the combination (thread
+        # packing, node fill, noise-without-seed, ...).
+        raise ProtocolError(str(exc), kind="invalid-config")
+
+
+def parse_request(doc: Dict[str, Any]) -> Request:
+    """Validate one decoded document into a :class:`Request`."""
+    verb = doc.get("verb")
+    if verb not in VERBS:
+        raise ProtocolError(
+            f"unknown verb {verb!r}; accepted: {list(VERBS)}"
+        )
+    req = Request(verb=verb, id=doc.get("id"))
+
+    timeout = doc.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise ProtocolError(f"'timeout' must be a number, got {timeout!r}")
+        if timeout <= 0:
+            raise ProtocolError(f"'timeout' must be > 0, got {timeout!r}")
+        req.timeout_s = float(timeout)
+
+    if verb == "run":
+        if "config" not in doc:
+            raise ProtocolError("run request needs a 'config' object")
+        req.configs = [config_from_dict(doc["config"])]
+        replicas = doc.get("replicas", 1)
+        replicas = _require_int(doc, "replicas", replicas)
+        if replicas < 1:
+            raise ProtocolError(f"'replicas' must be >= 1, got {replicas}")
+        if replicas > 1 and req.configs[0].seed is None:
+            raise ProtocolError(
+                "'replicas' > 1 requires a seeded config (set 'seed')",
+                kind="invalid-config",
+            )
+        req.replicas = replicas
+        req.stream = bool(doc.get("stream", False))
+    elif verb == "sweep":
+        cfgs = doc.get("configs")
+        if not isinstance(cfgs, list) or not cfgs:
+            raise ProtocolError(
+                "sweep request needs a non-empty 'configs' array"
+            )
+        if len(cfgs) > MAX_SWEEP_CONFIGS:
+            raise ProtocolError(
+                f"sweep of {len(cfgs)} configs exceeds the "
+                f"{MAX_SWEEP_CONFIGS}-config limit"
+            )
+        req.configs = [config_from_dict(c) for c in cfgs]
+        req.stream = bool(doc.get("stream", False))
+    return req
+
+
+# -- response documents -------------------------------------------------------
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Scalar wire form of one result (exact floats, JSON round-trip)."""
+    body: Dict[str, Any] = {
+        "elapsed_s": result.elapsed_s,
+        "phases": dict(result.phases),
+        "comm_stats": dict(result.comm_stats),
+    }
+    if result.stats is not None:
+        body["stats"] = dict(result.stats)
+    return body
+
+
+def error_body(kind: str, message: str) -> Dict[str, Any]:
+    """The structured error object carried by a failed response."""
+    return {"type": kind, "message": message}
+
+
+def ok_response(req_id: Any, body: Dict[str, Any]) -> Dict[str, Any]:
+    """A successful response envelope (``body`` keys merged in)."""
+    doc = {"id": req_id, "ok": True}
+    doc.update(body)
+    return doc
+
+
+def error_response(req_id: Any, kind: str, message: str) -> Dict[str, Any]:
+    """A failed response envelope with a structured error object."""
+    return {"id": req_id, "ok": False, "error": error_body(kind, message)}
+
+
+def progress_event(
+    req_id: Any, done: int, total: int, key: str, state: str
+) -> Dict[str, Any]:
+    """One per-task progress line of a streamed sweep/replica job."""
+    return {
+        "id": req_id,
+        "event": "progress",
+        "done": done,
+        "total": total,
+        "key": key[:12],
+        "state": state,
+    }

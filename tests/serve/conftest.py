@@ -1,0 +1,44 @@
+"""Fixtures for the serve suite: live daemon subprocesses.
+
+``daemon`` is a shared module-scoped instance for cheap read-mostly
+tests; ``daemon_factory`` spawns private daemons (own cache/journal,
+custom flags) for tests that kill, drain or count things.  The helper
+machinery lives in ``serve_helpers`` (importable by test modules —
+conftest itself cannot be imported from non-package test dirs).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from serve_helpers import spawn_daemon  # noqa: E402
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    """Spawn private daemons; all are torn down at test end."""
+    spawned = []
+
+    def factory(*extra_args, subdir="d", journal=True, cache=True):
+        workdir = tmp_path / subdir
+        workdir.mkdir(exist_ok=True)
+        d = spawn_daemon(str(workdir), *extra_args,
+                         journal=journal, cache=cache)
+        spawned.append(d)
+        return d
+
+    yield factory
+    for d in spawned:
+        d.kill()
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """One shared daemon per test module (cheap, read-mostly tests)."""
+    workdir = tmp_path_factory.mktemp("serve-daemon")
+    d = spawn_daemon(str(workdir))
+    yield d
+    d.kill()

@@ -1,0 +1,97 @@
+"""Shared helpers for the serve suite: daemon subprocess management."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import repro
+
+#: PYTHONPATH entry that makes ``-m repro.cli`` importable in children.
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: The suite's canonical cheap config (16^3 on Lens, a few steps).
+CFG_DOC = {
+    "machine": "lens",
+    "impl": "nonblocking",
+    "cores": 16,
+    "domain": 16,
+    "steps": 4,
+}
+
+
+class Daemon:
+    """A live ``advection-repro serve`` subprocess."""
+
+    def __init__(self, proc, info, workdir):
+        self.proc = proc
+        self.host = info["host"]
+        self.port = info["port"]
+        self.workdir = workdir
+
+    @property
+    def journal_path(self):
+        return os.path.join(self.workdir, "journal.jsonl")
+
+    @property
+    def cache_dir(self):
+        return os.path.join(self.workdir, "cache")
+
+    def client(self, **kw):
+        from repro.serve.client import ServeClient
+
+        kw.setdefault("timeout_s", 60.0)
+        return ServeClient(self.host, self.port, **kw)
+
+    def sigterm(self, timeout=60):
+        """Graceful drain; returns (exit_code, stdout, stderr)."""
+        self.proc.send_signal(signal.SIGTERM)
+        out, err = self.proc.communicate(timeout=timeout)
+        return self.proc.returncode, out, err
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.communicate(timeout=10)
+
+
+def spawn_daemon(workdir, *extra_args, journal=True, cache=True,
+                 timeout=30.0):
+    """Launch a daemon on an ephemeral port; block until it is ready."""
+    ready = os.path.join(workdir, "ready.json")
+    if os.path.exists(ready):
+        os.unlink(ready)
+    args = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--ready-file", ready,
+    ]
+    if journal:
+        args += ["--journal", os.path.join(workdir, "journal.jsonl")]
+    if cache:
+        args += ["--cache-dir", os.path.join(workdir, "cache")]
+    else:
+        args += ["--no-cache"]
+    args += list(extra_args)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        args, env=env, cwd=workdir,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + timeout
+    while not os.path.exists(ready):
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise RuntimeError(
+                f"daemon died before ready (rc={proc.returncode}):\n"
+                f"stdout: {out}\nstderr: {err}"
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("daemon never wrote its ready file")
+        time.sleep(0.02)
+    with open(ready, encoding="utf-8") as fh:
+        info = json.load(fh)
+    return Daemon(proc, info, workdir)

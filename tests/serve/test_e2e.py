@@ -1,0 +1,285 @@
+"""End-to-end daemon tests: identity, coalescing, drain, replication."""
+
+import json
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.runner import run, run_replicated
+from repro.machines import get_machine
+from repro.perturb import NoiseSpec
+from repro.serve.client import ServeClient, ServeError
+
+from serve_helpers import CFG_DOC, spawn_daemon
+
+
+def _direct_cfg(**kw):
+    return RunConfig(
+        machine=get_machine(CFG_DOC["machine"]),
+        implementation=CFG_DOC["impl"],
+        cores=CFG_DOC["cores"],
+        domain=(CFG_DOC["domain"],) * 3,
+        steps=CFG_DOC["steps"],
+        **kw,
+    )
+
+
+class TestWarmIdentity:
+    def test_served_result_identical_to_direct_run(self, daemon):
+        """Warm or cold, the served floats == core.runner.run exactly."""
+        ref = run(_direct_cfg())
+        with daemon.client() as c:
+            cold = c.run(CFG_DOC)
+            warm = c.run(CFG_DOC)
+        for resp in (cold, warm):
+            assert resp["ok"]
+            assert resp["result"]["elapsed_s"] == ref.elapsed_s
+            assert resp["result"]["phases"] == ref.phases
+            assert resp["result"]["comm_stats"] == ref.comm_stats
+            assert resp["result"]["gflops"] == ref.gflops
+        assert warm["source"] in ("memo", "cache", "journal")
+
+    def test_warm_responses_byte_identical(self, daemon):
+        """Two warm hits of the same query are the same bytes on the
+        wire (modulo the echoed request id)."""
+        with daemon.client() as c:
+            c.run(CFG_DOC)  # prime
+        buf = []
+        sock = socket.create_connection((daemon.host, daemon.port), timeout=30)
+        try:
+            fh = sock.makefile("rb")
+            line = json.dumps(
+                {"verb": "run", "id": 0, "config": CFG_DOC}
+            ).encode() + b"\n"
+            for _ in range(2):
+                sock.sendall(line)
+                buf.append(fh.readline())
+        finally:
+            sock.close()
+        assert buf[0] == buf[1]
+
+    def test_equivalent_spellings_hit_the_same_entry(self, daemon):
+        """'implementation' alias and explicit defaults key identically."""
+        spelled = {
+            "machine": CFG_DOC["machine"],
+            "implementation": CFG_DOC["impl"],
+            "cores": CFG_DOC["cores"],
+            "threads": 1,
+            "thickness": 1,
+            "domain": [CFG_DOC["domain"]] * 3,
+            "steps": CFG_DOC["steps"],
+            "network": "mirror",
+        }
+        with daemon.client() as c:
+            a = c.run(CFG_DOC)
+            b = c.run(spelled)
+        assert b["source"] in ("memo", "cache", "journal")
+        assert a["result"] == b["result"]
+
+
+class TestCoalescing:
+    def test_concurrent_identical_cold_queries_one_scheduler_task(
+        self, daemon_factory
+    ):
+        """N clients, same cold config -> exactly 1 admitted scheduler
+        job; everyone else coalesces onto it or replays it warm."""
+        d = daemon_factory(subdir="coalesce")
+        n = 6
+        # A replicated job is the slowest query the suite can ask for
+        # (~hundreds of sequential sims), so the n-1 late arrivals land
+        # while it is in flight and genuinely coalesce cross-connection.
+        doc = {
+            "verb": "run",
+            "config": dict(CFG_DOC, seed=9, noise="medium"),
+            "replicas": 300,
+        }
+        barrier = threading.Barrier(n)
+        results = [None] * n
+
+        def query(i):
+            with d.client(timeout_s=120) as c:
+                barrier.wait()
+                results[i] = c.request(dict(doc))
+
+        threads = [
+            threading.Thread(target=query, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert all(r is not None for r in results), "a client hung"
+        assert all(r["ok"] for r in results)
+        base = results[0]["result"]
+        for r in results[1:]:
+            assert r["result"] == base
+
+        with d.client() as c:
+            stats = c.stats()
+        counters = stats["service"]["counters"]
+        # Exactly one admission; the other n-1 coalesced (or, had the
+        # job somehow finished first, hit the memo) — never a second job.
+        assert counters["admitted"] == 1
+        assert counters["coalesced"] + counters["warm_memo_hits"] == n - 1
+        assert counters["coalesced"] >= 1
+        assert stats["scheduler"]["inflight"] == 0
+
+    def test_replicated_query_matches_run_replicated(self, daemon):
+        """Served replication stats == core.runner.run_replicated."""
+        ref = run_replicated(
+            _direct_cfg(seed=42, noise=NoiseSpec.parse("medium")), 8
+        )
+        with daemon.client() as c:
+            resp = c.run(
+                dict(CFG_DOC, seed=42, noise="medium"), replicas=8
+            )
+        assert resp["ok"]
+        assert resp["result"]["elapsed_s"] == ref.elapsed_s
+        assert resp["result"]["phases"] == ref.phases
+        assert resp["result"]["stats"] == ref.stats
+
+
+class TestSweep:
+    def test_sweep_results_in_request_order(self, daemon):
+        docs = [
+            dict(CFG_DOC, cores=16),
+            dict(CFG_DOC, cores=32),
+            dict(CFG_DOC, cores=16),  # duplicate -> deduped in-flight
+        ]
+        refs = [
+            run(_direct_cfg().with_(cores=doc["cores"])) for doc in docs
+        ]
+        with daemon.client(timeout_s=60) as c:
+            resp = c.sweep(docs)
+        assert resp["ok"]
+        assert resp["total"] == 3 and resp["distinct"] == 2
+        for slot, ref in zip(resp["results"], refs):
+            assert slot["elapsed_s"] == ref.elapsed_s
+            assert slot["phases"] == ref.phases
+
+    def test_streamed_sweep_emits_progress(self, daemon_factory):
+        d = daemon_factory(subdir="stream")
+        docs = [dict(CFG_DOC, cores=c) for c in (16, 32, 48, 64)]
+        events = []
+        with d.client(timeout_s=60) as c:
+            resp = c.sweep(docs, stream=True, on_progress=events.append)
+        assert resp["ok"] and len(resp["results"]) == 4
+        assert events, "no progress events on a cold streamed sweep"
+        assert events[-1]["done"] == events[-1]["total"] == 4
+        assert [e["done"] for e in events] == sorted(
+            e["done"] for e in events
+        )
+
+    def test_infeasible_config_rejects_the_sweep_at_parse_time(self, daemon):
+        docs = [dict(CFG_DOC), dict(CFG_DOC, cores=17)]  # 17: bad node fill
+        with daemon.client() as c:
+            with pytest.raises(ServeError) as exc:
+                c.sweep(docs)
+        assert exc.value.kind == "invalid-config"
+        with daemon.client() as c:
+            assert c.ping()["ok"]  # the daemon shrugged it off
+
+
+class TestDrain:
+    def test_sigterm_finishes_in_flight_and_journal_replays(
+        self, daemon_factory
+    ):
+        """SIGTERM mid-job: the response still arrives, the daemon exits
+        0, and a restart on the same journal replays the work warm."""
+        d = daemon_factory(subdir="drain", cache=False)
+        doc = {
+            "verb": "run",
+            "id": 1,
+            "config": dict(CFG_DOC, seed=5, noise="medium"),
+            "replicas": 300,
+        }
+        with d.client(timeout_s=120) as c:
+            c._send(doc)
+            # Give the daemon a beat to admit the job, then SIGTERM it.
+            time.sleep(0.3)
+            d.proc.send_signal(signal.SIGTERM)
+            first = c._recv()
+        assert first["ok"], first
+        d.proc.communicate(timeout=60)
+        assert d.proc.returncode == 0
+
+        # Same workdir, same journal: the restarted daemon answers the
+        # identical query from journal replay without simulating.
+        d2 = spawn_daemon(d.workdir, cache=False)
+        try:
+            with d2.client(timeout_s=120) as c:
+                resp = c.request(dict(doc, id=2))
+                stats = c.stats()
+        finally:
+            d2.kill()
+        assert resp["ok"]
+        assert resp["result"] == first["result"]
+        assert stats["scheduler"]["counters"]["journal_hits"] > 0
+        assert stats["scheduler"]["counters"]["simulated"] == 0
+
+    def test_draining_daemon_rejects_new_cold_queries(self, daemon_factory):
+        """During drain the listener refuses new connections entirely."""
+        d = daemon_factory(subdir="drain2")
+        with d.client() as c:
+            assert c.ping()["ok"]
+        rc, _out, _err = d.sigterm()
+        assert rc == 0
+        with pytest.raises(OSError):
+            socket.create_connection((d.host, d.port), timeout=2)
+
+
+class TestBackpressure:
+    def test_cold_miss_storm_hits_admission_cap(self, daemon_factory):
+        """--max-inflight 1 + a storm of distinct cold queries: at most
+        one job runs at a time, overflow gets a structured 'busy', the
+        daemon stays healthy, and nothing leaks."""
+        d = daemon_factory("--max-inflight", "1", subdir="storm")
+        slow = {
+            "verb": "run",
+            "config": dict(CFG_DOC, seed=11, noise="medium"),
+            "replicas": 200,
+        }
+        storm = [
+            dict(slow, config=dict(slow["config"], seed=100 + i))
+            for i in range(6)
+        ]
+        barrier = threading.Barrier(len(storm) + 1)
+        outcomes = [None] * len(storm)
+
+        def query(i):
+            with d.client(timeout_s=120) as c:
+                barrier.wait()
+                try:
+                    outcomes[i] = c.request(storm[i])["source"]
+                except ServeError as exc:
+                    outcomes[i] = exc.kind
+
+        threads = [
+            threading.Thread(target=query, args=(i,))
+            for i in range(len(storm))
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for t in threads:
+            t.join(timeout=120)
+        assert all(o is not None for o in outcomes), "a client hung"
+        assert all(o in ("simulated", "coalesced", "busy") for o in outcomes)
+        assert "busy" in outcomes, f"cap never tripped: {outcomes}"
+        assert "simulated" in outcomes
+
+        with d.client() as c:
+            stats = c.stats()
+        counters = stats["service"]["counters"]
+        assert counters["rejected_busy"] == outcomes.count("busy")
+        assert counters["admitted"] == outcomes.count("simulated")
+        # No leaked admission slots or in-flight jobs after the storm.
+        assert stats["service"]["gauges"]["inflight"] == 0
+        assert stats["scheduler"]["inflight"] == 0
+        # Warm traffic still flows while/after the storm.
+        with d.client() as c:
+            assert c.run(CFG_DOC)["ok"]

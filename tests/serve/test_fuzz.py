@@ -1,0 +1,133 @@
+"""Fuzz the live daemon's listener: garbage, torn lines, bad HTTP."""
+
+import json
+import socket
+
+from serve_helpers import CFG_DOC
+
+
+def _connect(daemon):
+    s = socket.create_connection((daemon.host, daemon.port), timeout=30)
+    return s, s.makefile("rb")
+
+
+class TestGarbage:
+    def test_garbage_lines_get_structured_errors_and_session_survives(
+        self, daemon
+    ):
+        """Junk lines are answered with ok=false protocol errors on the
+        SAME connection, and a valid request afterwards still works."""
+        s, fh = _connect(daemon)
+        try:
+            for junk in (
+                b"this is not json\n",
+                b"\x00\xff\xfe garbage bytes \x80\n",
+                b"[1, 2, 3]\n",
+                b'"just a string"\n',
+                b"{\n",
+            ):
+                s.sendall(junk)
+                resp = json.loads(fh.readline())
+                assert resp["ok"] is False
+                assert resp["error"]["type"] == "protocol"
+            s.sendall(b'{"verb": "ping", "id": 99}\n')
+            resp = json.loads(fh.readline())
+            assert resp["ok"] is True and resp["id"] == 99
+        finally:
+            s.close()
+
+    def test_torn_line_then_disconnect_leaves_daemon_healthy(self, daemon):
+        """Half a request then a hangup must not wedge the daemon."""
+        s = socket.create_connection((daemon.host, daemon.port), timeout=30)
+        s.sendall(b'{"verb": "run", "config": {"machine": "le')
+        s.close()
+        with daemon.client() as c:
+            assert c.ping()["ok"]
+
+    def test_interleaved_garbage_and_valid_requests(self, daemon):
+        s, fh = _connect(daemon)
+        try:
+            s.sendall(
+                b"garbage\n"
+                + json.dumps({"verb": "ping", "id": 1}).encode() + b"\n"
+                + b"{torn"  # no newline: torn tail, then hangup below
+            )
+            bad = json.loads(fh.readline())
+            good = json.loads(fh.readline())
+            assert bad["ok"] is False
+            assert good["ok"] is True and good["id"] == 1
+        finally:
+            s.close()
+        with daemon.client() as c:
+            assert c.ping()["ok"]
+
+    def test_oversize_line_rejected_then_connection_closed(self, daemon):
+        from repro.serve.protocol import MAX_LINE_BYTES
+
+        s, fh = _connect(daemon)
+        try:
+            s.sendall(b'{"pad": "' + b"x" * (MAX_LINE_BYTES + 1024))
+            resp = json.loads(fh.readline())
+            assert resp["ok"] is False
+            assert resp["error"]["type"] == "protocol"
+            # The stream is out of sync: the daemon hangs up after the
+            # structured error rather than misparse the remainder.
+            assert fh.readline() == b""
+        finally:
+            s.close()
+        with daemon.client() as c:
+            assert c.ping()["ok"]
+
+    def test_empty_lines_are_skipped(self, daemon):
+        s, fh = _connect(daemon)
+        try:
+            s.sendall(b"\n\n" + json.dumps({"verb": "ping", "id": 3}).encode()
+                      + b"\n")
+            resp = json.loads(fh.readline())
+            assert resp["ok"] is True and resp["id"] == 3
+        finally:
+            s.close()
+
+
+class TestHTTPEdge:
+    def test_http_404(self, daemon):
+        import urllib.error
+        import urllib.request
+
+        try:
+            urllib.request.urlopen(
+                f"http://{daemon.host}:{daemon.port}/nonesuch", timeout=30
+            )
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:
+            raise AssertionError("expected a 404")
+
+    def test_http_bad_body_is_400(self, daemon):
+        import urllib.error
+        import urllib.request
+
+        req = urllib.request.Request(
+            f"http://{daemon.host}:{daemon.port}/run",
+            data=b"this is not json", method="POST",
+        )
+        try:
+            urllib.request.urlopen(req, timeout=30)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+        else:
+            raise AssertionError("expected a 400")
+
+    def test_http_and_ndjson_share_the_listener(self, daemon):
+        import urllib.request
+
+        with daemon.client() as c:
+            ndjson = c.run(CFG_DOC)
+        req = urllib.request.Request(
+            f"http://{daemon.host}:{daemon.port}/run",
+            data=json.dumps({"config": CFG_DOC}).encode(), method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        http = json.load(urllib.request.urlopen(req, timeout=30))
+        assert http["ok"]
+        assert http["result"] == ndjson["result"]

@@ -1,0 +1,252 @@
+"""Property tests of the wire protocol (framing, schema, fuzzing)."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    config_from_dict,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+# JSON-representable documents (finite floats only: NaN/Inf are not JSON).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=64),
+)
+_json_docs = st.dictionaries(
+    st.text(max_size=32),
+    st.recursive(
+        _scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=16), children, max_size=4),
+        ),
+        max_leaves=16,
+    ),
+    max_size=8,
+)
+
+
+class TestRoundTrip:
+    @given(doc=_json_docs)
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_round_trips(self, doc):
+        line = encode_message(doc)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1], "framing torn by an embedded newline"
+        out = decode_line(line)
+        assert out == doc or _same_modulo_floats(out, doc)
+
+    @given(doc=_json_docs)
+    @settings(max_examples=100, deadline=None)
+    def test_floats_survive_exactly(self, doc):
+        """CPython json renders shortest-round-trip reprs: every float
+        comes back as the same double, not an approximation."""
+        out = decode_line(encode_message(doc))
+        assert _floats_exact(doc, out)
+
+    @given(
+        kind=st.sampled_from(
+            ["protocol", "bad-request", "invalid-config", "busy", "poisoned"]
+        ),
+        message=st.text(max_size=200),
+        req_id=st.one_of(st.none(), st.integers(), st.text(max_size=32)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_error_payloads_round_trip(self, kind, message, req_id):
+        doc = error_response(req_id, kind, message)
+        out = decode_line(encode_message(doc))
+        assert out == doc
+        assert out["ok"] is False
+        assert out["error"]["type"] == kind
+        assert out["error"]["message"] == message
+
+    @given(body=st.dictionaries(st.text(min_size=1, max_size=16),
+                                _scalars, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_ok_envelope_round_trips(self, body):
+        body.pop("id", None)
+        body.pop("ok", None)
+        doc = ok_response(7, body)
+        out = decode_line(encode_message(doc))
+        assert out["id"] == 7 and out["ok"] is True
+        for k, v in body.items():
+            assert _floats_exact(v, out[k])
+
+    def test_unicode_payloads(self):
+        doc = {"verb": "ping", "note": "νόησις 🛰️ Ω≠∅   "}
+        assert decode_line(encode_message(doc)) == doc
+
+
+def _same_modulo_floats(a, b):
+    return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def _floats_exact(a, b):
+    """Recursive equality where floats must match bit-for-bit."""
+    if isinstance(a, float):
+        return isinstance(b, float) and (
+            math.copysign(1, a) == math.copysign(1, b) and a == b
+            if a == a else b != b
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(_floats_exact(a[k], b[k]) for k in a)
+        )
+    if isinstance(a, list):
+        return (
+            isinstance(b, list)
+            and len(a) == len(b)
+            and all(_floats_exact(x, y) for x, y in zip(a, b))
+        )
+    return a == b
+
+
+class TestFraming:
+    def test_oversize_line_rejected(self):
+        line = b'{"verb": "ping", "pad": "' + b"x" * MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError) as exc:
+            decode_line(line)
+        assert exc.value.kind == "protocol"
+
+    @given(junk=st.binary(max_size=512))
+    @settings(max_examples=300, deadline=None)
+    def test_garbage_lines_never_escape_protocol_error(self, junk):
+        """Any byte junk either decodes to a dict or raises ProtocolError
+        — never KeyError/UnicodeDecodeError/RecursionError/..."""
+        try:
+            out = decode_line(junk)
+        except ProtocolError as exc:
+            assert exc.kind == "protocol"
+        else:
+            assert isinstance(out, dict)
+
+    @given(doc=_json_docs, cut=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_torn_lines_never_escape_protocol_error(self, doc, cut):
+        """A line torn anywhere mid-document parses or errors cleanly."""
+        line = encode_message(doc)[:-1]  # strip the newline, then tear
+        torn = line[: max(0, len(line) - cut)]
+        try:
+            out = decode_line(torn)
+        except ProtocolError as exc:
+            assert exc.kind == "protocol"
+        else:
+            assert isinstance(out, dict)
+
+    @given(scalar=st.one_of(st.integers(), st.text(max_size=32),
+                            st.lists(st.integers(), max_size=3)))
+    @settings(max_examples=50, deadline=None)
+    def test_non_object_documents_rejected(self, scalar):
+        with pytest.raises(ProtocolError):
+            decode_line(json.dumps(scalar).encode() + b"\n")
+
+
+_BASE = {"machine": "lens", "impl": "nonblocking", "cores": 16,
+         "domain": 16, "steps": 2}
+
+
+class TestConfigSchema:
+    def test_minimal_config_parses(self):
+        cfg = config_from_dict(_BASE)
+        assert cfg.machine.name == "Lens"
+        assert cfg.implementation == "nonblocking"
+        assert cfg.domain == (16, 16, 16)
+
+    def test_implementation_alias(self):
+        spelled = dict(_BASE)
+        spelled["implementation"] = spelled.pop("impl")
+        assert config_from_dict(spelled) == config_from_dict(_BASE)
+
+    def test_conflicting_alias_rejected(self):
+        with pytest.raises(ProtocolError):
+            config_from_dict(dict(_BASE, implementation="single"))
+
+    @given(extra=st.text(min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_unknown_fields_rejected(self, extra):
+        from repro.serve.protocol import _CONFIG_KEYS
+
+        if extra in _CONFIG_KEYS:
+            return
+        with pytest.raises(ProtocolError):
+            config_from_dict(dict(_BASE, **{extra: 1}))
+
+    @pytest.mark.parametrize("field", ["functional", "trace"])
+    def test_non_servable_fields_rejected(self, field):
+        with pytest.raises(ProtocolError) as exc:
+            config_from_dict(dict(_BASE, **{field: True}))
+        assert "not servable" in str(exc.value)
+
+    def test_noise_requires_seed(self):
+        with pytest.raises(ProtocolError) as exc:
+            config_from_dict(dict(_BASE, noise="medium"))
+        assert exc.value.kind == "invalid-config"
+
+    def test_domain_forms(self):
+        a = config_from_dict(dict(_BASE, domain=24))
+        b = config_from_dict(dict(_BASE, domain=[24, 24, 24]))
+        assert a.domain == b.domain == (24, 24, 24)
+        with pytest.raises(ProtocolError):
+            config_from_dict(dict(_BASE, domain=[24, 24]))
+        with pytest.raises(ProtocolError):
+            config_from_dict(dict(_BASE, domain="24"))
+
+    def test_unknown_machine_is_invalid_config(self):
+        with pytest.raises(ProtocolError) as exc:
+            config_from_dict(dict(_BASE, machine="nonesuch"))
+        assert exc.value.kind == "invalid-config"
+
+    @given(
+        doc=st.fixed_dictionaries(
+            {},
+            optional={
+                "verb": _scalars,
+                "config": st.one_of(_scalars, _json_docs),
+                "configs": st.one_of(_scalars, st.lists(_json_docs,
+                                                        max_size=3)),
+                "replicas": _scalars,
+                "timeout": _scalars,
+                "stream": _scalars,
+                "id": _scalars,
+            },
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_parse_request_total_on_arbitrary_documents(self, doc):
+        """parse_request either yields a Request or raises ProtocolError
+        — arbitrary schemas can't crash the service layer."""
+        try:
+            req = parse_request(doc)
+        except ProtocolError:
+            return
+        assert req.verb in protocol.VERBS
+        assert req.replicas >= 1
+
+    def test_replicas_require_seed(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request({"verb": "run", "config": dict(_BASE),
+                           "replicas": 4})
+        assert exc.value.kind == "invalid-config"
+
+    def test_sweep_size_ceiling(self):
+        docs = [dict(_BASE)] * (protocol.MAX_SWEEP_CONFIGS + 1)
+        with pytest.raises(ProtocolError) as exc:
+            parse_request({"verb": "sweep", "configs": docs})
+        assert "limit" in str(exc.value)

@@ -1,0 +1,337 @@
+"""In-process SimulationService tests: admission, timeout, poisoning.
+
+These drive the asyncio service directly (no subprocess) so timing can
+be controlled exactly — slow jobs are injected by patching the worker
+body, faults by the scheduler's fault injector.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.cache import configure as cache_configure
+from repro.sched import Scheduler, configure as sched_configure
+from repro.serve.service import SimulationService
+
+from serve_helpers import CFG_DOC
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_state():
+    cache_configure(None)
+    sched_configure(None)
+    yield
+    cache_configure(None)
+    sched_configure(None)
+
+
+def _doc(i=1, **cfg_overrides):
+    return {
+        "verb": "run",
+        "id": i,
+        "config": dict(CFG_DOC, **cfg_overrides),
+    }
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SimulationService(
+        jobs=1,
+        cache_dir=str(tmp_path / "cache"),
+        journal=str(tmp_path / "journal.jsonl"),
+        max_inflight=2,
+        default_timeout_s=60.0,
+    )
+    yield svc
+    svc.close()
+
+
+class TestTiers:
+    def test_cold_then_memo_then_cache(self, service, tmp_path):
+        async def scenario():
+            first = await service.handle(_doc(1))
+            second = await service.handle(_doc(2))
+            # A differently-spelled equivalent query bypasses the
+            # signature memo but lands on the key memo.
+            spelled = _doc(3)
+            spelled["config"]["implementation"] = spelled["config"].pop(
+                "impl"
+            )
+            third = await service.handle(spelled)
+            return first, second, third
+
+        first, second, third = _run(scenario())
+        assert first["ok"] and first["source"] == "simulated"
+        assert second["source"] == "memo"
+        assert third["source"] == "memo"
+        assert first["result"] == second["result"] == third["result"]
+
+    def test_fresh_service_reads_the_run_cache(self, service, tmp_path):
+        first = _run(service.handle(_doc(1)))
+        service.close()
+        svc2 = SimulationService(
+            jobs=1, cache_dir=str(tmp_path / "cache"), max_inflight=2
+        )
+        try:
+            second = _run(svc2.handle(_doc(2)))
+        finally:
+            svc2.close()
+        assert second["source"] == "cache"
+        assert second["result"] == first["result"]
+        assert svc2.metrics.to_dict()["counters"]["warm_cache_hits"] == 1
+
+    def test_journal_probe_answers_without_a_worker(self, service, tmp_path):
+        _run(service.handle(_doc(1)))
+        service.close()  # flushes the journal
+        svc2 = SimulationService(
+            jobs=1, cache_dir=None,
+            journal=str(tmp_path / "journal.jsonl"), max_inflight=2,
+        )
+        try:
+            resp = _run(svc2.handle(_doc(2)))
+            snap = svc2.sched.snapshot()
+        finally:
+            svc2.close()
+        assert resp["ok"] and resp["source"] == "journal"
+        assert snap["counters"]["submitted"] == 0, "a worker was consulted"
+
+
+class TestCoalescingExact:
+    def test_n_waiters_one_job(self, service, monkeypatch):
+        """Deterministic coalescing: the job blocks until every other
+        query has joined, so exactly 1 admission + n-1 coalesced."""
+        n = 5
+        release = threading.Event()
+        real = SimulationService._run_one
+
+        def slow(self, cfg):
+            assert release.wait(30), "waiters never arrived"
+            return real(self, cfg)
+
+        monkeypatch.setattr(SimulationService, "_run_one", slow)
+
+        async def scenario():
+            tasks = [
+                asyncio.create_task(service.handle(_doc(i)))
+                for i in range(n)
+            ]
+            # Wait until all n handlers either admitted or coalesced.
+            while True:
+                counters = service.metrics.to_dict()["counters"]
+                if counters["admitted"] + counters["coalesced"] == n:
+                    break
+                await asyncio.sleep(0.01)
+            release.set()
+            return await asyncio.gather(*tasks)
+
+        results = _run(scenario())
+        counters = service.metrics.to_dict()["counters"]
+        assert counters["admitted"] == 1
+        assert counters["coalesced"] == n - 1
+        snap = service.sched.snapshot()
+        assert snap["counters"].get("inline", 0) + snap["counters"].get(
+            "simulated", 0
+        ) == 1
+        base = results[0]["result"]
+        assert all(r["result"] == base for r in results)
+        sources = sorted(r["source"] for r in results)
+        assert sources == ["coalesced"] * (n - 1) + ["simulated"]
+
+
+class TestBackpressureExact:
+    def test_admission_cap_rejects_excess_cold_queries(
+        self, service, monkeypatch
+    ):
+        """max_inflight=2: with 2 jobs parked on a gate, every further
+        distinct cold query gets a structured busy error immediately."""
+        release = threading.Event()
+        real = SimulationService._run_one
+
+        def slow(self, cfg):
+            assert release.wait(30)
+            return real(self, cfg)
+
+        monkeypatch.setattr(SimulationService, "_run_one", slow)
+
+        async def scenario():
+            blocked = [
+                asyncio.create_task(service.handle(_doc(i, cores=16 * (i + 1))))
+                for i in range(2)
+            ]
+            while service.metrics.to_dict()["counters"]["admitted"] < 2:
+                await asyncio.sleep(0.01)
+            rejected = [
+                await service.handle(_doc(10 + i, cores=16 * (3 + i)))
+                for i in range(3)
+            ]
+            release.set()
+            done = await asyncio.gather(*blocked)
+            return rejected, done
+
+        rejected, done = _run(scenario())
+        for resp in rejected:
+            assert resp["ok"] is False
+            assert resp["error"]["type"] == "busy"
+        assert all(r["ok"] for r in done)
+        counters = service.metrics.to_dict()["counters"]
+        assert counters["rejected_busy"] == 3
+        assert counters["admitted"] == 2
+        gauges = service.metrics.to_dict()["gauges"]
+        assert gauges["inflight"] == 0, "admission slot leaked"
+        assert not service._inflight and not service._jobs
+
+    def test_warm_queries_flow_past_a_full_admission_gate(
+        self, service, monkeypatch
+    ):
+        release = threading.Event()
+        real = SimulationService._run_one
+
+        async def scenario():
+            warm_prime = await service.handle(_doc(0))  # before the jam
+
+            def slow(self, cfg):
+                assert release.wait(30)
+                return real(self, cfg)
+
+            monkeypatch.setattr(SimulationService, "_run_one", slow)
+            jam = [
+                asyncio.create_task(
+                    service.handle(_doc(i, cores=16 * (i + 2)))
+                )
+                for i in range(2)
+            ]
+            while service.metrics.to_dict()["counters"]["admitted"] < 3:
+                await asyncio.sleep(0.01)
+            warm = await service.handle(_doc(99))
+            release.set()
+            await asyncio.gather(*jam)
+            return warm_prime, warm
+
+        warm_prime, warm = _run(scenario())
+        assert warm["ok"] and warm["source"] == "memo"
+        assert warm["result"] == warm_prime["result"]
+
+
+class TestTimeout:
+    def test_timeout_detaches_the_requester_not_the_job(
+        self, service, monkeypatch
+    ):
+        release = threading.Event()
+        real = SimulationService._run_one
+
+        def slow(self, cfg):
+            assert release.wait(30)
+            return real(self, cfg)
+
+        monkeypatch.setattr(SimulationService, "_run_one", slow)
+
+        async def scenario():
+            doc = _doc(1)
+            doc["timeout"] = 0.05
+            timed_out = await service.handle(doc)
+            release.set()
+            # The detached job still completes and memoizes; await it.
+            for task in list(service._inflight.values()):
+                await task
+            late = await service.handle(_doc(2))
+            return timed_out, late
+
+        timed_out, late = _run(scenario())
+        assert timed_out["ok"] is False
+        assert timed_out["error"]["type"] == "timeout"
+        assert service.metrics.to_dict()["counters"]["timeouts"] == 1
+        assert late["ok"] and late["source"] == "memo"
+
+
+class TestPoisoned:
+    def test_poisoned_config_returns_structured_error(self, tmp_path):
+        sched = Scheduler(jobs=2, cache_dir=str(tmp_path / "cache"),
+                          max_retries=1)
+        sched.fault_injector = lambda cfg, attempts: True  # always crash
+        svc = SimulationService(scheduler=sched, max_inflight=2)
+        try:
+            resp = _run(svc.handle(_doc(1)))
+            counters = svc.metrics.to_dict()["counters"]
+            gauges = svc.metrics.to_dict()["gauges"]
+        finally:
+            svc.close()
+        assert resp["ok"] is False
+        assert resp["error"]["type"] == "poisoned"
+        assert "poisoned" in resp["error"]["message"]
+        assert gauges["inflight"] == 0, "poisoning leaked the slot"
+        assert counters["responses_error"] == 1
+
+    def test_healthy_queries_unaffected_after_poisoning(self, tmp_path):
+        sched = Scheduler(jobs=2, cache_dir=str(tmp_path / "cache"),
+                          max_retries=1)
+        sched.fault_injector = lambda cfg, attempts: cfg.cores == 32
+        svc = SimulationService(scheduler=sched, max_inflight=2)
+        try:
+            bad = _run(svc.handle(_doc(1, cores=32)))
+            good = _run(svc.handle(_doc(2, cores=16)))
+        finally:
+            svc.close()
+        assert bad["ok"] is False and bad["error"]["type"] == "poisoned"
+        assert good["ok"] is True
+
+
+class TestDrainInProcess:
+    def test_drain_refuses_new_finishes_old(self, service, monkeypatch):
+        release = threading.Event()
+        real = SimulationService._run_one
+
+        def slow(self, cfg):
+            assert release.wait(30)
+            return real(self, cfg)
+
+        monkeypatch.setattr(SimulationService, "_run_one", slow)
+
+        async def scenario():
+            inflight = asyncio.create_task(service.handle(_doc(1)))
+            while not service.metrics.to_dict()["counters"]["admitted"]:
+                await asyncio.sleep(0.01)
+            service.begin_drain()
+            refused = await service.handle(_doc(2, cores=32))
+            release.set()
+            finished = await inflight
+            clean = await service.drain(grace_s=30)
+            return refused, finished, clean
+
+        refused, finished, clean = _run(scenario())
+        assert refused["ok"] is False
+        assert refused["error"]["type"] == "draining"
+        assert finished["ok"] is True
+        assert clean is True
+
+    def test_stats_verb_reports_consistent_document(self, service):
+        async def scenario():
+            await service.handle(_doc(1))
+            await service.handle(_doc(2))
+            return await service.handle({"verb": "stats", "id": 3})
+
+        stats = _run(scenario())
+        assert stats["ok"]
+        assert stats["version"] == 1
+        assert stats["service"]["counters"]["warm_memo_hits"] == 1
+        assert stats["scheduler"]["counters"]["submitted"] == 1
+        assert stats["service"]["latency"]["warm"]["count"] >= 1
+        assert (
+            stats["service"]["latency"]["all"]["count"]
+            >= stats["service"]["latency"]["warm"]["count"]
+        )
+
+    def test_metrics_render_parses_as_prometheus_text(self, service):
+        _run(service.handle(_doc(1)))
+        text = service.render_metrics()
+        for line in text.strip().splitlines():
+            name, value = line.rsplit(" ", 1)
+            float(value)  # every sample value is numeric
+            assert name.startswith(("repro_serve_", "repro_sched_",
+                                    "repro_journal_", "repro_cache_"))
+        assert "repro_serve_requests_total 1" in text
+        assert 'repro_serve_latency_all_seconds_bucket{le="+Inf"} 1' in text

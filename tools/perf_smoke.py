@@ -3,7 +3,7 @@
 
 Run from the repository root::
 
-    python tools/perf_smoke.py [--out BENCH_PR7.json] [--check]
+    python tools/perf_smoke.py [--out BENCH_PR8.json] [--check]
 
 Measures, on the current machine:
 
@@ -48,9 +48,14 @@ Measures, on the current machine:
   scheduler parent short-circuit (memoized keys + sharded journal, no
   worker), gated by an absolute >= 20k lookups/s floor, and the
   group-commit journal's append throughput against the
-  one-fsync-per-line baseline, gated at >= 10x.
+  one-fsync-per-line baseline, gated at >= 10x,
+* the serve daemon's warm path: a live ``advection-repro serve``
+  subprocess answering cached queries over NDJSON — throughput with 8
+  concurrent pipelined clients (gated at >= 10k queries/s), per-query
+  p50/p99 warm latency, and the identity contract (a served warm
+  result must match a direct ``core.runner.run`` bit-for-bit).
 
-Results are written as JSON (default ``BENCH_PR7.json``) so each PR can
+Results are written as JSON (default ``BENCH_PR8.json``) so each PR can
 record its perf point and the trajectory stays auditable. The committed
 numbers come from the reference container; regenerate locally before
 comparing machines.
@@ -63,7 +68,8 @@ warm results identical to cold, scheduled (``--jobs 4``) regeneration
 bit-identical to serial with the core-scaled cold floor and warm no
 slower, traced == untraced bit-identically, the disabled-tracing guard
 bound <= 2%, seeded runs deterministic and distinct from noiseless,
-and the disabled-perturbation guard bound <= 3%.
+the disabled-perturbation guard bound <= 3%, and the serve daemon
+>= 10k warm queries/s with served results identical to direct runs.
 """
 
 from __future__ import annotations
@@ -120,6 +126,10 @@ CEIL_SCHED_WARM_SLACK_S = 0.30
 FLOOR_WARM_LOOKUPS_PER_S = 20_000
 #: sweep fabric: group-commit journal appends vs one-fsync-per-line
 FLOOR_JOURNAL_APPEND_SPEEDUP = 10.0
+#: serve daemon: warm cached queries/s with 8 concurrent pipelined
+#: clients (this container measures ~17k/s; the floor leaves headroom
+#: for CI machine variance while still catching a protocol regression)
+FLOOR_SERVE_WARM_QPS = 10_000
 
 
 def usable_cores() -> int:
@@ -526,6 +536,131 @@ def time_fabric() -> dict:
     }
 
 
+def time_serve() -> dict:
+    """Serve daemon warm path: throughput, latency, and identity.
+
+    Spawns a real ``advection-repro serve`` subprocess on an ephemeral
+    port, primes one cheap config, then races 8 concurrent clients each
+    pipelining warm queries (32 in flight per connection — the batch
+    shape a sweep-driving client actually uses). Warm queries never
+    touch a scheduler worker, so this measures the protocol + event
+    loop + memo path end to end. Also checks the identity contract:
+    the served floats equal a direct ``core.runner.run`` exactly.
+    """
+    import subprocess
+    import threading
+
+    from repro.core.config import RunConfig
+    from repro.core.runner import run as direct_run
+    from repro.machines import get_machine
+    from repro.serve.client import ServeClient
+
+    cfg_doc = {"machine": "lens", "impl": "nonblocking", "cores": 16,
+               "domain": 16, "steps": 4}
+    n_clients, per_client, window = 8, 1024, 32
+
+    def spawn(workdir: str):
+        ready = os.path.join(workdir, "ready.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (os.path.join(_ROOT, "src") + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--ready-file", ready,
+             "--cache-dir", os.path.join(workdir, "cache")],
+            env=env, cwd=workdir,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        deadline = time.perf_counter() + 30
+        while not os.path.exists(ready):
+            if proc.poll() is not None:
+                out, err = proc.communicate()
+                raise RuntimeError(f"serve daemon died: {out}\n{err}")
+            if time.perf_counter() > deadline:
+                proc.kill()
+                raise RuntimeError("serve daemon never became ready")
+            time.sleep(0.02)
+        with open(ready, encoding="utf-8") as fh:
+            info = json.load(fh)
+        return proc, info["host"], info["port"]
+
+    def burst(host, port, latencies=None):
+        doc = {"verb": "run", "config": cfg_doc}
+        done = 0
+        with ServeClient(host, port, timeout_s=60) as c:
+            while done < per_client:
+                batch = [dict(doc, id=done + i) for i in range(window)]
+                t0 = time.perf_counter()
+                for resp in c.pipeline(batch):
+                    assert resp["ok"]
+                if latencies is not None:
+                    latencies.append((time.perf_counter() - t0) / window)
+                done += window
+        return done
+
+    ref = direct_run(RunConfig(
+        machine=get_machine(cfg_doc["machine"]),
+        implementation=cfg_doc["impl"], cores=cfg_doc["cores"],
+        domain=(cfg_doc["domain"],) * 3, steps=cfg_doc["steps"],
+    ))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        proc, host, port = spawn(tmp)
+        try:
+            with ServeClient(host, port, timeout_s=60) as c:
+                primed = c.run(cfg_doc)  # cold: simulates once
+                warm = c.run(cfg_doc)
+            identical = (
+                warm["result"]["elapsed_s"] == ref.elapsed_s
+                and warm["result"]["phases"] == ref.phases
+                and warm["result"]["comm_stats"] == ref.comm_stats
+                and warm["result"] == primed["result"]
+            )
+
+            latencies: list = []
+            burst(host, port, latencies=latencies)  # sequential: latency
+            latencies.sort()
+            p50 = latencies[len(latencies) // 2]
+            p99 = latencies[min(len(latencies) - 1,
+                                int(len(latencies) * 0.99))]
+
+            qps = 0.0
+            for _ in range(2):  # best-of: concurrent storm
+                counts = [0] * n_clients
+                errs: list = []
+
+                def worker(i, counts=counts, errs=errs):
+                    try:
+                        counts[i] = burst(host, port)
+                    except BaseException as exc:
+                        errs.append(exc)
+
+                threads = [threading.Thread(target=worker, args=(i,))
+                           for i in range(n_clients)]
+                t0 = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=300)
+                elapsed = time.perf_counter() - t0
+                assert not errs, errs
+                qps = max(qps, sum(counts) / elapsed)
+        finally:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+    return {
+        "clients": n_clients,
+        "pipeline_window": window,
+        "queries_per_client": per_client,
+        "warm_qps_8_clients": round(qps),
+        "warm_p50_us": round(p50 * 1e6, 1),
+        "warm_p99_us": round(p99 * 1e6, 1),
+        "warm_identical_to_direct_run": identical,
+        "acceptance_floor_warm_qps": FLOOR_SERVE_WARM_QPS,
+    }
+
+
 def time_fig9() -> float:
     from repro.experiments import run_experiment
 
@@ -538,7 +673,7 @@ def time_fig9() -> float:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_PR7.json", metavar="PATH")
+    ap.add_argument("--out", default="BENCH_PR8.json", metavar="PATH")
     ap.add_argument("--size", type=int, default=256, help="grid points per dim")
     ap.add_argument("--steps", type=int, default=3)
     ap.add_argument("--check", action="store_true",
@@ -595,6 +730,15 @@ def main(argv=None) -> int:
         f"{FLOOR_JOURNAL_APPEND_SPEEDUP:.0f}x)"
     )
 
+    serve = time_serve()
+    print(
+        f"serve daemon: {serve['warm_qps_8_clients']:,} warm queries/s "
+        f"with {serve['clients']} pipelined clients (floor "
+        f"{FLOOR_SERVE_WARM_QPS:,}); warm p50 {serve['warm_p50_us']:.0f} us, "
+        f"p99 {serve['warm_p99_us']:.0f} us, "
+        f"identical={serve['warm_identical_to_direct_run']}"
+    )
+
     fig9_s = time_fig9()
     print(f"fig9 regeneration: {fig9_s:.2f} s")
 
@@ -618,7 +762,7 @@ def main(argv=None) -> int:
     )
 
     payload = {
-        "pr": 7,
+        "pr": 8,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -637,6 +781,7 @@ def main(argv=None) -> int:
         "sweep_cache": sweep,
         "scheduled_sweep": sched,
         "sweep_fabric": fabric,
+        "serve": serve,
         "experiments": {"fig9_seconds": round(fig9_s, 2)},
         "tracing": trace,
         "perturbation": perturb,
@@ -694,6 +839,13 @@ def main(argv=None) -> int:
             f"{fabric['journal_append_speedup']:.1f}x < "
             f"{FLOOR_JOURNAL_APPEND_SPEEDUP:.0f}x floor"
         )
+    if serve["warm_qps_8_clients"] < FLOOR_SERVE_WARM_QPS:
+        failures.append(
+            f"serve warm throughput {serve['warm_qps_8_clients']:,}/s < "
+            f"{FLOOR_SERVE_WARM_QPS:,}/s floor"
+        )
+    if not serve["warm_identical_to_direct_run"]:
+        failures.append("served warm result differs from a direct run")
     if not trace["traced_bit_identical_to_untraced"]:
         failures.append("traced run scalars differ from untraced")
     if trace["disabled_overhead_bound"] > CEIL_TRACE_OFF_OVERHEAD:
