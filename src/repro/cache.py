@@ -56,6 +56,7 @@ a warm batch therefore hashes each config instance at most once.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import hashlib
 import json
 import os
@@ -102,9 +103,16 @@ def _canonical(obj: Any, path: str = "config") -> Any:
     just the offending type.
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # Spec classes may declare _KEY_OMIT_DEFAULTS: fields added after
+        # entries already existed on disk are left out of the canonical
+        # form while at their original-behaviour defaults, so old keys
+        # stay addressable without a model-version bump (same precedent
+        # as config seed/noise in :func:`config_key`).
+        omit = getattr(type(obj), "_KEY_OMIT_DEFAULTS", None) or {}
         return {
             f.name: _canonical(getattr(obj, f.name), f"{path}.{f.name}")
             for f in dataclasses.fields(obj)
+            if not (f.name in omit and getattr(obj, f.name) == omit[f.name])
         }
     if isinstance(obj, dict):
         return {
@@ -113,6 +121,8 @@ def _canonical(obj: Any, path: str = "config") -> Any:
         }
     if isinstance(obj, (list, tuple)):
         return [_canonical(v, f"{path}[{i}]") for i, v in enumerate(obj)]
+    if isinstance(obj, enum.Enum):
+        return _canonical(obj.value, path)
     if isinstance(obj, (str, int, bool)) or obj is None:
         return obj
     if isinstance(obj, float):

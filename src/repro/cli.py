@@ -27,7 +27,7 @@ from repro.core.config import RunConfig
 from repro.core.registry import IMPLEMENTATIONS
 from repro.core.runner import run as run_config
 from repro.experiments import EXPERIMENTS, run_experiment
-from repro.machines import MACHINES, get_machine
+from repro.machines import MACHINES, ProgressModel, get_machine
 
 __all__ = ["main", "build_parser"]
 
@@ -78,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo replication: run N independently seeded replicas "
              "and report mean/std/p95/ci95 (requires --seed)",
     )
+    _add_progress_flag(runp)
 
     expp = sub.add_parser("experiment", help="regenerate tables/figures")
     expp.add_argument("ids", metavar="id", nargs="+",
@@ -162,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweepp.add_argument("--shards", type=int, default=16, metavar="N",
                         help="task shards the batch is partitioned into in "
                              "--fabric mode (1-256)")
+    _add_progress_flag(sweepp)
 
     servep = sub.add_parser(
         "serve",
@@ -215,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     tunep.add_argument("--impl", required=True, choices=sorted(IMPLEMENTATIONS))
     tunep.add_argument("--cores", type=int, required=True)
     tunep.add_argument("--strategy", choices=("greedy", "exhaustive"), default="greedy")
+    _add_progress_flag(tunep)
 
     tracep = sub.add_parser(
         "trace",
@@ -254,7 +257,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="noise profile (see 'run --noise'); requires "
                              "--seed; default with --seed: 'machine' for a "
                              "single run, 'medium' in --experiments mode")
+    _add_progress_flag(tracep)
     return p
+
+
+def _add_progress_flag(parser) -> None:
+    parser.add_argument(
+        "--progress", metavar="MODEL", default=None,
+        choices=[m.value for m in ProgressModel],
+        help="override the machine's MPI progress model "
+             "(manual-poll | progress-thread | hardware-offload)",
+    )
+
+
+def _apply_progress(machine, progress: Optional[str]):
+    """The machine with its interconnect's progress model overridden."""
+    if not progress:
+        return machine
+    from dataclasses import replace
+
+    return replace(
+        machine,
+        interconnect=replace(machine.interconnect, progress=ProgressModel(progress)),
+    )
 
 
 def _cmd_list() -> int:
@@ -298,7 +323,7 @@ def _resolve_noise(args, machine, default: str):
 
 
 def _cmd_run(args) -> int:
-    machine = get_machine(args.machine)
+    machine = _apply_progress(get_machine(args.machine), args.progress)
     try:
         seed, noise = _resolve_noise(args, machine, default="machine")
     except ValueError as exc:
@@ -538,7 +563,7 @@ def _cmd_sweep(args) -> int:
     from repro.perf.sweep import sweep_configs
     from repro.sched import scheduled
 
-    machine = get_machine(args.machine)
+    machine = _apply_progress(get_machine(args.machine), args.progress)
     if args.jobs < 1:
         print(f"sweep: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
@@ -622,7 +647,10 @@ def _cmd_tune(args) -> int:
     from repro.autotune import exhaustive_search, greedy_search
 
     search = greedy_search if args.strategy == "greedy" else exhaustive_search
-    res = search(get_machine(args.machine), args.impl, args.cores)
+    res = search(
+        _apply_progress(get_machine(args.machine), args.progress),
+        args.impl, args.cores,
+    )
     print(
         f"best: threads={res.best_point.threads_per_task} "
         f"thickness={res.best_point.box_thickness} block={res.best_point.block} "
@@ -640,7 +668,7 @@ def _cmd_trace(args) -> int:
         print("trace: --impl and --machine are required (or use --experiments)",
               file=sys.stderr)
         return 2
-    machine = get_machine(args.machine)
+    machine = _apply_progress(get_machine(args.machine), args.progress)
     cores = args.cores if args.cores is not None else machine.node.cores
     try:
         seed, noise = _resolve_noise(args, machine, default="machine")

@@ -83,12 +83,22 @@ class RankContext:
         self.perturb = None
         #: free-form per-implementation state (device arrays, streams, ...)
         self.state: Dict[str, object] = {}
+        #: host-compute slowdown charged for a software MPI progress thread
+        #: (ProgressModel.PROGRESS_THREAD only; 0.0 — and therefore one
+        #: falsy check per charge — under manual poll and hardware offload).
+        #: Communication-free ranks (comm is None) run untaxed: nobody polls.
+        self._progress_tax = (
+            cfg.machine.interconnect.progress_tax if comm is not None else 0.0
+        )
 
     # -- bookkeeping -----------------------------------------------------------
     def _charge(self, phase: str, seconds: float) -> Event:
         if self.perturb is not None and seconds > 0.0:
             # OS jitter + straggler slowdown on every host-side chunk.
             seconds *= self.perturb.compute_factor(self.sub.rank)
+        if self._progress_tax and seconds > 0.0:
+            # The progress thread steals cycles from every host-side chunk.
+            seconds *= 1.0 + self._progress_tax
         self.phases[phase] += seconds
         if self.tracer is not None and seconds > 0:
             self.tracer.record(
@@ -179,6 +189,16 @@ class RankContext:
         if self.gpu is None:
             raise RuntimeError(f"{self.cfg.implementation}: no GPU in this context")
         return self.gpu
+
+    @property
+    def gpudirect(self) -> bool:
+        """GPU-aware MPI on this rank: device buffers are sent/received
+        directly by the NIC (GPUDirect RDMA), so the GPU+MPI implementations
+        skip their host-staging PCIe hops.  Requires both a device in the
+        context and an interconnect flagged ``gpudirect``; False on every
+        paper-era machine, preserving their §IV-F/G staging bit-for-bit.
+        """
+        return self.gpu is not None and self.cfg.machine.interconnect.gpudirect
 
     @property
     def gpu_block(self) -> Tuple[int, int]:

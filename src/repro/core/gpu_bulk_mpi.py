@@ -40,8 +40,17 @@ class GpuBulkMPI(Implementation):
         st["stream"] = gpu.stream("main")
         st["arena"] = ScratchArena()  # device-side separable-sweep scratch
         shape = [s + 2 for s in ctx.sub.shape]
-        st["u"] = gpu.memory.allocate(f"u{ctx.sub.rank}", shape, ctx.cfg.functional)
-        st["unew"] = gpu.memory.allocate(f"unew{ctx.sub.rank}", shape, ctx.cfg.functional)
+        # On GPU-aware interconnects the state arrays are NIC-registered:
+        # the packed face buffers live in device memory and are DMA'd by
+        # the NIC, so the blocking host-staging copies below disappear.
+        st["u"] = gpu.memory.allocate(
+            f"u{ctx.sub.rank}", shape, ctx.cfg.functional,
+            registered=ctx.gpudirect,
+        )
+        st["unew"] = gpu.memory.allocate(
+            f"unew{ctx.sub.rank}", shape, ctx.cfg.functional,
+            registered=ctx.gpudirect,
+        )
         st["host_send"] = {}
         st["host_recv"] = {}
         if ctx.cfg.functional:
@@ -72,7 +81,10 @@ class GpuBulkMPI(Implementation):
             yield ctx.launch_cost(1)
             pack_ev = ctx.device_copy_kernel(stream, 2 * nbytes, dim, pack_action)
             yield pack_ev
-            yield ctx.pcie_sync(2 * nbytes)
+            if not ctx.gpudirect:
+                # Blocking pageable D2H of the packed faces (§IV-F). A
+                # GPU-aware interconnect sends the device buffers directly.
+                yield ctx.pcie_sync(2 * nbytes)
             # MPI exchange of this dimension.
             sends = []
             for side in (-1, 1):
@@ -88,8 +100,10 @@ class GpuBulkMPI(Implementation):
                 st["host_recv"][(dim, side)] = yield from comm.wait(recvs[side])
             for req in sends:
                 yield from comm.wait(req)
-            # Blocking H2D of the halo buffers -> device unpack kernel.
-            yield ctx.pcie_sync(2 * nbytes)
+            # Blocking H2D of the halo buffers -> device unpack kernel
+            # (skipped under GPUDirect: the NIC delivered into device memory).
+            if not ctx.gpudirect:
+                yield ctx.pcie_sync(2 * nbytes)
 
             def unpack_action(dim=dim):
                 if u_dev.functional:

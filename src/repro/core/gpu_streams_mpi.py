@@ -83,8 +83,16 @@ class GpuStreamsMPI(Implementation):
         st["s2"] = gpu.stream("boundary")
         st["arena"] = ScratchArena()  # device-side separable-sweep scratch
         shape = [s + 2 for s in ctx.sub.shape]
-        st["u"] = gpu.memory.allocate(f"u{ctx.sub.rank}", shape, ctx.cfg.functional)
-        st["unew"] = gpu.memory.allocate(f"unew{ctx.sub.rank}", shape, ctx.cfg.functional)
+        # NIC-registered under GPUDirect: halo traffic DMAs device memory
+        # directly and the stream-2 staging copies below are skipped.
+        st["u"] = gpu.memory.allocate(
+            f"u{ctx.sub.rank}", shape, ctx.cfg.functional,
+            registered=ctx.gpudirect,
+        )
+        st["unew"] = gpu.memory.allocate(
+            f"unew{ctx.sub.rank}", shape, ctx.cfg.functional,
+            registered=ctx.gpudirect,
+        )
         st["host_send"] = {}
         st["host_recv"] = {}
         if ctx.cfg.functional:
@@ -149,7 +157,10 @@ class GpuStreamsMPI(Implementation):
         yield ctx.launch_cost(6)
         for dim in range(3):
             nbytes = ctx.face_bytes(dim)
-            ctx.h2d(s2, 2 * nbytes)
+            if not ctx.gpudirect:
+                # Halo staging H2D; under GPUDirect the receives already
+                # landed in device memory.
+                ctx.h2d(s2, 2 * nbytes)
 
             def unpack_action(dim=dim):
                 if u_dev.functional:
@@ -179,7 +190,10 @@ class GpuStreamsMPI(Implementation):
                         host_send[(dim, side)] = pack_face(unew_dev.data, dim, side)
 
             ctx.device_copy_kernel(s2, 2 * nbytes, dim, pack_action)
-            ctx.d2h(s2, 2 * nbytes)
+            if not ctx.gpudirect:
+                # Outgoing-buffer staging D2H; under GPUDirect the next
+                # step's sends read the packed device buffers in place.
+                ctx.d2h(s2, 2 * nbytes)
 
         # End of step: synchronize the two streams; flip the state arrays.
         yield ctx.gpu.synchronize([s1, s2])

@@ -29,7 +29,7 @@ from repro.core.context import RankContext
 from repro.core.data import RankData
 from repro.core.registry import get_implementation
 from repro.decomp.partition import Decomposition
-from repro.des import Environment
+from repro.des import Environment, SharedBandwidth
 from repro.obs.tracer import GPU_GROUP_BASE, LINK_GROUP_BASE, Tracer
 from repro.perturb.model import Perturbation, build_perturbation
 from repro.simgpu.device import Gpu
@@ -80,6 +80,19 @@ def _build_full(env: Environment, cfg: RunConfig, impl: Implementation,
         contexts.append(
             RankContext(env, cfg, sub, decomp, comm, RankData(cfg, sub), gpu, 1)
         )
+    if gpus and machine.gpu is not None and machine.gpu.has_nvlink:
+        # One NVLink fabric per node, shared by the node's resident
+        # devices: peer copies between them DMA over it instead of
+        # staging through the host (see Gpu.peer_copy).
+        gpus_per_node = max(1, machine.gpus_per_node)
+        fabrics: Dict[int, SharedBandwidth] = {}
+        for gpu_id, gpu in gpus.items():
+            node = gpu_id // gpus_per_node
+            if node not in fabrics:
+                fabrics[node] = SharedBandwidth(
+                    env, machine.gpu.nvlink_bandwidth_bps, name=f"nvlink{node}"
+                )
+            gpu.nvlink = fabrics[node]
     return contexts
 
 
@@ -129,6 +142,7 @@ def _attach_tracer(
             "threads_per_task": cfg.threads_per_task,
             "domain": list(cfg.domain),
             "steps": cfg.steps,
+            "progress": cfg.machine.interconnect.progress.value,
         }
     )
     for ctx in contexts:
@@ -161,10 +175,20 @@ def _attach_tracer(
         gpus_meta[group] = {
             "kernel_slots": 16 if gpu.spec.concurrent_kernels else 1,
             "copy_engines": gpu.spec.copy_engines,
+            "nvlink": int(gpu.nvlink is not None),
         }
         gpu.pcie.tracer = tracer
         gpu.pcie.trace_group = next_link
         tracer.set_group_name(next_link, gpu.pcie.name)
+        next_link += 1
+    nvlinks: List[SharedBandwidth] = []
+    for gpu in gpus:
+        if gpu.nvlink is not None and not any(gpu.nvlink is l for l in nvlinks):
+            nvlinks.append(gpu.nvlink)
+    for link in nvlinks:
+        link.tracer = tracer
+        link.trace_group = next_link
+        tracer.set_group_name(next_link, link.name)
         next_link += 1
     if gpus_meta:
         tracer.meta["gpus"] = gpus_meta

@@ -12,6 +12,18 @@ The conclusions make two forward-looking observations:
 
 Both sweeps run single-node so the interconnect does not confound the
 node-architecture question.
+
+A third sweep takes the outlook where 2011 could not: the paper's central
+conclusion — restructure the code so computation hides communication — was
+measured on interconnects that only progress messages inside MPI calls
+(manual poll). We re-ask the question on machines whose NICs progress
+autonomously (Slingshot-class hardware offload) or via a stolen-core
+progress thread (EFA-class clouds): for each machine x progress model we
+pit the overlapped implementation against its bulk-synchronous sibling,
+sweeping boundary thickness where it applies, and record the *overlap
+gain* (best overlapped GF / best bulk GF). Where the gain falls to ~1 the
+paper's conclusion flips: the network hides the communication by itself,
+and the restructuring buys nothing.
 """
 
 from __future__ import annotations
@@ -19,8 +31,58 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.experiments.common import ExperimentResult
-from repro.machines import YONA
+from repro.machines import A100_SXM, EFA_CLOUD, MILAN_SS11, YONA
+from repro.machines.spec import ProgressModel
 from repro.perf.sweep import best_over_threads
+
+#: Within 2% we call it parity: the restructuring cost (the paper's "almost
+#: triples the code") is no longer paying for itself.
+_FLIP_TOL = 1.02
+
+#: machine -> (overlapped impl, bulk sibling, cores = 4 nodes' worth).
+#: Multi-node on purpose: the progress model only matters for wire traffic.
+_CROSSOVER = (
+    (YONA, "hybrid_overlap", "hybrid_bulk", 48),
+    (A100_SXM, "hybrid_overlap", "hybrid_bulk", 512),
+    (MILAN_SS11, "nonblocking", "bulk", 512),
+    (EFA_CLOUD, "nonblocking", "bulk", 192),
+)
+
+
+def _crossover_rows(fast: bool):
+    """Overlap-vs-bulk gain per machine x progress model (x thickness)."""
+    rows = []
+    gains = {}
+    # Fast mode keeps one machine from each regime: Yona and the A100 keep
+    # overlap winning; EFA-Cloud's fat nodes show the flip.
+    machines = (
+        (_CROSSOVER[0], _CROSSOVER[1], _CROSSOVER[3]) if fast else _CROSSOVER
+    )
+    models = (
+        (ProgressModel.MANUAL_POLL, ProgressModel.HARDWARE_OFFLOAD)
+        if fast
+        else tuple(ProgressModel)
+    )
+    for machine, overlap_key, bulk_key, cores in machines:
+        for model in models:
+            m = replace(
+                machine, interconnect=replace(machine.interconnect, progress=model)
+            )
+            over = best_over_threads(m, overlap_key, cores)
+            bulk = best_over_threads(m, bulk_key, cores)
+            if over is None or bulk is None or bulk.gflops <= 0:
+                continue
+            gain = over.gflops / bulk.gflops
+            gains[f"{machine.name}/{model.value}"] = gain
+            verdict = "overlap wins" if gain > _FLIP_TOL else "FLIPS: bulk at parity"
+            rows.append([
+                f"{machine.name} {model.value}",
+                f"{overlap_key} vs {bulk_key}",
+                round(gain, 3),
+                f"T={over.config.box_thickness}, thr={over.config.threads_per_task}"
+                f" | {verdict}",
+            ])
+    return rows, gains
 
 
 def run(fast: bool = False) -> ExperimentResult:
@@ -55,6 +117,10 @@ def run(fast: bool = False) -> ExperimentResult:
             series[series_name][f] = best.gflops
             rows.append([f"pcie x{f}", key, best.gflops, ""])
 
+    cross_rows, gains = _crossover_rows(fast)
+    rows.extend(cross_rows)
+    series["overlap_gain"] = gains
+
     return ExperimentResult(
         exp_id="future",
         title="§VI outlook: more GPUs per node, faster CPU-GPU links (Yona, 1 node)",
@@ -68,6 +134,10 @@ def run(fast: bool = False) -> ExperimentResult:
         notes=(
             "Faster PCIe lifts gpu_bulk/gpu_streams but they stay face-kernel "
             "bound; extra GPUs scale the hybrid until the CPU veneer runs out "
-            "of cores to feed them."
+            "of cores to feed them. Crossover rows pit overlapped against "
+            "bulk-synchronous per progress model: where the gain drops to ~1x "
+            "(FLIPS), autonomous NIC progress hides the communication without "
+            "restructuring — the paper's conclusion is a statement about "
+            "manual-poll-era MPI, not about the algorithm."
         ),
     )

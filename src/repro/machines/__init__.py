@@ -12,10 +12,13 @@
 """
 
 from repro.machines.catalog import (
+    A100_SXM,
+    EFA_CLOUD,
     HOPPER,
     JAGUARPF,
     LENS,
     MACHINES,
+    MILAN_SS11,
     YONA,
     get_machine,
 )
@@ -30,19 +33,26 @@ from repro.machines.spec import (
     InterconnectSpec,
     MachineSpec,
     NodeSpec,
+    ProgressModel,
+    normalize_machine_name,
 )
 
 __all__ = [
+    "A100_SXM",
+    "EFA_CLOUD",
     "GpuSpec",
     "HOPPER",
     "InterconnectSpec",
     "JAGUARPF",
     "LENS",
     "MACHINES",
+    "MILAN_SS11",
     "MachineSpec",
     "NodeSpec",
+    "ProgressModel",
     "YONA",
     "get_machine",
+    "normalize_machine_name",
     "memcpy_time",
     "omp_region_overhead",
     "task_compute_time",

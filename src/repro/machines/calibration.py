@@ -32,6 +32,9 @@ __all__ = [
     "HOPPER_CAL",
     "LENS_CAL",
     "YONA_CAL",
+    "A100_CAL",
+    "MILAN_CAL",
+    "EFA_CAL",
 ]
 
 # ---------------------------------------------------------------------------
@@ -145,4 +148,69 @@ YONA_CAL = _Cal(
     strided_copy_gbs=2.0,  # device-side x/y face pack kernels
     pcie_latency_us=10.0,
     kernel_launch_us=7.0,
+)
+
+# ---------------------------------------------------------------------------
+# Modern machines (ROADMAP item 3: "would the paper's conclusions flip on an
+# A100-class node?").  These are *projections*, not paper anchors: rates come
+# from vendor datasheets and public benchmark folklore for the 2020-23
+# hardware generation, chosen with the same conventions as the four paper
+# machines (effective streaming rates, not nominal peaks).  The progress
+# model and GPU-aware comm fields are what the scenario study varies.
+# ---------------------------------------------------------------------------
+
+A100_CAL = _Cal(
+    # EPYC 7763 host: DDR4-3200, 8 channels/socket, NPS4 (~42 GB/s/die).
+    numa_bandwidth_gbs=40.0,
+    stencil_flop_efficiency=0.08,  # memory-bound on AVX2 FMA peaks
+    memcpy_bandwidth_gbs=25.0,
+    # Slingshot-11 class NIC: 200 Gb/s, sub-2us, full hardware offload.
+    latency_us=1.8,
+    bandwidth_gbs=23.0,
+    per_message_cpu_us=0.2,
+    overlap_fraction=0.90,  # manual-poll counterfactual; HW offload ignores it
+    eager_threshold_bytes=4096,
+    # A100-SXM4: 1555 GB/s nominal HBM2e, ~1400 effective with ECC.
+    gpu_stencil_gflops=1050.0,
+    gpu_mem_bandwidth_gbs=1400.0,
+    face_kernel_gflops=35.0,  # thin kernels no longer fall off a cliff
+    thin_slab_efficiency=0.30,
+    pcie_bandwidth_gbs=22.0,  # PCIe4 x16 pinned/async
+    pcie_unpinned_gbs=6.0,
+    strided_copy_gbs=300.0,  # device-side pack kernels ride HBM
+    pcie_latency_us=5.0,
+    kernel_launch_us=4.0,
+    # NVLink3 through NVSwitch: ~600 GB/s/GPU nominal; effective fair-share
+    # per node modeled as one 250 GB/s link all peer copies contend on.
+    nvlink_bandwidth_gbs=250.0,
+    nvlink_latency_us=1.8,
+)
+
+MILAN_CAL = _Cal(
+    # Same EPYC 7763 host as the A100 node, CPU-only partition.
+    numa_bandwidth_gbs=40.0,
+    stencil_flop_efficiency=0.08,
+    memcpy_bandwidth_gbs=25.0,
+    # Slingshot-11 again.
+    latency_us=1.8,
+    bandwidth_gbs=23.0,
+    per_message_cpu_us=0.2,
+    overlap_fraction=0.90,
+    eager_threshold_bytes=4096,
+)
+
+EFA_CAL = _Cal(
+    # Cloud Xeon host (Cascade Lake-class): DDR4-2933, 6 channels/socket.
+    numa_bandwidth_gbs=30.0,
+    stencil_flop_efficiency=0.07,
+    memcpy_bandwidth_gbs=18.0,
+    # EFA-class NIC: SRD over commodity ethernet — high latency, decent
+    # bandwidth, progress driven by a libfabric software engine.
+    latency_us=18.0,
+    bandwidth_gbs=12.0,
+    per_message_cpu_us=0.5,
+    overlap_fraction=0.30,  # manual-poll counterfactual
+    eager_threshold_bytes=8192,
+    progress_overlap_fraction=0.90,
+    progress_host_tax=0.08,  # the polling thread steals real cycles
 )

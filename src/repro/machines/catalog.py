@@ -1,17 +1,44 @@
-"""The four test machines of Table II, as :class:`MachineSpec` instances.
+"""The machine catalog: Table II's four test machines plus modern scenarios.
 
-Published fields come straight from Table II; effective rates come from
-:mod:`repro.machines.calibration`.
+Published fields of the paper machines come straight from Table II;
+effective rates come from :mod:`repro.machines.calibration`.  The modern
+entries (A100-SXM, Milan-SS11, EFA-Cloud) are datasheet projections that
+exercise the progress-model and GPU-aware comm axes (ROADMAP item 3).
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.machines.calibration import HOPPER_CAL, JAGUARPF_CAL, LENS_CAL, YONA_CAL
-from repro.machines.spec import GpuSpec, InterconnectSpec, MachineSpec, NodeSpec
+from repro.machines.calibration import (
+    A100_CAL,
+    EFA_CAL,
+    HOPPER_CAL,
+    JAGUARPF_CAL,
+    LENS_CAL,
+    MILAN_CAL,
+    YONA_CAL,
+)
+from repro.machines.spec import (
+    GpuSpec,
+    InterconnectSpec,
+    MachineSpec,
+    NodeSpec,
+    ProgressModel,
+    normalize_machine_name,
+)
 
-__all__ = ["JAGUARPF", "HOPPER", "LENS", "YONA", "MACHINES", "get_machine"]
+__all__ = [
+    "JAGUARPF",
+    "HOPPER",
+    "LENS",
+    "YONA",
+    "A100_SXM",
+    "MILAN_SS11",
+    "EFA_CLOUD",
+    "MACHINES",
+    "get_machine",
+]
 
 
 JAGUARPF = MachineSpec(
@@ -177,17 +204,141 @@ YONA = MachineSpec(
 )
 
 
+# ---------------------------------------------------------------------------
+# Modern scenario machines (not in the paper). See calibration.py for the
+# provenance of every rate. Hyphenated names deliberately exercise the
+# shared key normalization below.
+# ---------------------------------------------------------------------------
+
+#: EPYC 7763 host shared by the two Slingshot machines (NPS4: 4 dies/socket).
+_MILAN_NODE = NodeSpec(
+    sockets=2,
+    cores_per_socket=64,
+    clock_ghz=2.45,
+    memory_gb=512,
+    numa_domains_per_socket=4,
+    flops_per_cycle=16.0,  # AVX2 FMA: 2 pipes x 4 lanes x 2 flops
+    stencil_flop_efficiency=MILAN_CAL.stencil_flop_efficiency,
+    numa_bandwidth_gbs=MILAN_CAL.numa_bandwidth_gbs,
+    memcpy_bandwidth_gbs=MILAN_CAL.memcpy_bandwidth_gbs,
+    omp_region_overhead_us=1.5,
+    boundary_loop_efficiency=0.60,
+)
+
+#: Slingshot-11-class fabric: full NIC-resident progress, GPU-aware RDMA.
+_SS11 = dict(
+    name="Slingshot 11",
+    mpi_name="Cray MPICH 8.1",
+    latency_us=MILAN_CAL.latency_us,
+    bandwidth_gbs=MILAN_CAL.bandwidth_gbs,
+    per_message_cpu_us=MILAN_CAL.per_message_cpu_us,
+    overlap_fraction=MILAN_CAL.overlap_fraction,
+    eager_threshold_bytes=MILAN_CAL.eager_threshold_bytes,
+    progress=ProgressModel.HARDWARE_OFFLOAD,
+)
+
+A100_SXM = MachineSpec(
+    name="A100-SXM",
+    compute_nodes=1024,
+    node=_MILAN_NODE,
+    interconnect=InterconnectSpec(**{**_SS11, "nics_per_node": 4, "gpudirect": True}),
+    gpu=GpuSpec(
+        name="A100-SXM4-80GB",
+        memory_gb=80,
+        sm_count=108,
+        warp_size=32,
+        max_threads_per_block=1024,
+        max_threads_per_sm=2048,
+        max_blocks_per_sm=32,
+        shared_mem_per_sm_kb=164.0,
+        dp_peak_gflops=9700.0,
+        mem_bandwidth_gbs=A100_CAL.gpu_mem_bandwidth_gbs,
+        pcie_bandwidth_gbs=A100_CAL.pcie_bandwidth_gbs,
+        pcie_unpinned_gbs=A100_CAL.pcie_unpinned_gbs,
+        strided_copy_gbs=A100_CAL.strided_copy_gbs,
+        pcie_latency_us=A100_CAL.pcie_latency_us,
+        copy_engines=2,
+        concurrent_kernels=True,  # Ampere overlaps independent kernels for real
+        kernel_launch_us=A100_CAL.kernel_launch_us,
+        stencil_gflops_best=A100_CAL.gpu_stencil_gflops,
+        face_kernel_gflops=A100_CAL.face_kernel_gflops,
+        thin_slab_efficiency=A100_CAL.thin_slab_efficiency,
+        register_file_size=65536,
+        regs_per_thread=32,
+        by_sweet_spot=8.0,  # far flatter than Fermi: occupancy dominates
+        by_sweet_amp=0.10,
+        by_sweet_tol=8.0,
+        nvlink_bandwidth_gbs=A100_CAL.nvlink_bandwidth_gbs,
+        nvlink_latency_us=A100_CAL.nvlink_latency_us,
+    ),
+    gpus_per_node=4,
+    thread_options=(1, 2, 4, 8, 16, 32),
+    figure_core_counts=(128, 256, 512, 1024, 2048, 4096),
+)
+
+MILAN_SS11 = MachineSpec(
+    name="Milan-SS11",
+    compute_nodes=1536,
+    node=_MILAN_NODE,
+    interconnect=InterconnectSpec(**_SS11),
+    thread_options=(1, 2, 4, 8, 16, 32, 64, 128),
+    figure_core_counts=(128, 512, 2048, 8192, 32768),
+)
+
+EFA_CLOUD = MachineSpec(
+    name="EFA-Cloud",
+    compute_nodes=256,
+    node=NodeSpec(
+        sockets=2,
+        cores_per_socket=24,
+        clock_ghz=3.0,
+        memory_gb=384,
+        numa_domains_per_socket=1,
+        flops_per_cycle=16.0,
+        stencil_flop_efficiency=EFA_CAL.stencil_flop_efficiency,
+        numa_bandwidth_gbs=EFA_CAL.numa_bandwidth_gbs,
+        memcpy_bandwidth_gbs=EFA_CAL.memcpy_bandwidth_gbs,
+        omp_region_overhead_us=2.0,
+        boundary_loop_efficiency=0.55,
+    ),
+    interconnect=InterconnectSpec(
+        name="EFA 100G x4",
+        mpi_name="OpenMPI 4.1 + libfabric",
+        latency_us=EFA_CAL.latency_us,
+        bandwidth_gbs=EFA_CAL.bandwidth_gbs,
+        per_message_cpu_us=EFA_CAL.per_message_cpu_us,
+        overlap_fraction=EFA_CAL.overlap_fraction,
+        eager_threshold_bytes=EFA_CAL.eager_threshold_bytes,
+        progress=ProgressModel.PROGRESS_THREAD,
+        progress_overlap_fraction=EFA_CAL.progress_overlap_fraction,
+        progress_host_tax=EFA_CAL.progress_host_tax,
+        nics_per_node=4,
+    ),
+    thread_options=(1, 2, 4, 8, 12, 24, 48),
+    figure_core_counts=(48, 192, 768, 3072),
+)
+
+
 MACHINES: Dict[str, MachineSpec] = {
-    m.name.lower().replace(" ", ""): m for m in (JAGUARPF, HOPPER, LENS, YONA)
+    normalize_machine_name(m.name): m
+    for m in (JAGUARPF, HOPPER, LENS, YONA, A100_SXM, MILAN_SS11, EFA_CLOUD)
 }
 # Convenience aliases.
 MACHINES["jaguar"] = JAGUARPF
 MACHINES["hopper"] = HOPPER
+MACHINES["a100"] = A100_SXM
+MACHINES["milan"] = MILAN_SS11
+MACHINES["efa"] = EFA_CLOUD
 
 
 def get_machine(name: str) -> MachineSpec:
-    """Look up a machine by (case/space-insensitive) name."""
-    key = name.lower().replace(" ", "").replace("-", "")
+    """Look up a machine by (case/space/hyphen-insensitive) name.
+
+    Registration and lookup share :func:`normalize_machine_name`; they
+    used to normalize differently (registration stripped only spaces),
+    which made any hyphenated catalog name permanently unresolvable.
+    """
+    key = normalize_machine_name(name)
     if key not in MACHINES:
         raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}")
     return MACHINES[key]

@@ -7,10 +7,58 @@ Fields marked "Table II" are transcribed from the paper; fields marked
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-__all__ = ["NodeSpec", "InterconnectSpec", "GpuSpec", "MachineSpec"]
+__all__ = [
+    "ProgressModel",
+    "NodeSpec",
+    "InterconnectSpec",
+    "GpuSpec",
+    "MachineSpec",
+    "normalize_machine_name",
+]
+
+
+def normalize_machine_name(name: str) -> str:
+    """Canonical lookup key for a machine name.
+
+    Lowercased with spaces and hyphens stripped, so ``"A100-SXM"``,
+    ``"a100 sxm"`` and ``"A100SXM"`` all address the same catalog entry.
+    Used by both the catalog registration and every lookup path
+    (:func:`repro.machines.catalog.get_machine`,
+    :meth:`repro.perturb.NoiseSpec.for_machine`) — keeping registration
+    and lookup normalization identical is what makes hyphenated names
+    resolvable at all.
+    """
+    return name.lower().replace(" ", "").replace("-", "")
+
+
+class ProgressModel(str, enum.Enum):
+    """How the MPI library progresses wire traffic while the host computes.
+
+    The paper's libraries (Cray MPT, OpenMPI circa 2011) progress mostly
+    *inside* MPI calls: a nonblocking transfer advances only by the
+    calibrated ``overlap_fraction`` between post and wait, and eager
+    messages not at all (the receiver must enter the library to drain
+    them).  That behaviour is ``MANUAL_POLL``, the default, and is
+    bit-identical to the model before progress models existed.
+
+    ``PROGRESS_THREAD`` models a software progress engine (a dedicated
+    helper thread or "MPI progress for all"-style continuations): nearly
+    all wire time advances in the background — eager and rendezvous alike
+    — but the polling thread steals host cycles, charged as a fractional
+    tax on host compute (``progress_host_tax``).
+
+    ``HARDWARE_OFFLOAD`` models NIC-resident progress (Slingshot/EFA/
+    Portals-class hardware with full offload): every posted byte moves at
+    wire rate regardless of what the host is doing, at no host cost.
+    """
+
+    MANUAL_POLL = "manual-poll"
+    PROGRESS_THREAD = "progress-thread"
+    HARDWARE_OFFLOAD = "hardware-offload"
 
 
 @dataclass(frozen=True)
@@ -72,9 +120,49 @@ class InterconnectSpec:
     # Fraction of wire time that progresses while the host computes between
     # posting a nonblocking operation and waiting on it. The paper's MPI
     # libraries progress mostly inside MPI calls ([1] in the paper), so this
-    # is well below 1.
+    # is well below 1. Only consulted under ``ProgressModel.MANUAL_POLL``.
     overlap_fraction: float = 0.35
     eager_threshold_bytes: int = 8192
+    # How the library progresses traffic in the background (see
+    # :class:`ProgressModel`). The default reproduces the paper era exactly.
+    progress: ProgressModel = ProgressModel.MANUAL_POLL
+    # PROGRESS_THREAD: background fraction for *all* messages (eager included
+    # — the helper thread drains the receive queue without the application
+    # entering MPI), and the fractional host-compute slowdown the polling
+    # thread costs while ranks overlap communication.
+    progress_overlap_fraction: float = 0.95
+    progress_host_tax: float = 0.05
+    # NICs per node sharing the injection load (EFA-style multi-rail).  Each
+    # NIC is an independent fair-share link of ``bandwidth_gbs``; ranks are
+    # striped across rails round-robin.
+    nics_per_node: int = 1
+    # GPU-aware MPI: the NIC DMAs GPU memory directly (GPUDirect RDMA), so
+    # device buffers skip the host-staging PCIe hop in the GPU+MPI
+    # implementations.
+    gpudirect: bool = False
+
+    #: New fields are omitted from the cache-key canonical form while at
+    #: their defaults, so pre-existing cache keys (and the pinned keys in
+    #: tests/perturb) remain stable. Same precedent as config seed/noise.
+    _KEY_OMIT_DEFAULTS = {
+        "progress": ProgressModel.MANUAL_POLL,
+        "progress_overlap_fraction": 0.95,
+        "progress_host_tax": 0.05,
+        "nics_per_node": 1,
+        "gpudirect": False,
+    }
+
+    def __post_init__(self):
+        # Accept plain strings ("hardware-offload") anywhere a model is
+        # given; normalize to the enum so identity checks and ``.value``
+        # work uniformly. Invalid names raise ValueError here.
+        object.__setattr__(self, "progress", ProgressModel(self.progress))
+        if not 0.0 <= self.progress_overlap_fraction <= 1.0:
+            raise ValueError("progress_overlap_fraction must be in [0, 1]")
+        if self.progress_host_tax < 0.0:
+            raise ValueError("progress_host_tax must be >= 0")
+        if self.nics_per_node < 1:
+            raise ValueError("nics_per_node must be >= 1")
 
     @property
     def latency_s(self) -> float:
@@ -85,6 +173,36 @@ class InterconnectSpec:
     def bandwidth_bps(self) -> float:
         """Bandwidth in bytes/second."""
         return self.bandwidth_gbs * 1e9
+
+    def background_fraction(self, eager: bool) -> float:
+        """Fraction of a message's wire bytes that move without host help.
+
+        The single point where the progress model meets the transfer
+        engines: both MPI backends (:mod:`repro.simmpi.world`,
+        :mod:`repro.simmpi.mirror`) call this for the background start
+        *and* the foreground remainder, so the two always agree.  Local
+        (shared-memory) transfers never consult it — they are memcpys.
+        """
+        if self.progress is ProgressModel.MANUAL_POLL:
+            # 2011 behaviour: eager sends sit in the receive queue until
+            # the receiver enters the library; rendezvous advances by the
+            # calibrated in-library fraction.
+            return 0.0 if eager else self.overlap_fraction
+        if self.progress is ProgressModel.PROGRESS_THREAD:
+            return self.progress_overlap_fraction
+        return 1.0  # HARDWARE_OFFLOAD: the NIC needs no host cycles
+
+    @property
+    def progress_tax(self) -> float:
+        """Host-compute slowdown (fractional) charged for background progress.
+
+        Nonzero only for ``PROGRESS_THREAD``: the polling thread steals
+        cycles from the compute cores.  Hardware offload is free; manual
+        poll has no background progress to pay for.
+        """
+        if self.progress is ProgressModel.PROGRESS_THREAD:
+            return self.progress_host_tax
+        return 0.0
 
 
 @dataclass(frozen=True)
@@ -137,6 +255,17 @@ class GpuSpec:
     by_sweet_tol: float = 4.0
     regs_per_thread: int = 30
     register_file_size: int = 32768
+    # NVLink-class intra-node peer fabric (0 = PCIe-only device: peer
+    # copies stage through the host).  Modeled as one fair-share link per
+    # node that every resident GPU's peer copies contend on.
+    nvlink_bandwidth_gbs: float = 0.0
+    nvlink_latency_us: float = 2.0
+
+    #: Cache-key stability: see InterconnectSpec._KEY_OMIT_DEFAULTS.
+    _KEY_OMIT_DEFAULTS = {
+        "nvlink_bandwidth_gbs": 0.0,
+        "nvlink_latency_us": 2.0,
+    }
 
     @property
     def pcie_bandwidth_bps(self) -> float:
@@ -147,6 +276,21 @@ class GpuSpec:
     def pcie_latency_s(self) -> float:
         """Per-transfer PCIe/driver latency in seconds."""
         return self.pcie_latency_us * 1e-6
+
+    @property
+    def nvlink_bandwidth_bps(self) -> float:
+        """NVLink peer bandwidth in bytes/second (0 when absent)."""
+        return self.nvlink_bandwidth_gbs * 1e9
+
+    @property
+    def nvlink_latency_s(self) -> float:
+        """Per-transfer NVLink latency in seconds."""
+        return self.nvlink_latency_us * 1e-6
+
+    @property
+    def has_nvlink(self) -> bool:
+        """Whether this device has an NVLink-class peer fabric."""
+        return self.nvlink_bandwidth_gbs > 0.0
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,20 @@ models. The checker asserts, from the trace alone:
 4. **span consistency** — the measured window ``[t0, t1]`` is covered by
    the trace (the run's barriers/syncs are themselves traced, so the span
    must reach exactly to the timing reads) and ``elapsed == t1 - t0``;
-5. **non-degenerate** — something was busy inside the measured window.
+5. **non-degenerate** — something was busy inside the measured window;
+6. **known lanes** — every event lands on a lane the checker understands:
+   one of :data:`KNOWN_LANES` or a link's own wire lane (identified by a
+   group id at/above ``LINK_GROUP_BASE``). Unknown lanes fail loudly —
+   a rule nobody is checking is worse than no rule;
+7. **progress model** — the ``progress`` lane (background wire work
+   advanced by a progress thread or NIC offload engine) may only appear
+   when ``meta["progress"]`` says the machine has one; under the
+   paper-era ``manual-poll`` model the library attends every transfer,
+   so autonomous progress in the trace is a modelling bug;
+8. **NVLink** — ``nvlink`` peer-copy events may only come from GPU
+   device groups whose capability record says the device hangs off an
+   NVLink fabric, and each device's single outbound engine drives at
+   most one peer copy at a time.
 
 ``check_trace`` returns a list of violation strings (empty = pass);
 ``assert_invariants`` raises :class:`TraceInvariantError` instead. The CI
@@ -33,11 +46,28 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.tracer import GPU_GROUP_BASE, LINK_GROUP_BASE, TraceEvent, Tracer
 
-__all__ = ["TraceInvariantError", "check_trace", "assert_invariants"]
+__all__ = ["KNOWN_LANES", "TraceInvariantError", "check_trace", "assert_invariants"]
 
 #: Relative slack on span-vs-window comparisons (float accumulation only;
 #: the traced barriers end exactly at the timing reads).
 _REL_EPS = 1e-9
+
+#: Every lane the simulator emits on non-link groups. Link wire lanes are
+#: named after the link ("nic0", "gpu0-pcie", "nvlink0", ...) and are
+#: recognised by their group id (>= LINK_GROUP_BASE) instead.
+KNOWN_LANES = frozenset(
+    {
+        "host",       # one CPU timeline per rank
+        "gpu-kernel", # device kernels
+        "gpu-copy",   # async copy engines (H2D/D2H, staged peer hops)
+        "nvlink",     # GPU peer copies over the node's NVLink fabric
+        "mpi",        # library-attended message wire time
+        "progress",   # autonomously-progressed wire time (thread/offload)
+        "mpi-sync",   # barriers / collectives
+        "pcie",       # blocking pageable copies
+        "noise",      # perturbation injections
+    }
+)
 
 
 class TraceInvariantError(AssertionError):
@@ -148,6 +178,55 @@ def _check_gpu_lanes(tracer: Tracer, out: List[str]) -> None:
             )
 
 
+def _check_known_lanes(tracer: Tracer, out: List[str]) -> None:
+    unknown: Dict[str, int] = defaultdict(int)
+    for ev in tracer.events:
+        if ev.lane not in KNOWN_LANES and ev.group < LINK_GROUP_BASE:
+            unknown[ev.lane] += 1
+    for lane, count in sorted(unknown.items()):
+        out.append(
+            f"unknown lane {lane!r} ({count} event(s)) on a non-link group: "
+            f"no invariant covers it — register it in KNOWN_LANES with a rule"
+        )
+
+
+def _check_progress_model(tracer: Tracer, out: List[str]) -> None:
+    model = tracer.meta.get("progress", "manual-poll")
+    if model != "manual-poll":
+        return
+    n = sum(1 for ev in tracer.events if ev.lane == "progress")
+    if n:
+        out.append(
+            f"{n} 'progress' lane event(s) under the manual-poll model "
+            f"(wire work may only advance inside library calls)"
+        )
+
+
+def _check_nvlink(tracer: Tracer, out: List[str]) -> None:
+    by_group: Dict[int, List[Tuple[float, float]]] = defaultdict(list)
+    for ev in tracer.events:
+        if ev.lane != "nvlink" or ev.group >= LINK_GROUP_BASE:
+            continue  # link-group events are the fabric's own wire lane
+        by_group[ev.group].append((ev.start, ev.end))
+    for group, ivals in sorted(by_group.items()):
+        if not GPU_GROUP_BASE <= group < LINK_GROUP_BASE:
+            out.append(
+                f"group {group}: 'nvlink' peer copies from a non-GPU group"
+            )
+            continue
+        if not _gpu_capacity(tracer, group, "nvlink", 0):
+            out.append(
+                f"gpu group {group}: 'nvlink' peer copies on a device "
+                f"without an NVLink fabric"
+            )
+        peak = _max_concurrency(ivals)
+        if peak > 1:
+            out.append(
+                f"gpu group {group}: {peak} concurrent outbound peer copies "
+                f"(one outbound engine drives NVLink transfers)"
+            )
+
+
 def _check_mpi_matching(tracer: Tracer, out: List[str]) -> None:
     sends: Dict[tuple, List[int]] = defaultdict(list)
     recvs: Dict[tuple, List[int]] = defaultdict(list)
@@ -217,6 +296,9 @@ def check_trace(tracer: Tracer) -> List[str]:
     _check_wellformed(tracer, out)
     _check_host_exclusive(tracer, out)
     _check_gpu_lanes(tracer, out)
+    _check_known_lanes(tracer, out)
+    _check_progress_model(tracer, out)
+    _check_nvlink(tracer, out)
     _check_mpi_matching(tracer, out)
     _check_span(tracer, out)
     _check_nondegenerate(tracer, out)

@@ -44,8 +44,11 @@ COMPUTE_LANES: Tuple[str, ...] = ("host", "gpu-kernel")
 
 #: Resources that count as communication/data movement.
 #: "mpi" = wire time of MPI messages; "gpu-copy" = async copy engines;
-#: "pcie" = blocking pageable copies (§IV-F's synchronous path).
-COMM_LANES: Tuple[str, ...] = ("mpi", "gpu-copy", "pcie")
+#: "pcie" = blocking pageable copies (§IV-F's synchronous path);
+#: "progress" = background wire time advanced by a progress thread or NIC
+#: offload engine (non-manual-poll progress models); "nvlink" = GPU
+#: peer-to-peer copies over the node's NVLink-class fabric.
+COMM_LANES: Tuple[str, ...] = ("mpi", "gpu-copy", "pcie", "progress", "nvlink")
 
 
 def _clip(

@@ -102,6 +102,11 @@ class Gpu:
         # Synchronous pageable copies are serviced one at a time by the
         # driver, regardless of how many host tasks issue them.
         self.sync_copy_lock = Resource(env, capacity=1)
+        #: NVLink-class peer fabric shared by the node's devices.  The
+        #: runner wires one :class:`SharedBandwidth` per node into every
+        #: resident Gpu when the spec has NVLink; None means peer copies
+        #: stage through the host (D2H + H2D over both devices' PCIe).
+        self.nvlink: Optional[SharedBandwidth] = None
         self._streams: List[Stream] = []
         #: optional repro.obs tracer recording kernel/copy intervals.
         self.tracer = None
@@ -116,6 +121,7 @@ class Gpu:
         self.kernels_launched = 0
         self.bytes_h2d = 0
         self.bytes_d2h = 0
+        self.bytes_p2p = 0
 
     # -- streams ------------------------------------------------------------
     def stream(self, name: Optional[str] = None) -> Stream:
@@ -230,6 +236,104 @@ class Gpu:
         """Async device-to-host copy of ``nbytes``; returns completion event."""
         self.bytes_d2h += nbytes
         return self._memcpy(stream, nbytes, action, name, direction="d2h")
+
+    def peer_copy(
+        self,
+        stream: Stream,
+        peer: "Gpu",
+        nbytes: int,
+        action: Action = None,
+        name: str = "p2p",
+    ) -> Event:
+        """Device-to-device copy to ``peer`` (``cudaMemcpyPeerAsync``).
+
+        When both devices hang off the same NVLink fabric (the runner
+        wires one shared link per node), the copy DMAs directly over it —
+        driven by this device's outbound copy engine, traced on the
+        "nvlink" lane.  Without a common fabric it stages through the
+        host: a D2H hop over this device's PCIe link, then an H2D hop
+        over the peer's, each occupying that device's engine and paying
+        its latency — which is exactly why NVLink-class links matter.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if peer is self:
+            raise ValueError("peer_copy needs a distinct destination device")
+        self.bytes_p2p += nbytes
+        wire_bytes = nbytes
+        if self.perturb is not None and nbytes > 0:
+            wire_bytes = nbytes * self.perturb.pcie_factor(self.trace_group)
+        env = self.env
+        done = Event(env)
+        link = (
+            self.nvlink
+            if self.nvlink is not None and peer.nvlink is self.nvlink
+            else None
+        )
+
+        def hop(dev: "Gpu", direction: str, then: Callable[[], None]):
+            """One staged hop over ``dev``'s PCIe (engine + latency + wire)."""
+            engines = dev._copy_engines[direction]
+            engine = engines.request()
+
+            def granted(_ev):
+                start = env.now
+
+                def finish(_a):
+                    engines.release(engine)
+                    if dev.tracer is not None:
+                        dev.tracer.record(
+                            "gpu-copy", f"{name}:{direction}", start, env.now,
+                            group=dev.trace_group, cat="copy",
+                            args={"dir": direction, "nbytes": nbytes,
+                                  "peer": peer.name if dev is self else self.name},
+                        )
+                    then()
+
+                def after_latency(_a):
+                    wire = dev.pcie.transfer(wire_bytes)
+                    wire.callbacks.append(finish)
+
+                env.schedule(dev.spec.pcie_latency_s, after_latency)
+
+            engine.callbacks.append(granted)
+
+        def complete():
+            if action is not None:
+                action()
+            done.succeed()
+
+        if link is not None:
+            def begin(_arg):
+                engines = self._copy_engines["d2h"]
+                engine = engines.request()
+
+                def granted(_ev):
+                    start = env.now
+
+                    def finish(_a):
+                        engines.release(engine)
+                        if self.tracer is not None:
+                            self.tracer.record(
+                                "nvlink", name, start, env.now,
+                                group=self.trace_group, cat="copy",
+                                args={"src": self.name, "dst": peer.name,
+                                      "nbytes": nbytes},
+                            )
+                        complete()
+
+                    def after_latency(_a):
+                        wire = link.transfer(wire_bytes)
+                        wire.callbacks.append(finish)
+
+                    env.schedule(self.spec.nvlink_latency_s, after_latency)
+
+                engine.callbacks.append(granted)
+        else:
+            def begin(_arg):
+                hop(self, "d2h", lambda: hop(peer, "h2d", complete))
+
+        return stream._issue(begin, done)
 
     # -- synchronization ------------------------------------------------------
     def synchronize(self, streams: Optional[List[Stream]] = None) -> Event:

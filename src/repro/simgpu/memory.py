@@ -40,6 +40,12 @@ class DeviceArray:
     nbytes: int
     data: Optional[np.ndarray] = None
     freed: bool = False
+    #: Registered with the NIC for GPUDirect RDMA: the interconnect may
+    #: DMA this allocation directly, skipping the host staging hop.  Set
+    #: by the GPU+MPI implementations when the machine's interconnect is
+    #: ``gpudirect``; purely descriptive for accounting/tests (the time
+    #: model lives in the implementations' staging skips).
+    registered: bool = False
 
     @property
     def functional(self) -> bool:
@@ -73,9 +79,17 @@ class DeviceMemory:
         return self.capacity_bytes - self.used_bytes
 
     def allocate(
-        self, name: str, shape: Sequence[int], functional: bool = False
+        self,
+        name: str,
+        shape: Sequence[int],
+        functional: bool = False,
+        registered: bool = False,
     ) -> DeviceArray:
-        """Allocate a device array; raises :class:`DeviceMemoryError` if full."""
+        """Allocate a device array; raises :class:`DeviceMemoryError` if full.
+
+        ``registered=True`` marks the allocation as NIC-registered for
+        GPUDirect RDMA (see :attr:`DeviceArray.registered`).
+        """
         shape = tuple(int(s) for s in shape)
         nbytes = int(np.prod(shape)) * _ITEMSIZE
         if nbytes > self.free_bytes:
@@ -85,10 +99,18 @@ class DeviceMemory:
                 f"{self.capacity_bytes / 1e9:.2f} GB in use"
             )
         data = np.zeros(shape) if functional else None
-        arr = DeviceArray(name=name, shape=shape, nbytes=nbytes, data=data)
+        arr = DeviceArray(
+            name=name, shape=shape, nbytes=nbytes, data=data,
+            registered=registered,
+        )
         self.used_bytes += nbytes
         self._live.append(arr)
         return arr
+
+    @property
+    def registered_bytes(self) -> int:
+        """Bytes of live allocations registered for GPUDirect RDMA."""
+        return sum(a.nbytes for a in self._live if a.registered)
 
     def free(self, arr: DeviceArray) -> None:
         """Release an allocation."""

@@ -16,6 +16,15 @@ They require the *full* backend (real peers to talk to); a typical use is
 computing global error norms inside a functional simulation — see
 ``examples``/tests.
 
+Progress models: collectives inherit the interconnect's
+:class:`~repro.machines.spec.ProgressModel` through the point-to-point
+layer they are built on.  Scalar payloads ride the eager path, which
+under ``manual-poll`` progresses *nothing* in the background — each tree
+round is fully exposed — while ``progress-thread``/``hardware-offload``
+move each round's wire bytes while ranks sit in earlier waits, shrinking
+the critical path.  Tests pin that a collective under hardware offload
+never finishes later than under manual poll on the same topology.
+
 Tag space: collectives use tags ``>= COLLECTIVE_TAG_BASE`` with a
 per-round offset, far above the six halo tags, so they can interleave with
 an application's halo traffic.

@@ -23,7 +23,7 @@ from typing import Any, Dict, Optional
 
 from repro.des import Environment, Event
 from repro.decomp.partition import Decomposition
-from repro.machines.spec import InterconnectSpec, MachineSpec, NodeSpec
+from repro.machines.spec import InterconnectSpec, MachineSpec, NodeSpec, ProgressModel
 from repro.simmpi.api import RankComm, Request, halo_tag
 
 __all__ = ["MirrorProfile", "MirrorComm"]
@@ -144,7 +144,14 @@ class MirrorComm(RankComm):
     def _wire_rate(self, xfer: _MirrorXfer) -> float:
         if xfer.local:
             return self.profile.node.memcpy_bandwidth_gbs * 1e9
-        return self.profile.interconnect.bandwidth_bps / self.profile.nic_share(xfer.tag)
+        share = self.profile.nic_share(xfer.tag)
+        npn = self.profile.interconnect.nics_per_node
+        if npn > 1:
+            # Multi-rail nodes spread the contending senders across their
+            # NICs (round-robin striping, as in the full backend); a rail
+            # still serves at least its own sender.
+            share = max(1.0, share / npn)
+        return self.profile.interconnect.bandwidth_bps / share
 
     def _maybe_start_background(self, xfer: _MirrorXfer) -> None:
         ic = self.profile.interconnect
@@ -153,14 +160,16 @@ class MirrorComm(RankComm):
             frac = 1.0
             lat = 0.5e-6
         elif xfer.eager:
-            # Eager traffic needs receiver-side matching and copying inside
-            # MPI, so nothing progresses in the background (paper ref [1]).
+            # Eager sends need only the sender posted; how much of the wire
+            # then moves without host attention is the progress model's call
+            # (manual-poll: nothing — paper ref [1] — a progress engine
+            # drains the unexpected queue on its own).
             ready = xfer.send_posted
-            frac = 0.0
+            frac = ic.background_fraction(eager=True)
             lat = ic.latency_s
         else:
             ready = xfer.send_posted and xfer.recv_posted
-            frac = ic.overlap_fraction
+            frac = ic.background_fraction(eager=False)
             lat = 2.0 * ic.latency_s
         if not ready or xfer.bg_done.triggered:
             return
@@ -174,9 +183,14 @@ class MirrorComm(RankComm):
         tracer = self.tracer
         if tracer is not None:
             start = self.env.now
+            lane = (
+                "mpi"
+                if xfer.local or ic.progress is ProgressModel.MANUAL_POLL
+                else "progress"
+            )
             xfer.bg_done.callbacks.append(
-                lambda _ev, s=start, x=xfer: tracer.record(
-                    "mpi", f"bg t{x.tag}", s, self.env.now,
+                lambda _ev, s=start, x=xfer, lane=lane: tracer.record(
+                    lane, f"bg t{x.tag}", s, self.env.now,
                     group=self.rank, cat="comm",
                     args={"tag": x.tag, "nbytes": x.nbytes,
                           "stage": "background"},
@@ -203,7 +217,7 @@ class MirrorComm(RankComm):
             xfer.fg_done = self.env.event()
         if not xfer.fg_started:
             xfer.fg_started = True
-            bg_frac = 0.0 if xfer.eager else self.profile.interconnect.overlap_fraction
+            bg_frac = self.profile.interconnect.background_fraction(xfer.eager)
             remainder = (1.0 - bg_frac) * xfer.nbytes
             if self.perturb is not None and not xfer.local and remainder > 0:
                 remainder *= self.perturb.wire_factor(self.rank)

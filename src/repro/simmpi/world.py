@@ -21,7 +21,7 @@ from collections import deque
 from typing import Any, Dict, Optional, Tuple
 
 from repro.des import Environment, Event, SharedBandwidth
-from repro.machines.spec import InterconnectSpec, NodeSpec
+from repro.machines.spec import InterconnectSpec, NodeSpec, ProgressModel
 from repro.simmpi.api import RankComm, Request
 
 __all__ = ["World"]
@@ -86,10 +86,27 @@ class World:
         #: jitter, progress stalls, drop/retransmit faults (off-node only).
         self.perturb = None
         nnodes = math.ceil(nranks / tasks_per_node)
+        # One fair-share link per NIC; multi-rail nodes (EFA-class) stripe
+        # ranks across their rails round-robin. With one NIC per node the
+        # names and indexing reduce to the historical f"nic{node}" exactly.
+        self._npn = max(1, interconnect.nics_per_node)
         self._nics = [
-            SharedBandwidth(env, interconnect.bandwidth_bps, name=f"nic{i}")
-            for i in range(nnodes)
+            SharedBandwidth(
+                env,
+                interconnect.bandwidth_bps,
+                name=f"nic{n}" if self._npn == 1 else f"nic{n}:{j}",
+            )
+            for n in range(nnodes)
+            for j in range(self._npn)
         ]
+        #: Background wire intervals land on the "mpi" lane under the
+        #: paper-era manual-poll model and on the "progress" lane when an
+        #: engine (thread or NIC) advances them — the obs layer separates
+        #: library-attended from autonomously-progressed traffic.
+        self._bg_lane = (
+            "mpi" if interconnect.progress is ProgressModel.MANUAL_POLL
+            else "progress"
+        )
         self._posted_sends: Dict[Tuple[int, int, int], deque] = {}
         self._posted_recvs: Dict[Tuple[int, int, int], deque] = {}
         # Barrier / allreduce state.
@@ -125,7 +142,8 @@ class World:
             # Slot-scheduled completion — no mover process per on-node copy.
             self.env.schedule(nbytes / self._memcpy_rate(), done.succeed)
             return done
-        return self._nics[self.node_of(src)].transfer(nbytes)
+        nic = self.node_of(src) * self._npn + (src % self._npn)
+        return self._nics[nic].transfer(nbytes)
 
     def _start_background(self, xfer: _Xfer) -> None:
         """Launch the background part of a transfer (latency + RDMA share).
@@ -137,15 +155,16 @@ class World:
         if xfer.local:
             frac = 1.0  # on-node: a plain memcpy, fully asynchronous is moot
             lat = 0.5e-6
-        elif xfer.eager:
-            # Eager traffic needs receiver-side matching and copying inside
-            # the MPI library, so none of it progresses while the host
-            # computes (the paper's ref [1], "Where's the overlap?").
-            frac = 0.0
-            lat = self.ic.latency_s
         else:
-            frac = self.ic.overlap_fraction
-            lat = 2.0 * self.ic.latency_s  # rendezvous handshake round trip
+            # How much of the wire moves without host attention is the
+            # progress model's call (manual-poll: nothing for eager — the
+            # paper's ref [1], "Where's the overlap?" — and the calibrated
+            # in-library fraction for rendezvous).
+            frac = self.ic.background_fraction(xfer.eager)
+            lat = (
+                self.ic.latency_s if xfer.eager
+                else 2.0 * self.ic.latency_s  # rendezvous handshake round trip
+            )
 
         wire_mult = 1.0
         perturb = self.perturb
@@ -159,9 +178,10 @@ class World:
         tracer = self.tracer
         if tracer is not None:
             start = self.env.now
+            lane = "mpi" if xfer.local else self._bg_lane
             bg_done.callbacks.append(
-                lambda _ev, s=start, x=xfer: tracer.record(
-                    "mpi", f"bg d{x.dst} t{x.tag}", s, self.env.now,
+                lambda _ev, s=start, x=xfer, lane=lane: tracer.record(
+                    lane, f"bg d{x.dst} t{x.tag}", s, self.env.now,
                     group=x.src, cat="comm",
                     args={"src": x.src, "dst": x.dst, "tag": x.tag,
                           "nbytes": x.nbytes, "stage": "background"},
@@ -182,7 +202,7 @@ class World:
             xfer.fg_done = self.env.event()
         if not xfer.fg_started:
             xfer.fg_started = True
-            bg_frac = 0.0 if xfer.eager else self.ic.overlap_fraction
+            bg_frac = self.ic.background_fraction(xfer.eager)
             remainder = (1.0 - bg_frac) * xfer.nbytes
             if self.perturb is not None and not xfer.local and remainder > 0:
                 remainder *= self.perturb.wire_factor(xfer.src)

@@ -1,0 +1,116 @@
+"""End-to-end properties of the progress models.
+
+The golden-dump test pins manual-poll (the default on every paper
+machine) bit-identically; these tests pin the *ordering* the models must
+obey on real runs: a NIC that progresses messages autonomously can only
+hide more communication than a library that moves bytes inside calls.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.runner import run
+from repro.machines import A100_SXM, JAGUARPF, YONA
+from repro.machines.spec import ProgressModel
+from repro.obs.invariants import check_trace
+
+#: (machine, impl, cores) grid: CPU-only nonblocking, hybrid, and the
+#: GPU-staging implementations, on full and mirror backends.
+GRID = [
+    (JAGUARPF, "nonblocking", 4, "full"),
+    (JAGUARPF, "nonblocking", 4, "mirror"),
+    (YONA, "hybrid_overlap", 4, "full"),
+    (YONA, "gpu_streams", 4, "mirror"),
+]
+
+
+def traced(machine, impl, cores, network, model):
+    m = replace(
+        machine, interconnect=replace(machine.interconnect, progress=model)
+    )
+    cfg = RunConfig(
+        machine=m, implementation=impl, cores=cores, threads_per_task=1,
+        domain=(48, 48, 48), steps=2, network=network, trace=True,
+    )
+    return run(cfg)
+
+
+@pytest.mark.parametrize("machine,impl,cores,network", GRID)
+def test_offload_overlap_fraction_never_below_manual(machine, impl, cores, network):
+    manual = traced(machine, impl, cores, network, ProgressModel.MANUAL_POLL)
+    offload = traced(machine, impl, cores, network, ProgressModel.HARDWARE_OFFLOAD)
+    assert offload.overlap.overlap_fraction >= manual.overlap.overlap_fraction - 1e-12
+
+
+@pytest.mark.parametrize("machine,impl,cores,network", GRID)
+def test_offload_never_slower(machine, impl, cores, network):
+    manual = traced(machine, impl, cores, network, ProgressModel.MANUAL_POLL)
+    offload = traced(machine, impl, cores, network, ProgressModel.HARDWARE_OFFLOAD)
+    assert offload.elapsed_s <= manual.elapsed_s + 1e-15
+
+
+@pytest.mark.parametrize("model", list(ProgressModel))
+@pytest.mark.parametrize("machine,impl,cores,network", GRID)
+def test_invariants_hold_under_every_model(machine, impl, cores, network, model):
+    result = traced(machine, impl, cores, network, model)
+    assert check_trace(result.tracer) == []
+    assert result.tracer.meta["progress"] == model.value
+
+
+def test_manual_poll_trace_has_no_progress_lane():
+    # 24 cores = 2 JaguarPF nodes, so halo traffic crosses the wire
+    result = traced(JAGUARPF, "nonblocking", 24, "full", ProgressModel.MANUAL_POLL)
+    lanes = {lane for _, lane in result.tracer.lane_keys()}
+    assert "progress" not in lanes
+
+
+def test_offload_trace_moves_rendezvous_to_progress_lane():
+    result = traced(
+        JAGUARPF, "nonblocking", 24, "full", ProgressModel.HARDWARE_OFFLOAD
+    )
+    lanes = {lane for _, lane in result.tracer.lane_keys()}
+    assert "progress" in lanes
+
+
+def test_a100_run_passes_invariants_with_nvlink_meta():
+    cfg = RunConfig(
+        machine=A100_SXM, implementation="gpu_streams", cores=8,
+        threads_per_task=1, domain=(48, 48, 48), steps=2, network="full",
+        trace=True,
+    )
+    result = run(cfg)
+    assert check_trace(result.tracer) == []
+    gpus_meta = result.tracer.meta["gpus"]
+    assert gpus_meta and all(g["nvlink"] == 1 for g in gpus_meta.values())
+
+
+def test_progress_thread_taxes_host_compute():
+    """Stealing a core slice for the progress thread slows compute-bound
+    steps; the tax only applies when an MPI comm is attached."""
+    manual = traced(JAGUARPF, "nonblocking", 4, "full", ProgressModel.MANUAL_POLL)
+    thread = traced(
+        JAGUARPF, "nonblocking", 4, "full", ProgressModel.PROGRESS_THREAD
+    )
+    manual_host = manual.tracer.busy_time("host")
+    thread_host = thread.tracer.busy_time("host")
+    assert thread_host > manual_host
+
+
+def test_single_rank_pays_no_progress_tax():
+    """The 'single' implementation has no comm; no thread, no tax."""
+    def elapsed(model):
+        m = replace(
+            JAGUARPF,
+            interconnect=replace(JAGUARPF.interconnect, progress=model),
+        )
+        cfg = RunConfig(
+            machine=m, implementation="single", cores=1, threads_per_task=1,
+            domain=(48, 48, 48), steps=2, network="full",
+        )
+        return run(cfg).elapsed_s
+
+    assert elapsed(ProgressModel.PROGRESS_THREAD) == elapsed(
+        ProgressModel.MANUAL_POLL
+    )

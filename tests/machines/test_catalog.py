@@ -2,7 +2,19 @@
 
 import pytest
 
-from repro.machines import HOPPER, JAGUARPF, LENS, YONA, get_machine
+from repro.machines import (
+    A100_SXM,
+    EFA_CLOUD,
+    HOPPER,
+    JAGUARPF,
+    LENS,
+    MACHINES,
+    MILAN_SS11,
+    YONA,
+    ProgressModel,
+    get_machine,
+    normalize_machine_name,
+)
 
 
 class TestTable2Transcription:
@@ -102,3 +114,62 @@ class TestLookup:
         YONA.validate_threads(6)
         with pytest.raises(ValueError):
             YONA.validate_threads(13)
+
+
+class TestKeyNormalization:
+    """Regression: registration stripped only spaces while lookup stripped
+    spaces and hyphens, so any hyphenated catalog name ("A100-SXM") was
+    registered under a key ("a100-sxm") no lookup could ever produce."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("A100-SXM", A100_SXM),
+            ("a100-sxm", A100_SXM),
+            ("a100sxm", A100_SXM),
+            ("A100 SXM", A100_SXM),
+            ("a100", A100_SXM),
+            ("Milan-SS11", MILAN_SS11),
+            ("milan", MILAN_SS11),
+            ("EFA-Cloud", EFA_CLOUD),
+            ("efa", EFA_CLOUD),
+        ],
+    )
+    def test_hyphenated_names_resolve(self, name, expected):
+        assert get_machine(name) is expected
+
+    def test_every_display_name_resolves(self):
+        """The invariant the bug broke: a machine's own name looks it up."""
+        for machine in set(MACHINES.values()):
+            assert get_machine(machine.name) is machine
+
+    def test_normalize_machine_name(self):
+        assert normalize_machine_name("A100-SXM") == "a100sxm"
+        assert normalize_machine_name(" Hopper II ") == "hopperii"
+        assert normalize_machine_name("yona") == "yona"
+
+
+class TestModernMachines:
+    def test_a100_progress_and_gpu_aware(self):
+        ic = A100_SXM.interconnect
+        assert ic.progress is ProgressModel.HARDWARE_OFFLOAD
+        assert ic.gpudirect and ic.nics_per_node == 4
+        assert A100_SXM.gpu.has_nvlink
+        assert A100_SXM.gpu.nvlink_bandwidth_gbs > A100_SXM.gpu.pcie_bandwidth_gbs
+
+    def test_paper_machines_keep_manual_poll(self):
+        for m in (JAGUARPF, HOPPER, LENS, YONA):
+            ic = m.interconnect
+            assert ic.progress is ProgressModel.MANUAL_POLL
+            assert not ic.gpudirect and ic.nics_per_node == 1
+            if m.gpu is not None:
+                assert not m.gpu.has_nvlink
+
+    def test_efa_uses_progress_thread(self):
+        ic = EFA_CLOUD.interconnect
+        assert ic.progress is ProgressModel.PROGRESS_THREAD
+        assert ic.progress_tax > 0.0
+
+    def test_milan_is_cpu_only(self):
+        assert MILAN_SS11.gpu is None
+        assert MILAN_SS11.interconnect.progress is ProgressModel.HARDWARE_OFFLOAD

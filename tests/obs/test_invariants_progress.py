@@ -1,0 +1,88 @@
+"""Progress-model awareness and the known-lane registry of the checker."""
+
+import pytest
+
+from repro.obs.invariants import KNOWN_LANES, TraceInvariantError, assert_invariants, check_trace
+from repro.obs.tracer import GPU_GROUP_BASE, LINK_GROUP_BASE, Tracer
+
+
+class TestKnownLanes:
+    def test_registry_covers_the_simulator(self):
+        assert {"host", "gpu-kernel", "gpu-copy", "mpi", "pcie", "mpi-sync",
+                "noise", "progress", "nvlink"} <= KNOWN_LANES
+
+    def test_unknown_lane_fails_loudly(self):
+        t = Tracer()
+        t.record("warp-drive", "x", 0.0, 1.0, group=0)
+        violations = check_trace(t)
+        assert any("unknown lane 'warp-drive'" in v for v in violations)
+        with pytest.raises(TraceInvariantError):
+            assert_invariants(t)
+
+    def test_link_wire_lanes_are_exempt(self):
+        """Links trace on their own name; the group id marks them."""
+        t = Tracer()
+        t.record("nic0:3", "xfer", 0.0, 1.0, group=LINK_GROUP_BASE)
+        t.record("gpu0-pcie", "xfer", 0.0, 1.0, group=LINK_GROUP_BASE + 1)
+        t.record("nvlink0", "xfer", 0.0, 1.0, group=LINK_GROUP_BASE + 2)
+        assert check_trace(t) == []
+
+
+class TestProgressModelRule:
+    def test_progress_lane_under_manual_poll_is_a_violation(self):
+        t = Tracer()
+        t.meta["progress"] = "manual-poll"
+        t.record("progress", "bg d1 t1", 0.0, 1.0, group=0)
+        violations = check_trace(t)
+        assert any("manual-poll" in v for v in violations)
+
+    def test_missing_meta_defaults_to_manual_poll(self):
+        t = Tracer()
+        t.record("progress", "bg d1 t1", 0.0, 1.0, group=0)
+        assert check_trace(t)
+
+    @pytest.mark.parametrize("model", ["progress-thread", "hardware-offload"])
+    def test_progress_lane_allowed_with_engine(self, model):
+        t = Tracer()
+        t.meta["progress"] = model
+        t.record("progress", "bg d1 t1", 0.0, 1.0, group=0)
+        assert check_trace(t) == []
+
+
+class TestNvlinkRule:
+    def _meta(self, t, nvlink):
+        t.meta["gpus"] = {
+            GPU_GROUP_BASE: {"kernel_slots": 16, "copy_engines": 2,
+                             "nvlink": nvlink}
+        }
+
+    def test_peer_copy_on_linked_device_passes(self):
+        t = Tracer()
+        self._meta(t, nvlink=1)
+        t.record("nvlink", "p2p", 0.0, 1.0, group=GPU_GROUP_BASE)
+        assert check_trace(t) == []
+
+    def test_peer_copy_without_fabric_is_a_violation(self):
+        t = Tracer()
+        self._meta(t, nvlink=0)
+        t.record("nvlink", "p2p", 0.0, 1.0, group=GPU_GROUP_BASE)
+        assert any("without an NVLink fabric" in v for v in check_trace(t))
+
+    def test_peer_copy_from_rank_group_is_a_violation(self):
+        t = Tracer()
+        t.record("nvlink", "p2p", 0.0, 1.0, group=0)
+        assert any("non-GPU group" in v for v in check_trace(t))
+
+    def test_concurrent_outbound_copies_are_a_violation(self):
+        t = Tracer()
+        self._meta(t, nvlink=1)
+        t.record("nvlink", "p2p", 0.0, 2.0, group=GPU_GROUP_BASE)
+        t.record("nvlink", "p2p", 1.0, 3.0, group=GPU_GROUP_BASE)
+        assert any("concurrent outbound" in v for v in check_trace(t))
+
+    def test_back_to_back_copies_pass(self):
+        t = Tracer()
+        self._meta(t, nvlink=1)
+        t.record("nvlink", "p2p", 0.0, 1.0, group=GPU_GROUP_BASE)
+        t.record("nvlink", "p2p", 1.0, 2.0, group=GPU_GROUP_BASE)
+        assert check_trace(t) == []

@@ -57,6 +57,24 @@ class TestPresetsAndCalibrations:
         assert NoiseSpec.for_machine("jaguarpf").kernel_jitter == 0.0
         assert NoiseSpec.for_machine("yona").kernel_jitter > 0.0
 
+    def test_modern_machines_have_calibrations(self):
+        for name in ("A100-SXM", "Milan-SS11", "EFA-Cloud"):
+            assert not NoiseSpec.for_machine(name).is_null
+        # the cloud fabric is far noisier than the dedicated Slingshot one
+        assert (
+            NoiseSpec.for_machine("efa-cloud").os_jitter
+            > NoiseSpec.for_machine("milan-ss11").os_jitter
+        )
+
+    def test_unknown_machine_falls_back_to_off(self, caplog):
+        """An uncalibrated machine gets the 'off' preset, not a KeyError:
+        noise calibration is optional, a lookup miss is not a user error."""
+        with caplog.at_level("INFO", logger="repro.perturb"):
+            spec = NoiseSpec.for_machine("no-such-machine")
+        assert spec == PRESETS["off"]
+        assert spec.is_null
+        assert any("no noise calibration" in r.message for r in caplog.records)
+
 
 class TestScaling:
     def test_scaled_zero_is_null(self):

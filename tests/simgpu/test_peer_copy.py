@@ -1,0 +1,137 @@
+"""Peer-to-peer copies: NVLink fast path vs host-staged fallback, and
+GPUDirect registration accounting."""
+
+import pytest
+
+from repro.des import Environment, SharedBandwidth
+from repro.machines import A100_SXM, YONA
+from repro.obs import Tracer
+from repro.simgpu.device import Gpu
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_pair(env, spec, linked):
+    a = Gpu(env, spec, name="gpuA")
+    b = Gpu(env, spec, name="gpuB")
+    if linked:
+        link = SharedBandwidth(env, spec.nvlink_bandwidth_bps, name="nvlink0")
+        a.nvlink = link
+        b.nvlink = link
+    return a, b
+
+
+NBYTES = 64 * 1024 * 1024
+
+
+class TestNvlinkPath:
+    def test_nvlink_much_faster_than_staged(self, env):
+        a1, b1 = make_pair(env, A100_SXM.gpu, linked=True)
+        a1.peer_copy(a1.stream(), b1, NBYTES)
+        env.run()
+        t_link = env.now
+
+        env2 = Environment()
+        a2, b2 = make_pair(env2, A100_SXM.gpu, linked=False)
+        a2.peer_copy(a2.stream(), b2, NBYTES)
+        env2.run()
+        t_staged = env2.now
+
+        # two PCIe hops vs one NVLink hop at ~10x the bandwidth
+        assert t_link < t_staged / 4
+
+    def test_nvlink_traced_on_nvlink_lane(self, env):
+        a, b = make_pair(env, A100_SXM.gpu, linked=True)
+        tracer = Tracer()
+        a.tracer = tracer
+        a.peer_copy(a.stream(), b, NBYTES)
+        env.run()
+        events = [ev for ev in tracer.events if ev.lane == "nvlink"]
+        assert len(events) == 1
+        assert events[0].args["src"] == "gpuA"
+        assert events[0].args["dst"] == "gpuB"
+        assert events[0].args["nbytes"] == NBYTES
+
+    def test_byte_counter(self, env):
+        a, b = make_pair(env, A100_SXM.gpu, linked=True)
+        a.peer_copy(a.stream(), b, NBYTES)
+        env.run()
+        assert a.bytes_p2p == NBYTES
+        assert b.bytes_p2p == 0
+
+    def test_action_runs_on_completion(self, env):
+        a, b = make_pair(env, A100_SXM.gpu, linked=True)
+        seen = []
+        a.peer_copy(a.stream(), b, NBYTES, action=lambda: seen.append(env.now))
+        env.run()
+        assert seen == [env.now]
+
+    def test_different_fabrics_fall_back_to_staging(self, env):
+        """Sharing *a* link object is what makes peers NVLink-reachable."""
+        a, b = make_pair(env, A100_SXM.gpu, linked=False)
+        a.nvlink = SharedBandwidth(env, 1e12, name="nvlink0")
+        b.nvlink = SharedBandwidth(env, 1e12, name="nvlink1")  # other node
+        tracer = Tracer()
+        a.tracer = tracer
+        b.tracer = tracer
+        a.peer_copy(a.stream(), b, NBYTES)
+        env.run()
+        assert not [ev for ev in tracer.events if ev.lane == "nvlink"]
+        assert [ev for ev in tracer.events if ev.lane == "gpu-copy"]
+
+
+class TestStagedFallback:
+    def test_two_hops_traced(self, env):
+        a, b = make_pair(env, YONA.gpu, linked=False)
+        tracer = Tracer()
+        a.tracer = tracer
+        b.tracer = tracer
+        b.trace_group = a.trace_group + 1
+        a.peer_copy(a.stream(), b, NBYTES)
+        env.run()
+        copies = [ev for ev in tracer.events if ev.lane == "gpu-copy"]
+        assert [(ev.args["dir"], ev.group) for ev in copies] == [
+            ("d2h", a.trace_group),
+            ("h2d", b.trace_group),
+        ]
+        # hops are sequential: the H2D starts after the D2H ends
+        assert copies[1].start >= copies[0].end
+
+    def test_staged_time_is_two_pcie_hops(self, env):
+        a, b = make_pair(env, YONA.gpu, linked=False)
+        a.peer_copy(a.stream(), b, NBYTES)
+        env.run()
+        spec = YONA.gpu
+        expected = 2 * (spec.pcie_latency_s + NBYTES / spec.pcie_bandwidth_bps)
+        assert env.now == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_self_copy_rejected(self, env):
+        a, _ = make_pair(env, YONA.gpu, linked=False)
+        with pytest.raises(ValueError):
+            a.peer_copy(a.stream(), a, 100)
+
+    def test_negative_bytes_rejected(self, env):
+        a, b = make_pair(env, YONA.gpu, linked=False)
+        with pytest.raises(ValueError):
+            a.peer_copy(a.stream(), b, -1)
+
+
+class TestRegisteredMemory:
+    def test_registered_accounting(self, env):
+        gpu = Gpu(env, A100_SXM.gpu)
+        r = gpu.memory.allocate("halo", (64, 64), registered=True)
+        gpu.memory.allocate("scratch", (64, 64))
+        assert r.registered
+        assert gpu.memory.registered_bytes == r.nbytes
+        gpu.memory.free(r)
+        assert gpu.memory.registered_bytes == 0
+
+    def test_default_is_unregistered(self, env):
+        gpu = Gpu(env, YONA.gpu)
+        arr = gpu.memory.allocate("u", (8, 8, 8))
+        assert not arr.registered

@@ -3,7 +3,7 @@
 
 Run from the repository root::
 
-    python tools/perf_smoke.py [--out BENCH_PR8.json] [--check]
+    python tools/perf_smoke.py [--out BENCH_PR9.json] [--check]
 
 Measures, on the current machine:
 
@@ -53,9 +53,17 @@ Measures, on the current machine:
   subprocess answering cached queries over NDJSON — throughput with 8
   concurrent pipelined clients (gated at >= 10k queries/s), per-query
   p50/p99 warm latency, and the identity contract (a served warm
-  result must match a direct ``core.runner.run`` bit-for-bit).
+  result must match a direct ``core.runner.run`` bit-for-bit),
+* the progress-model layer's cost and contract: the paper machines
+  default to ``manual-poll``, which must reproduce a pre-progress-model
+  run bit-identically (the explicit enum equals the default) while
+  ``hardware-offload`` may only speed the same config up; the disabled
+  cost of the model machinery (one ``_progress_tax`` truthiness guard
+  per compute charge, one ``background_fraction`` dispatch per wire
+  message) is bounded analytically from the traced event counts and a
+  micro-benchmark of both call sites, ceiling 2%.
 
-Results are written as JSON (default ``BENCH_PR8.json``) so each PR can
+Results are written as JSON (default ``BENCH_PR9.json``) so each PR can
 record its perf point and the trajectory stays auditable. The committed
 numbers come from the reference container; regenerate locally before
 comparing machines.
@@ -130,6 +138,9 @@ FLOOR_JOURNAL_APPEND_SPEEDUP = 10.0
 #: clients (this container measures ~17k/s; the floor leaves headroom
 #: for CI machine variance while still catching a protocol regression)
 FLOOR_SERVE_WARM_QPS = 10_000
+#: progress models: the manual-poll default may cost at most 2% of a
+#: pre-progress-model run (analytic bound on the guard + dispatch sites)
+CEIL_PROGRESS_OFF_OVERHEAD = 0.02
 
 
 def usable_cores() -> int:
@@ -451,6 +462,89 @@ def time_perturb_overhead() -> dict:
     }
 
 
+def time_progress_models() -> dict:
+    """Manual-poll identity, offload ordering, and the disabled cost bound.
+
+    Every paper machine defaults to ``manual-poll``, so a run with the
+    enum set explicitly must be bit-identical to the default path, and
+    ``hardware-offload`` — which only hides *more* wire time — may never
+    come out slower on the same config. Under manual poll the model
+    machinery costs one ``self._progress_tax`` truthiness guard per
+    compute charge and one ``background_fraction`` dispatch per wire
+    message; the traced run counts both kinds of site (doubled for
+    margin) and micro-benchmarks price each, bounding the disabled
+    overhead analytically, gated at 2%.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.core.config import RunConfig
+    from repro.core.runner import run
+    from repro.machines import get_machine
+    from repro.machines.spec import ProgressModel
+
+    yona = get_machine("yona")
+
+    def with_model(model):
+        return dc_replace(
+            yona, interconnect=dc_replace(yona.interconnect, progress=model)
+        )
+
+    def cfg(machine, **kw) -> RunConfig:
+        return RunConfig(
+            machine=machine, implementation="hybrid_overlap",
+            cores=12, threads_per_task=6, box_thickness=3,
+            network="full", **kw,
+        )
+
+    base = run(cfg(yona))
+    explicit = run(cfg(with_model(ProgressModel.MANUAL_POLL)))
+    identical = (
+        explicit.elapsed_s == base.elapsed_s
+        and explicit.phases == base.phases
+        and explicit.comm_stats == base.comm_stats
+    )
+
+    thread = run(cfg(with_model(ProgressModel.PROGRESS_THREAD)))
+    offload = run(cfg(with_model(ProgressModel.HARDWARE_OFFLOAD)))
+    offload_ordered = offload.elapsed_s <= base.elapsed_s
+
+    reps = 20
+    off_s = 1e9
+    for _ in range(3):  # best-of batches, same shape as the other bounds
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            run(cfg(yona))
+        off_s = min(off_s, (time.perf_counter() - t0) / reps)
+
+    tracer = run(cfg(yona, trace=True)).tracer
+    n_charges = sum(1 for ev in tracer.events if ev.lane == "host")
+    n_msgs = sum(1 for ev in tracer.events if ev.lane in ("mpi", "progress"))
+    guard_s = _guard_cost_s()
+    ic = yona.interconnect
+    iters = 200_000
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        ic.background_fraction(False)  # the exact per-message dispatch
+    dispatch_s = (time.perf_counter() - t0) / iters
+    off_bound = 2 * (n_charges * guard_s + n_msgs * dispatch_s) / off_s
+    return {
+        "manual_ms_per_run": round(off_s * 1e3, 3),
+        "manual_poll_bit_identical_to_default": identical,
+        "offload_never_slower": offload_ordered,
+        "elapsed_s": {
+            "manual-poll": base.elapsed_s,
+            "progress-thread": thread.elapsed_s,
+            "hardware-offload": offload.elapsed_s,
+        },
+        "charge_sites_bound": 2 * n_charges,
+        "message_sites_bound": 2 * n_msgs,
+        "guard_cost_ns": round(guard_s * 1e9, 2),
+        "dispatch_cost_ns": round(dispatch_s * 1e9, 2),
+        "disabled_overhead_bound": round(off_bound, 5),
+        "acceptance_ceiling_disabled_overhead": CEIL_PROGRESS_OFF_OVERHEAD,
+    }
+
+
 def time_fabric() -> dict:
     """Sweep-fabric hot paths: warm parent lookups and group commit.
 
@@ -673,7 +767,7 @@ def time_fig9() -> float:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_PR8.json", metavar="PATH")
+    ap.add_argument("--out", default="BENCH_PR9.json", metavar="PATH")
     ap.add_argument("--size", type=int, default=256, help="grid points per dim")
     ap.add_argument("--steps", type=int, default=3)
     ap.add_argument("--check", action="store_true",
@@ -761,8 +855,16 @@ def main(argv=None) -> int:
         f"disabled-guard bound {100 * perturb['disabled_overhead_bound']:.2f}%"
     )
 
+    progress = time_progress_models()
+    print(
+        f"progress models: manual {progress['manual_ms_per_run']:.2f} ms/run, "
+        f"default-identical={progress['manual_poll_bit_identical_to_default']}, "
+        f"offload-never-slower={progress['offload_never_slower']}, "
+        f"disabled-guard bound {100 * progress['disabled_overhead_bound']:.2f}%"
+    )
+
     payload = {
-        "pr": 8,
+        "pr": 9,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -785,6 +887,7 @@ def main(argv=None) -> int:
         "experiments": {"fig9_seconds": round(fig9_s, 2)},
         "tracing": trace,
         "perturbation": perturb,
+        "progress_models": progress,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -865,6 +968,16 @@ def main(argv=None) -> int:
             f"disabled-perturbation guard bound "
             f"{100 * perturb['disabled_overhead_bound']:.2f}% > "
             f"{100 * CEIL_PERTURB_OFF_OVERHEAD:.0f}%"
+        )
+    if not progress["manual_poll_bit_identical_to_default"]:
+        failures.append("explicit manual-poll differs from the default path")
+    if not progress["offload_never_slower"]:
+        failures.append("hardware-offload came out slower than manual-poll")
+    if progress["disabled_overhead_bound"] > CEIL_PROGRESS_OFF_OVERHEAD:
+        failures.append(
+            f"disabled progress-model bound "
+            f"{100 * progress['disabled_overhead_bound']:.2f}% > "
+            f"{100 * CEIL_PROGRESS_OFF_OVERHEAD:.0f}%"
         )
     if failures:
         for f in failures:
