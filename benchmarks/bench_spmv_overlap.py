@@ -1,0 +1,20 @@
+"""SpMV overlap study (extension experiment) regeneration benchmark."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_spmv_overlap(benchmark, once, capsys):
+    result = once(benchmark, run_experiment, "spmv_overlap")
+    s = result.series
+    # The GPU task mode leads on both GPU machines at every core count...
+    for machine in ("Yona", "A100-SXM"):
+        task_mode = s[f"{machine} hybrid_overlap"]
+        for cores, gf in task_mode.items():
+            assert gf > s[f"{machine} bulk"][cores]
+            assert gf > s[f"{machine} nonblocking"][cores]
+        # ... because it hides the most communication (the SS V-E ordering).
+        frac = s[f"{machine} overlap fraction"]
+        assert frac["hybrid_overlap"] > frac["nonblocking"] > frac["bulk"] == 0
+    with capsys.disabled():
+        print()
+        print(result.to_text())

@@ -183,7 +183,15 @@ def config_key(cfg: "RunConfig", model_version: Optional[str] = None) -> str:
     if memo is not None and memo[0] == model_version:
         return memo[1]
     canon = {}
+    # config_key renders the config's fields itself (to splice in the
+    # memoized machine canonical form), so the _KEY_OMIT_DEFAULTS
+    # contract honored by _canonical for nested specs must be honored
+    # here too: fields added after entries already existed on disk stay
+    # out of the canonical form while at their original defaults.
+    omit = getattr(type(cfg), "_KEY_OMIT_DEFAULTS", None) or {}
     for f in dataclasses.fields(cfg):
+        if f.name in omit and getattr(cfg, f.name) == omit[f.name]:
+            continue
         if f.name == "machine":
             canon["machine"] = _machine_canonical(cfg.machine)
         else:
@@ -386,47 +394,79 @@ class RunCache:
         return True
 
     # -- maintenance --------------------------------------------------------
-    def _entry_paths(self):
-        """Every entry file, across the sharded and flat (v1) layouts."""
+    def _entries(self):
+        """Yield ``(key, [paths])`` per distinct entry key, both layouts.
+
+        A key can exist in *both* the flat v1 layout and its shard — an
+        interrupted ``_migrate_flat``, or a peer writing the shard while
+        a flat copy lingers. The walk groups the copies under one key
+        (shard copy first: it is the authoritative one that ``get``
+        reads), so ``__len__``/``prune`` see each entry exactly once.
+        """
         try:
             names = sorted(os.listdir(self.directory))
         except OSError:
             return
+        flat: Dict[str, str] = {}
+        for name in names:
+            if name.endswith(".json"):
+                flat[name[: -len(".json")]] = os.path.join(self.directory, name)
         for name in names:
             path = os.path.join(self.directory, name)
-            if name.endswith(".json"):
-                yield path  # flat v1 entry
-            elif len(name) == SHARD_PREFIX_CHARS and os.path.isdir(path):
+            if len(name) == SHARD_PREFIX_CHARS and os.path.isdir(path):
                 try:
                     inner = sorted(os.listdir(path))
                 except OSError:
                     continue
                 for sub in inner:
-                    if sub.endswith(".json"):
-                        yield os.path.join(path, sub)
+                    if not sub.endswith(".json"):
+                        continue
+                    key = sub[: -len(".json")]
+                    paths = [os.path.join(path, sub)]
+                    dup = flat.pop(key, None)
+                    if dup is not None:
+                        paths.append(dup)
+                    yield key, paths
+        for key, path in flat.items():
+            yield key, [path]
+
+    def _entry_paths(self):
+        """Every distinct entry's authoritative file (dupes collapsed)."""
+        for _key, paths in self._entries():
+            yield paths[0]
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._entry_paths())
+        """Distinct entry keys on disk (a half-migrated key counts once)."""
+        return sum(1 for _ in self._entries())
 
     def prune(self) -> int:
-        """Delete entries from other model versions; returns count removed.
+        """Delete entries from other model versions; returns keys removed.
 
         Shard-aware: walks the 256 shard directories *and* any remaining
-        flat v1 entries, so a partially migrated cache prunes completely.
+        flat v1 entries, so a partially migrated cache prunes
+        completely. A stale key present in both layouts is removed from
+        both (and counted once); a current key's lingering flat
+        duplicate is dropped as housekeeping (the shard copy is the one
+        lookups read), uncounted.
         """
         removed = 0
-        for path in list(self._entry_paths()):
+        for key, paths in list(self._entries()):
+            stale = True
             try:
-                with open(path, "r") as fh:
-                    if json.load(fh).get("model_version") == MODEL_VERSION:
-                        continue
+                with open(paths[0], "r") as fh:
+                    stale = json.load(fh).get("model_version") != MODEL_VERSION
             except (OSError, json.JSONDecodeError):
                 pass
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
-            removed += 1
+            doomed = paths if stale else paths[1:]
+            gone = 0
+            for path in doomed:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                gone += 1
+            if stale and gone:
+                removed += 1
         return removed
 
     def stats(self) -> Dict[str, int]:

@@ -45,7 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     runp = sub.add_parser("run", help="run one configuration")
     runp.add_argument("--machine", required=True, help="jaguarpf|hopper|lens|yona")
-    runp.add_argument("--impl", required=True, choices=sorted(IMPLEMENTATIONS))
+    runp.add_argument("--impl", required=True,
+                      help="implementation key of the selected workload "
+                           "(see 'list'); validated against --workload")
+    _add_workload_flags(runp)
     runp.add_argument("--cores", type=int, required=True)
     runp.add_argument("--threads", type=int, default=1)
     runp.add_argument("--thickness", type=int, default=1)
@@ -120,8 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweepp.add_argument("--machine", required=True, help="jaguarpf|hopper|lens|yona")
     sweepp.add_argument("--impl", nargs="+", required=True, metavar="IMPL",
-                        choices=sorted(IMPLEMENTATIONS) + ["all"],
-                        help="implementation keys, or 'all'")
+                        help="implementation keys of the selected workload, "
+                             "or 'all'")
+    _add_workload_flags(sweepp)
     sweepp.add_argument("--cores", type=int, nargs="+", required=True,
                         metavar="N", help="total core counts to sweep")
     sweepp.add_argument("--thicknesses", metavar="T1,T2,...", default=None,
@@ -224,8 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace one run (Chrome-trace/Perfetto export, overlap metrics, "
              "invariant checker) or check every run of whole experiments",
     )
-    tracep.add_argument("--impl", choices=sorted(IMPLEMENTATIONS),
+    tracep.add_argument("--impl",
                         help="implementation to trace (single-run mode)")
+    _add_workload_flags(tracep)
     tracep.add_argument("--machine", help="jaguarpf|hopper|lens|yona")
     tracep.add_argument("--cores", type=int, default=None,
                         help="total cores (default: one full node)")
@@ -261,6 +266,39 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _add_workload_flags(parser) -> None:
+    parser.add_argument(
+        "--workload", metavar="KEY", default="advection",
+        help="timed program family (see 'list'; default: advection, the "
+             "paper's stencil)",
+    )
+    parser.add_argument(
+        "--param", metavar="NAME=VALUE", action="append", default=[],
+        dest="params",
+        help="workload-specific problem knob (repeatable), e.g. "
+             "--workload spmv --param rows=65536 --param band=16",
+    )
+
+
+def _parse_workload_params(pairs: List[str]):
+    """``--param NAME=VALUE`` flags as ``workload_params`` tuples."""
+    out = []
+    for text in pairs:
+        name, sep, raw = text.partition("=")
+        if not sep or not name:
+            raise ValueError(f"--param expects NAME=VALUE, got {text!r}")
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        out.append((name, value))
+    return tuple(out)
+
+
 def _add_progress_flag(parser) -> None:
     parser.add_argument(
         "--progress", metavar="MODEL", default=None,
@@ -283,9 +321,17 @@ def _apply_progress(machine, progress: Optional[str]):
 
 
 def _cmd_list() -> int:
+    from repro.workloads import WORKLOADS, workload_keys
+
     print("implementations:")
     for key, impl in IMPLEMENTATIONS.items():
         print(f"  {key:16s} {impl.section:6s} {impl.title}")
+    print("workloads (--workload KEY; implementations per workload):")
+    for wkey in workload_keys():
+        wl = WORKLOADS[wkey]
+        impls = ", ".join(sorted(wl.implementations))
+        print(f"  {wkey:16s} {wl.title}")
+        print(f"  {'':16s}   impls: {impls}")
     print("machines:")
     seen = set()
     for m in MACHINES.values():
@@ -326,6 +372,7 @@ def _cmd_run(args) -> int:
     machine = _apply_progress(get_machine(args.machine), args.progress)
     try:
         seed, noise = _resolve_noise(args, machine, default="machine")
+        params = _parse_workload_params(args.params)
     except ValueError as exc:
         print(f"run: {exc}", file=sys.stderr)
         return 2
@@ -342,13 +389,20 @@ def _cmd_run(args) -> int:
         trace=args.trace,
         seed=seed,
         noise=noise,
+        workload=args.workload,
+        workload_params=params,
     )
-    if args.replicas > 1:
-        from repro.core.runner import run_replicated
+    try:
+        if args.replicas > 1:
+            from repro.core.runner import run_replicated
 
-        result = run_replicated(cfg, args.replicas)
-    else:
-        result = run_config(cfg)
+            result = run_replicated(cfg, args.replicas)
+        else:
+            result = run_config(cfg)
+    except KeyError as exc:
+        # Unknown workload/implementation: the two-axis registry error.
+        print(f"run: {exc.args[0]}", file=sys.stderr)
+        return 2
     print(result.summary())
     if result.stats is not None:
         s = result.stats
@@ -454,9 +508,12 @@ def _sweep_groups(args, machine, thicknesses):
     """
     from repro.perf.sweep import tuning_configs
     from repro.sched import validate_config
+    from repro.workloads import get_workload
 
+    workload = getattr(args, "workload", "advection")
+    params = _parse_workload_params(getattr(args, "params", []))
     impls = (
-        sorted(IMPLEMENTATIONS) if "all" in args.impl
+        sorted(get_workload(workload).implementations) if "all" in args.impl
         else list(dict.fromkeys(args.impl))
     )
     groups = []
@@ -467,6 +524,7 @@ def _sweep_groups(args, machine, thicknesses):
                 machine, impl, cores,
                 thicknesses=thicknesses, steps=args.steps,
                 network=args.network,
+                workload=workload, workload_params=params,
             )
             feasible = []
             for cfg in cfgs:
@@ -575,7 +633,14 @@ def _cmd_sweep(args) -> int:
             print(f"sweep: bad --thicknesses {args.thicknesses!r}", file=sys.stderr)
             return 2
     cache_dir = _resolve_cache_dir(args)
-    groups, total, skipped = _sweep_groups(args, machine, thicknesses)
+    try:
+        groups, total, skipped = _sweep_groups(args, machine, thicknesses)
+    except KeyError as exc:
+        print(f"sweep: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     if args.dry_run:
         return _sweep_dry_run(args, groups, total, skipped, cache_dir)
     if args.fabric:
@@ -672,6 +737,7 @@ def _cmd_trace(args) -> int:
     cores = args.cores if args.cores is not None else machine.node.cores
     try:
         seed, noise = _resolve_noise(args, machine, default="machine")
+        params = _parse_workload_params(args.params)
     except ValueError as exc:
         print(f"trace: {exc}", file=sys.stderr)
         return 2
@@ -687,8 +753,14 @@ def _cmd_trace(args) -> int:
         trace=True,
         seed=seed,
         noise=noise,
+        workload=args.workload,
+        workload_params=params,
     )
-    result = run_config(cfg)
+    try:
+        result = run_config(cfg)
+    except KeyError as exc:
+        print(f"trace: {exc.args[0]}", file=sys.stderr)
+        return 2
     print(result.summary())
     if result.overlap is not None:
         print("  " + result.overlap.summary())

@@ -8,7 +8,7 @@ from typing import Iterator
 from repro.core.config import RunConfig
 from repro.core.context import RankContext
 
-__all__ = ["Implementation"]
+__all__ = ["Implementation", "freeze_implementations"]
 
 
 def _empty():
@@ -29,6 +29,14 @@ class Implementation(abc.ABC):
     * :meth:`finish_timed` — work that belongs inside the measurement
       (the paper synchronizes CPU and GPU immediately before timer calls);
     * :meth:`drain` — post-measurement retrieval of functional state.
+
+    Registry instances are shared singletons reused by every run in the
+    process — including interleaved runs in the scheduler pool and the
+    serve daemon — so they must stay stateless: per-run state belongs in
+    ``ctx.state`` (or on the data object), never on ``self``. The
+    registries enforce this by freezing their instances
+    (:func:`freeze_implementations`); an assignment to a frozen instance
+    raises instead of silently bleeding state into the next run.
     """
 
     #: registry key, e.g. ``"bulk"``.
@@ -41,6 +49,20 @@ class Implementation(abc.ABC):
     fortran_loc: int = 0
     uses_mpi: bool = False
     uses_gpu: bool = False
+
+    def __setattr__(self, name: str, value) -> None:
+        if getattr(self, "_frozen", False):
+            raise AttributeError(
+                f"{type(self).__name__} instances are shared singletons; "
+                f"keep per-run state in ctx.state, not on the implementation "
+                f"(tried to set {name!r})"
+            )
+        super().__setattr__(name, value)
+
+    def freeze(self) -> "Implementation":
+        """Make this instance immutable (registry singletons only)."""
+        object.__setattr__(self, "_frozen", True)
+        return self
 
     def validate(self, cfg: RunConfig) -> None:
         """Reject configurations this implementation cannot run."""
@@ -75,3 +97,15 @@ class Implementation(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Implementation {self.key} ({self.section})>"
+
+
+def freeze_implementations(*impls: Implementation) -> dict:
+    """Build a ``key -> frozen singleton`` registry level from instances."""
+    out = {}
+    for impl in impls:
+        if not impl.key:
+            raise ValueError(f"{type(impl).__name__} has no registry key")
+        if impl.key in out:
+            raise ValueError(f"duplicate implementation key {impl.key!r}")
+        out[impl.key] = impl.freeze()
+    return out

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, ClassVar, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -92,6 +92,24 @@ class RunConfig:
     #: ablation switch: complete each MPI dimension before computing the
     #: walls it would have hidden (no MPI hidden behind CPU work).
     disable_mpi_overlap: bool = False
+    #: which timed program family to run (repro.workloads registry key);
+    #: "advection" is the pre-workload behaviour.
+    workload: str = "advection"
+    #: workload-specific problem knobs as (name, value) pairs — a
+    #: hashable stand-in for a dict on this frozen config (e.g.
+    #: (("band", 64), ("rows", 1 << 20)) for spmv). Normalized to sorted
+    #: tuple form in __post_init__. Empty for advection.
+    workload_params: Tuple[Tuple[str, Any], ...] = ()
+
+    #: Fields left out of the cache key while at these defaults: a config
+    #: with the default workload hashes exactly as it did before the
+    #: workload layer existed, so every pre-workload cache entry stays
+    #: addressable without a model-version bump (the PR 9 spec pattern;
+    #: honored both by cache._canonical and by cache.config_key itself).
+    _KEY_OMIT_DEFAULTS: ClassVar[Dict[str, Any]] = {
+        "workload": "advection",
+        "workload_params": (),
+    }
 
     def __post_init__(self):
         node_cores = self.machine.node.cores
@@ -126,6 +144,28 @@ class RunConfig:
             raise ValueError("noise injection requires a seed (set RunConfig.seed)")
         if self.seed is not None and self.seed != int(self.seed):
             raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.workload, str) or not self.workload:
+            raise ValueError(f"workload must be a non-empty string, got {self.workload!r}")
+        # Normalize workload_params to a sorted tuple of (str, scalar)
+        # pairs so equal param sets hash to one cache key regardless of
+        # the order (or container type) the caller supplied them in.
+        try:
+            pairs = [(str(k), v) for k, v in self.workload_params]
+        except (TypeError, ValueError):
+            raise ValueError(
+                "workload_params must be (name, value) pairs, got "
+                f"{self.workload_params!r}"
+            ) from None
+        names = [k for k, _ in pairs]
+        if len(set(names)) != len(names):
+            dupes = sorted({k for k in names if names.count(k) > 1})
+            raise ValueError(f"duplicate workload_params: {dupes}")
+        for k, v in pairs:
+            if not isinstance(v, (int, float, str, bool)):
+                raise ValueError(
+                    f"workload_params[{k!r}] must be a scalar, got {type(v).__name__}"
+                )
+        object.__setattr__(self, "workload_params", tuple(sorted(pairs)))
 
     # -- derived layout -------------------------------------------------------
     @property
@@ -148,6 +188,11 @@ class RunConfig:
         """Global grid points."""
         nx, ny, nz = self.domain
         return nx * ny * nz
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """``workload_params`` as a dict (workload-specific knobs)."""
+        return dict(self.workload_params)
 
     @property
     def nu(self) -> float:
@@ -195,8 +240,18 @@ class RunResult:
 
     @property
     def gflops(self) -> float:
-        """The paper's metric: analytic flops / measured seconds, in GF."""
-        work = self.config.total_points * FLOPS_PER_POINT * self.config.steps
+        """The paper's metric: analytic flops / measured seconds, in GF.
+
+        The advection expression stays inline (the pre-workload fast
+        path, bit-identical); other workloads define their own analytic
+        flop count via :meth:`repro.workloads.Workload.total_flops`.
+        """
+        if self.config.workload == "advection":
+            work = self.config.total_points * FLOPS_PER_POINT * self.config.steps
+        else:
+            from repro.workloads import get_workload
+
+            work = get_workload(self.config.workload).total_flops(self.config)
         return work / self.elapsed_s / 1e9
 
     def summary(self) -> str:

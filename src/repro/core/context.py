@@ -136,6 +136,38 @@ class RankContext:
             t += (pieces - 1) * omp_region_overhead(self.node, self.threads)
         return self._charge(phase, t)
 
+    def compute_custom(
+        self,
+        points: int,
+        *,
+        flops_per_point: float,
+        bytes_per_point: float,
+        efficiency: float = 1.0,
+        guided: bool = False,
+        pieces: int = 1,
+        phase: str = "compute",
+    ) -> Event:
+        """Timed loop with a workload-specific arithmetic intensity.
+
+        The stencil's :meth:`compute` bakes in the advection kernel's
+        flop/byte mix; non-stencil workloads (e.g. SpMV, charged per
+        stored nonzero) supply their own.
+        """
+        t = task_compute_time(
+            self.node,
+            self.threads,
+            points,
+            bytes_per_point=bytes_per_point,
+            flops_per_point=flops_per_point,
+            efficiency=efficiency,
+            guided=guided,
+        )
+        if pieces > 1:
+            from repro.machines.cpu_model import omp_region_overhead
+
+            t += (pieces - 1) * omp_region_overhead(self.node, self.threads)
+        return self._charge(phase, t)
+
     def compute_seconds(
         self, points: int, *, threads: Optional[int] = None, guided: bool = False,
         efficiency: float = 1.0,

@@ -21,22 +21,16 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from repro.core.base import Implementation
 from repro.core.config import RunConfig, RunResult
 from repro.core.context import RankContext
-from repro.core.data import RankData
-from repro.core.registry import get_implementation
-from repro.decomp.partition import Decomposition
 from repro.des import Environment, SharedBandwidth
 from repro.obs.tracer import GPU_GROUP_BASE, LINK_GROUP_BASE, Tracer
 from repro.perturb.model import Perturbation, build_perturbation
 from repro.simgpu.device import Gpu
-from repro.simmpi.mirror import MirrorComm, MirrorProfile
+from repro.simmpi.mirror import MirrorComm
 from repro.simmpi.world import World
-from repro.stencil.analytic import analytic_solution, error_norms
-from repro.stencil.grid import Grid3D
+from repro.workloads import DEFAULT_WORKLOAD, Workload, get_workload
 
 __all__ = ["run", "run_replicated"]
 
@@ -58,7 +52,7 @@ def _rank_main(impl: Implementation, ctx: RankContext, record: Dict[str, float])
 
 
 def _build_full(env: Environment, cfg: RunConfig, impl: Implementation,
-                decomp: Decomposition) -> List[RankContext]:
+                workload: Workload, decomp) -> List[RankContext]:
     machine = cfg.machine
     world: Optional[World] = None
     if impl.uses_mpi:
@@ -78,7 +72,9 @@ def _build_full(env: Environment, cfg: RunConfig, impl: Implementation,
                 gpus[gpu_id] = Gpu(env, machine.gpu, name=f"gpu{gpu_id}")
             gpu = gpus[gpu_id]
         contexts.append(
-            RankContext(env, cfg, sub, decomp, comm, RankData(cfg, sub), gpu, 1)
+            RankContext(
+                env, cfg, sub, decomp, comm, workload.make_data(cfg, sub), gpu, 1
+            )
         )
     if gpus and machine.gpu is not None and machine.gpu.has_nvlink:
         # One NVLink fabric per node, shared by the node's resident
@@ -103,12 +99,12 @@ def _tasks_per_gpu(cfg: RunConfig) -> int:
 
 
 def _build_mirror(env: Environment, cfg: RunConfig, impl: Implementation,
-                  decomp: Decomposition) -> List[RankContext]:
+                  workload: Workload, decomp) -> List[RankContext]:
     machine = cfg.machine
     comm = None
     rep_rank = 0
     if impl.uses_mpi:
-        profile = MirrorProfile.for_decomposition(machine, decomp, cfg.tasks_per_node)
+        profile = workload.mirror_profile(cfg, decomp)
         comm = MirrorComm(env, profile)
         rep_rank = profile.representative_rank
     sub = decomp.subdomain(rep_rank)
@@ -119,11 +115,16 @@ def _build_mirror(env: Environment, cfg: RunConfig, impl: Implementation,
         # Tasks sharing a GPU serialize on it; the representative's kernels
         # and transfers are stretched by that contention.
         gpu_share = _tasks_per_gpu(cfg)
-    return [RankContext(env, cfg, sub, decomp, comm, RankData(cfg, sub), gpu, gpu_share)]
+    return [
+        RankContext(
+            env, cfg, sub, decomp, comm, workload.make_data(cfg, sub), gpu, gpu_share
+        )
+    ]
 
 
 def _attach_tracer(
-    tracer: Tracer, cfg: RunConfig, contexts: List[RankContext]
+    tracer: Tracer, cfg: RunConfig, workload: Workload,
+    contexts: List[RankContext],
 ) -> None:
     """Wire one tracer into every simulated component of this run.
 
@@ -145,9 +146,15 @@ def _attach_tracer(
             "progress": cfg.machine.interconnect.progress.value,
         }
     )
+    if cfg.workload != DEFAULT_WORKLOAD:
+        # Only stamped when non-default, so default-workload traces stay
+        # byte-identical to the pre-workload golden traces.
+        tracer.meta["workload"] = cfg.workload
+        if cfg.workload_params:
+            tracer.meta["workload_params"] = dict(cfg.workload_params)
     for ctx in contexts:
         ctx.tracer = tracer
-        tracer.set_group_name(ctx.sub.rank, f"rank {ctx.sub.rank}")
+        tracer.set_group_name(ctx.sub.rank, workload.rank_group_name(ctx.sub))
 
     next_link = LINK_GROUP_BASE
     comm0 = contexts[0].comm
@@ -220,17 +227,6 @@ def _attach_perturb(perturb: Perturbation, contexts: List[RankContext]) -> None:
         gpu.trace_group = GPU_GROUP_BASE + idx
 
 
-def _gather_field(cfg: RunConfig, contexts: List[RankContext]) -> np.ndarray:
-    out = np.zeros(cfg.domain)
-    for ctx in contexts:
-        view = ctx.data.interior_view()
-        sl = tuple(
-            slice(o, o + s) for o, s in zip(ctx.sub.offset, ctx.sub.shape)
-        )
-        out[sl] = view
-    return out
-
-
 def run(cfg: RunConfig) -> RunResult:
     """Run one configuration; returns timing (and fields when functional).
 
@@ -273,20 +269,22 @@ def run(cfg: RunConfig) -> RunResult:
 
 def _run_uncached(cfg: RunConfig) -> RunResult:
     """Simulate one configuration (no cache consultation)."""
-    impl = get_implementation(cfg.implementation)
+    workload = get_workload(cfg.workload)
+    impl = workload.implementation(cfg.implementation)
+    workload.validate(cfg)
     impl.validate(cfg)
     env = Environment()
-    decomp = Decomposition(cfg.ntasks, cfg.domain)
+    decomp = workload.decompose(cfg)
 
     if cfg.network == "full":
-        contexts = _build_full(env, cfg, impl, decomp)
+        contexts = _build_full(env, cfg, impl, workload, decomp)
     else:
-        contexts = _build_mirror(env, cfg, impl, decomp)
+        contexts = _build_mirror(env, cfg, impl, workload, decomp)
 
     tracer = None
     if cfg.trace:
         tracer = Tracer()
-        _attach_tracer(tracer, cfg, contexts)
+        _attach_tracer(tracer, cfg, workload, contexts)
 
     perturb = build_perturbation(cfg.seed, cfg.noise)
     if perturb is not None:
@@ -337,14 +335,7 @@ def _run_uncached(cfg: RunConfig) -> RunResult:
         tracer=tracer, overlap=overlap, comm_stats=comm_stats,
     )
     if cfg.functional:
-        field = _gather_field(cfg, contexts)
-        grid = Grid3D(cfg.domain)
-        dt = cfg.nu * grid.min_spacing
-        exact = analytic_solution(
-            grid, cfg.velocity, time=cfg.steps * dt, sigma=cfg.sigma
-        )
-        result.global_field = field
-        result.norms = error_norms(field, exact)
+        workload.finalize_functional(cfg, contexts, result)
     return result
 
 

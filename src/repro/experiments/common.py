@@ -97,6 +97,7 @@ EXPERIMENTS: Dict[str, str] = {
     "text5b": "repro.experiments.text5b_threads",
     "protocols": "repro.experiments.protocols",
     "noise": "repro.experiments.noise_sensitivity",
+    "spmv_overlap": "repro.experiments.spmv_overlap",
 }
 
 

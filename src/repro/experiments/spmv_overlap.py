@@ -1,0 +1,161 @@
+"""Extension: SpMV workload — explicit comm overlap beyond the stencil.
+
+The paper's §V-E argument is that overlap pays exactly when there is
+communication to hide and computation to hide it under. The SpMV workload
+(:mod:`repro.workloads.spmv`, after Schubert et al. and Choi et al.)
+stresses that argument with an *irregular* halo: gather volume is set by
+actual column coupling, not face area, and the non-local sweep is a small
+slice of the work.
+
+Three parts:
+
+* **Scaling** (Fig. 3/9 harness reuse): best GF of each SpMV variant over
+  the machine's core counts — CPU variants on JaguarPF, all three on the
+  GPU machines (Yona, A100-SXM).
+* **Overlap fractions** (§V-E analysis): hidden-communication fraction of
+  each traced variant, with the advection ``hybrid_overlap`` at the same
+  point as the crossover reference.
+* **Progress-model axis** (A100-SXM): the SpMV GPU task mode under
+  manual-poll, progress-thread and hardware-offload MPI progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.core.config import RunConfig
+from repro.core.runner import run as run_config
+from repro.experiments.common import ExperimentResult
+from repro.machines import A100_SXM, JAGUARPF, YONA, ProgressModel
+from repro.machines.spec import MachineSpec
+from repro.perf.sweep import best_over_threads
+
+#: SpMV problem (band/extras/pseed at their defaults: band 48, extras 4).
+PARAMS: Tuple[Tuple[str, int], ...] = (("rows", 1 << 20),)
+FAST_PARAMS: Tuple[Tuple[str, int], ...] = (("rows", 1 << 17),)
+
+#: The SpMV variants, in the §V-E presentation order.
+CPU_IMPLS = ("bulk", "nonblocking")
+ALL_IMPLS = ("bulk", "nonblocking", "hybrid_overlap")
+
+
+def _with_progress(machine: MachineSpec, progress: ProgressModel) -> MachineSpec:
+    return replace(
+        machine, interconnect=replace(machine.interconnect, progress=progress)
+    )
+
+
+def _traced(
+    machine: MachineSpec,
+    impl: str,
+    cores: int,
+    threads: int,
+    params,
+    workload: str = "spmv",
+):
+    """One traced mirror run -> (gflops, overlap fraction)."""
+    cfg = RunConfig(
+        machine=machine,
+        implementation=impl,
+        cores=cores,
+        threads_per_task=threads,
+        steps=2,
+        workload=workload,
+        workload_params=params,
+        trace=True,
+    )
+    result = run_config(cfg)
+    return result.gflops, result.overlap.overlap_fraction
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate the SpMV overlap study."""
+    params = FAST_PARAMS if fast else PARAMS
+    rows = []
+    series = {}
+
+    # -- Part 1: best-over-threads scaling, the Fig. 3/9 harness ----------
+    for machine, impls in (
+        (JAGUARPF, CPU_IMPLS),
+        (YONA, ALL_IMPLS),
+        (A100_SXM, ALL_IMPLS),
+    ):
+        core_counts = machine.figure_core_counts
+        if fast:
+            core_counts = core_counts[:: max(1, len(core_counts) // 3)]
+        per_impl = {k: {} for k in impls}
+        for cores in core_counts:
+            best = {}
+            for key in impls:
+                res = best_over_threads(
+                    machine, key, cores,
+                    workload="spmv", workload_params=params,
+                )
+                if res is not None:
+                    per_impl[key][cores] = res.gflops
+                    best[key] = res.gflops
+            winner = max(best, key=lambda k: (best[k], k)) if best else "-"
+            rows.append(
+                [machine.name, cores]
+                + [best.get(k, "-") for k in ALL_IMPLS]
+                + [winner]
+            )
+        for key in impls:
+            series[f"{machine.name} {key}"] = per_impl[key]
+
+    # -- Part 2: SS V-E overlap fractions + advection crossover reference -
+    overlap_points = (
+        (YONA, 48 if not fast else 24, 6),
+        (A100_SXM, 1024 if not fast else 256, 16),
+    )
+    for machine, cores, threads in overlap_points:
+        fractions = {}
+        for key in ALL_IMPLS:
+            gf, frac = _traced(machine, key, cores, threads, params)
+            fractions[key] = frac
+            rows.append(
+                [f"{machine.name} overlap@{cores}", key, gf, frac, "-", "-"]
+            )
+        adv_gf, adv_frac = _traced(
+            machine, "hybrid_overlap", cores, threads, (), workload="advection"
+        )
+        rows.append(
+            [f"{machine.name} overlap@{cores}", "advection hybrid_overlap",
+             adv_gf, adv_frac, "-", "-"]
+        )
+        series[f"{machine.name} overlap fraction"] = dict(fractions)
+        series[f"{machine.name} overlap fraction"]["advection"] = adv_frac
+
+    # -- Part 3: A100-SXM progress-model axis ------------------------------
+    cores, threads = (1024, 16) if not fast else (256, 16)
+    progress_series = {}
+    for model in ProgressModel:
+        machine = _with_progress(A100_SXM, model)
+        gf, frac = _traced(machine, "hybrid_overlap", cores, threads, params)
+        progress_series[model.value] = gf
+        rows.append(
+            [f"A100-SXM progress@{cores}", model.value, gf, frac, "-", "-"]
+        )
+    series["A100-SXM hybrid_overlap by progress model"] = progress_series
+
+    return ExperimentResult(
+        exp_id="spmv_overlap",
+        title="SpMV workload: explicit comm overlap beyond the stencil",
+        paper_claim=(
+            "No paper counterpart — extends the SS V-E overlap analysis to "
+            "a sparse workload with an irregular, coupling-sized halo "
+            "(Schubert et al., arXiv:1106.5908; GPU task mode after Choi "
+            "et al., arXiv:2202.11819)."
+        ),
+        columns=["machine/part", "cores|variant", "bulk GF", "nonblocking GF",
+                 "hybrid_overlap GF", "winner"],
+        rows=rows,
+        series=series,
+        notes=(
+            "Overlap rows report (GF, hidden-comm fraction) per variant; "
+            "the GPU task mode hides the gather under the local-rows "
+            "kernel, so its overlap fraction leads, the naive nonblocking "
+            "variant trails, and vector mode hides nothing by design."
+        ),
+    )

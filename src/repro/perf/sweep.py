@@ -99,8 +99,15 @@ def sweep_configs(configs: Iterable[RunConfig]) -> SweepResults:
     return SweepResults(results, skipped=skipped)
 
 
-def _thickness_options(impl_key: str, thicknesses: Optional[Sequence[int]]) -> Sequence[int]:
-    if not get_implementation(impl_key).uses_gpu or not impl_key.startswith("hybrid"):
+def _thickness_options(
+    impl, impl_key: str, workload: str, thicknesses: Optional[Sequence[int]]
+) -> Sequence[int]:
+    # Box thickness is an advection-specific tuning axis (the Fig. 1 CPU
+    # box); other workloads would reject (or worse, silently cache-split
+    # on) non-default values.
+    if workload != "advection":
+        return (1,)
+    if not impl.uses_gpu or not impl_key.startswith("hybrid"):
         return (1,)  # ignored by non-hybrid implementations
     return thicknesses if thicknesses is not None else DEFAULT_THICKNESSES
 
@@ -114,6 +121,8 @@ def tuning_configs(
     thread_counts: Optional[Sequence[int]] = None,
     steps: int = 2,
     network: str = "mirror",
+    workload: str = "advection",
+    workload_params: Tuple[Tuple[str, object], ...] = (),
 ) -> List[RunConfig]:
     """The tuning cross-product for one (impl, cores) sweep point.
 
@@ -124,7 +133,7 @@ def tuning_configs(
     :func:`repro.sched.validate_config`.  Shared by ``best_over_threads``
     and the sweep CLI's ``--dry-run``/``--fabric`` paths.
     """
-    impl = get_implementation(impl_key)
+    impl = get_implementation(impl_key, workload=workload)
     threads = list(thread_counts if thread_counts is not None else
                    valid_thread_counts(machine, cores))
     if not impl.uses_mpi:
@@ -132,7 +141,7 @@ def tuning_configs(
         threads = [cores] if cores <= machine.node.cores else []
     cfgs = []
     for t in threads:
-        for thickness in _thickness_options(impl_key, thicknesses):
+        for thickness in _thickness_options(impl, impl_key, workload, thicknesses):
             try:
                 cfgs.append(
                     RunConfig(
@@ -143,6 +152,8 @@ def tuning_configs(
                         steps=steps,
                         box_thickness=thickness,
                         network=network,
+                        workload=workload,
+                        workload_params=workload_params,
                     )
                 )
             except ValueError:
@@ -159,6 +170,8 @@ def best_over_threads(
     thread_counts: Optional[Sequence[int]] = None,
     steps: int = 2,
     network: str = "mirror",
+    workload: str = "advection",
+    workload_params: Tuple[Tuple[str, object], ...] = (),
 ) -> Optional[RunResult]:
     """Best result over the tuning space, like each point of Figs. 3-12.
 
@@ -169,6 +182,7 @@ def best_over_threads(
         machine, impl_key, cores,
         thicknesses=thicknesses, thread_counts=thread_counts,
         steps=steps, network=network,
+        workload=workload, workload_params=workload_params,
     )
     results = sweep_configs(cfgs)
     if not results:

@@ -28,24 +28,28 @@ def validate_config(cfg: "RunConfig") -> None:
     Checks, in order (all are re-derivations of checks the simulator
     performs at run time, none of them simulate anything):
 
+    * workload-level constraints (:meth:`Workload.validate`: unknown or
+      out-of-range ``workload_params``, problem too small for the task
+      count);
     * implementation-level constraints (:meth:`Implementation.validate`:
       GPU presence, single-task core limits, box feasibility for the
       hybrid implementations);
-    * decomposition feasibility (a valid task grid exists for
-      ``(ntasks, domain)``);
+    * decomposition feasibility (a valid task grid / row partition
+      exists for this task count);
     * GPU thread-block admissibility when an explicit ``block`` is set.
 
     A config that passes is expected to simulate without ``ValueError``;
     anything the simulator raises afterwards is a genuine error, not an
     invalid sweep point.
     """
-    from repro.core.registry import get_implementation
-    from repro.decomp.partition import Decomposition
+    from repro.workloads import get_workload
 
-    impl = get_implementation(cfg.implementation)
+    workload = get_workload(cfg.workload)
+    impl = workload.implementation(cfg.implementation)
+    workload.validate(cfg)
     impl.validate(cfg)
-    # Raises when no non-empty task grid exists for this ntasks/domain.
-    Decomposition(cfg.ntasks, cfg.domain)
+    # Raises when no non-empty partition exists for this task count.
+    workload.decompose(cfg)
     if impl.uses_gpu and cfg.block is not None:
         from repro.simgpu.blockmodel import admissible_blocks
 

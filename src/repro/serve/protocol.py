@@ -91,6 +91,8 @@ _CONFIG_KEYS = {
     "network": "network",
     "seed": "seed",
     "noise": "noise",
+    "workload": "workload",
+    "workload_params": "workload_params",
 }
 
 #: Config fields deliberately NOT servable (non-scalar results).
@@ -181,7 +183,9 @@ def config_from_dict(d: Dict[str, Any]) -> RunConfig:
     ``implementation``), ``cores``, ``threads``, ``thickness``,
     ``steps``, ``domain`` (one int or ``[nx, ny, nz]``), ``network``,
     ``seed``, ``noise`` (the CLI's ``--noise`` string; ``"machine"``
-    selects the machine's calibration).  Anything else — including
+    selects the machine's calibration), ``workload`` (registry key,
+    default ``advection``) and ``workload_params`` (a JSON object of
+    scalar knobs, e.g. ``{"rows": 65536}``).  Anything else — including
     ``functional`` and ``trace``, whose results cannot travel as JSON
     scalars — is rejected with a structured error.
     """
@@ -261,6 +265,16 @@ def config_from_dict(d: Dict[str, Any]) -> RunConfig:
     if not isinstance(network, str):
         raise ProtocolError(f"config field 'network' must be a string, "
                             f"got {network!r}")
+    workload = norm.get("workload", "advection")
+    if not isinstance(workload, str):
+        raise ProtocolError(f"config field 'workload' must be a string, "
+                            f"got {workload!r}")
+    wparams = norm.get("workload_params", {})
+    if not isinstance(wparams, dict):
+        raise ProtocolError(
+            f"config field 'workload_params' must be a JSON object of "
+            f"scalar knobs, got {wparams!r}"
+        )
     try:
         return RunConfig(
             machine=machine,
@@ -275,6 +289,8 @@ def config_from_dict(d: Dict[str, Any]) -> RunConfig:
             network=network,
             seed=seed,
             noise=noise,
+            workload=workload,
+            workload_params=tuple(wparams.items()),
         )
     except ValueError as exc:
         # RunConfig.__post_init__ rejected the combination (thread

@@ -1,0 +1,195 @@
+"""Pluggable workloads: the timed programs the simulator can run.
+
+The paper's overlap machinery — DES engine, MPI backends, GPU streams,
+tracer, cache, scheduler — is workload-agnostic; only the Lax–Wendroff
+stencil is not. A :class:`Workload` packages everything that *is*
+stencil-specific behind one protocol:
+
+* the domain partition (``decompose``) and per-rank state (``make_data``);
+* the mirror-backend network profile (which transfers cross the NIC and
+  how hard they contend for it);
+* the flop accounting behind ``RunResult.gflops``;
+* the functional verification oracle; and
+* the implementation registry for that workload (the second level of the
+  ``(workload, impl)`` registry in :mod:`repro.core.registry`).
+
+``advection`` is the default workload and delegates to the exact same
+code paths the pre-workload simulator used, so every cache key, golden
+dump and trace produced with ``RunConfig.workload`` at its default is
+bit-identical to the pre-refactor tree. ``spmv`` (hybrid sparse
+matrix–vector multiply with explicit communication overlap, after
+Schubert et al., arXiv:1106.5908) is the first non-advection workload.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import Implementation
+    from repro.core.config import RunConfig, RunResult
+    from repro.simmpi.mirror import MirrorProfile
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "DEFAULT_WORKLOAD",
+    "get_workload",
+    "workload_keys",
+    "normalize_key",
+]
+
+#: The workload every pre-PR config ran (and the RunConfig default).
+DEFAULT_WORKLOAD = "advection"
+
+
+def normalize_key(name: str) -> str:
+    """Canonical lookup form of a workload/implementation key.
+
+    Mirrors :func:`repro.machines.spec.normalize_machine_name`, with
+    hyphens mapped to underscores (registry keys are snake_case), so
+    ``"hybrid-overlap"``, ``"Hybrid Overlap"`` and ``"hybrid_overlap"``
+    all suggest the same key.
+    """
+    return name.lower().replace(" ", "_").replace("-", "_")
+
+
+class Workload(abc.ABC):
+    """One timed program family (a set of implementations over one problem).
+
+    Subclasses are stateless singletons registered in :data:`WORKLOADS`;
+    per-run state lives in the objects they build (``decompose`` /
+    ``make_data`` results), never on the workload or its implementation
+    instances (which are frozen — see
+    :meth:`repro.core.base.Implementation.freeze`).
+    """
+
+    #: registry key, e.g. ``"advection"``.
+    key: str = ""
+    #: human-readable title.
+    title: str = ""
+
+    # -- implementation registry (second level of the two-level registry) ----
+    @property
+    @abc.abstractmethod
+    def implementations(self) -> Dict[str, "Implementation"]:
+        """key -> frozen singleton implementation instances."""
+
+    def implementation(self, key: str) -> "Implementation":
+        """Look up one implementation; raises a two-axis KeyError on miss."""
+        from repro.core.registry import get_implementation
+
+        return get_implementation(key, workload=self.key)
+
+    #: keys runnable without a GPU (CLI listings, sweep defaults).
+    cpu_keys: Tuple[str, ...] = ()
+    #: keys requiring a GPU.
+    gpu_keys: Tuple[str, ...] = ()
+
+    # -- configuration -------------------------------------------------------
+    def validate(self, cfg: "RunConfig") -> None:
+        """Reject configurations this workload cannot run.
+
+        The default accepts any config with no ``workload_params`` (the
+        advection contract); workloads with parameters override this.
+        """
+        if cfg.workload_params:
+            bad = ", ".join(sorted(k for k, _ in cfg.workload_params))
+            raise ValueError(
+                f"workload {self.key!r} takes no workload_params (got {bad})"
+            )
+
+    # -- problem construction ------------------------------------------------
+    @abc.abstractmethod
+    def decompose(self, cfg: "RunConfig"):
+        """Partition the problem over ``cfg.ntasks`` ranks.
+
+        The returned object must offer ``subdomain(rank)`` yielding
+        per-rank blocks with at least ``.rank`` and ``.points``.
+        """
+
+    @abc.abstractmethod
+    def make_data(self, cfg: "RunConfig", sub) -> object:
+        """Per-rank data/numerics (real fields when functional, else shadow)."""
+
+    @abc.abstractmethod
+    def mirror_profile(self, cfg: "RunConfig", decomp) -> "MirrorProfile":
+        """Network facts for the representative rank (mirror backend)."""
+
+    # -- accounting / reporting ----------------------------------------------
+    @abc.abstractmethod
+    def total_flops(self, cfg: "RunConfig") -> float:
+        """Analytic flops of the whole timed window (``RunResult.gflops``)."""
+
+    def rank_group_name(self, sub) -> str:
+        """Trace group label of one rank's lanes (obs timelines)."""
+        return f"rank {sub.rank}"
+
+    # -- verification --------------------------------------------------------
+    def finalize_functional(
+        self, cfg: "RunConfig", contexts: List, result: "RunResult"
+    ) -> None:
+        """Assemble the global functional answer and score it vs the oracle.
+
+        Sets ``result.global_field`` and ``result.norms``. Only called for
+        ``cfg.functional`` runs (full network backend).
+        """
+        raise NotImplementedError(
+            f"workload {self.key!r} has no functional verification oracle"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Workload {self.key}>"
+
+
+def _build_registry() -> Dict[str, Workload]:
+    from repro.workloads.advection import AdvectionWorkload
+    from repro.workloads.spmv import SpmvWorkload
+
+    registry: Dict[str, Workload] = {}
+    for wl in (AdvectionWorkload(), SpmvWorkload()):
+        registry[wl.key] = wl
+    return registry
+
+
+#: key -> singleton workload instance (advection first: the default).
+WORKLOADS: Dict[str, Workload] = _build_registry()
+
+
+def workload_keys() -> Tuple[str, ...]:
+    """Registered workload keys, default first."""
+    keys = [DEFAULT_WORKLOAD]
+    keys.extend(k for k in sorted(WORKLOADS) if k != DEFAULT_WORKLOAD)
+    return tuple(keys)
+
+
+def suggest_key(name: str, known) -> Optional[str]:
+    """The registered key ``name`` most plausibly meant, or ``None``.
+
+    Exact match after :func:`normalize_key` normalization (case, spaces,
+    hyphen/underscore); the same contract as machine-name lookup.
+    """
+    want = normalize_key(name)
+    for key in known:
+        if normalize_key(key) == want:
+            return key
+    return None
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by exact key.
+
+    Near-misses (case/space/hyphen variants) raise with a suggestion
+    rather than resolving: the workload key enters cache keys verbatim,
+    so silently aliasing ``"Advection"`` to ``"advection"`` would split
+    one config across two cache entries.
+    """
+    if name in WORKLOADS:
+        return WORKLOADS[name]
+    near = suggest_key(name, WORKLOADS)
+    hint = f"; did you mean {near!r}?" if near is not None else ""
+    raise KeyError(
+        f"unknown workload {name!r}{hint} "
+        f"(known workloads: {sorted(WORKLOADS)})"
+    )

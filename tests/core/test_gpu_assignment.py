@@ -10,6 +10,7 @@ from repro.core.runner import _build_full, _tasks_per_gpu, run
 from repro.decomp.partition import Decomposition
 from repro.des import Environment
 from repro.machines import YONA
+from repro.workloads import get_workload
 
 
 def _yona_with_gpus(gpus_per_node: int):
@@ -50,7 +51,8 @@ class TestFullBackendGpuWiring:
         impl = get_implementation(cfg.implementation)
         env = Environment()
         decomp = Decomposition(cfg.ntasks, cfg.domain)
-        return cfg, _build_full(env, cfg, impl, decomp)
+        workload = get_workload(cfg.workload)
+        return cfg, _build_full(env, cfg, impl, workload, decomp)
 
     def test_one_gpu_per_node_is_shared_by_the_node(self):
         _cfg, ctxs = self._contexts(YONA, 12, 3)  # 4 tasks, 1 node, 1 GPU

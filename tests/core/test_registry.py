@@ -58,6 +58,96 @@ class TestRegistry:
             assert impl.key and impl.title and impl.section
 
 
+class TestTwoLevelRegistry:
+    """The ``(workload, implementation)`` axes and their error paths."""
+
+    def test_workload_level_resolves(self):
+        from repro.workloads import get_workload
+
+        spmv = get_workload("spmv")
+        assert get_implementation("bulk", workload="spmv") is \
+            spmv.implementations["bulk"]
+        # The default-workload fast path still returns the old singletons.
+        assert get_implementation("bulk") is IMPLEMENTATIONS["bulk"]
+        assert get_implementation("bulk", workload="spmv") is not \
+            get_implementation("bulk")
+
+    def test_unknown_impl_names_both_axes(self):
+        with pytest.raises(KeyError) as exc:
+            get_implementation("quantum", workload="spmv")
+        msg = exc.value.args[0]
+        assert "'quantum'" in msg and "'spmv'" in msg
+        assert "bulk" in msg  # lists the workload's known keys
+
+    def test_near_miss_suggested_under_normalization(self):
+        # Case, space and hyphen variants suggest the snake_case key
+        # instead of resolving (keys enter cache keys verbatim).
+        for typo in ("Hybrid-Overlap", "hybrid overlap", "HYBRID_OVERLAP"):
+            with pytest.raises(KeyError, match="did you mean 'hybrid_overlap'"):
+                get_implementation(typo)
+
+    def test_cross_workload_hint(self):
+        # gpu_streams exists under advection only; asking spmv for it
+        # points at the workload that has it.
+        with pytest.raises(KeyError, match="exists under workload 'advection'"):
+            get_implementation("gpu_streams", workload="spmv")
+        # unknown workload errors before the implementation axis:
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_implementation("bulk", workload="nope")
+
+    def test_workload_near_miss(self):
+        from repro.workloads import get_workload
+
+        with pytest.raises(KeyError, match="did you mean 'spmv'"):
+            get_workload("SpMV")
+        with pytest.raises(KeyError, match="did you mean 'advection'"):
+            get_workload("Advection")
+
+    def test_implementation_keys_per_workload(self):
+        from repro.core.registry import implementation_keys
+
+        assert implementation_keys() == sorted(IMPLEMENTATIONS)
+        assert implementation_keys("spmv") == \
+            ["bulk", "hybrid_overlap", "nonblocking"]
+
+
+class TestFrozenSingletons:
+    """Registry instances are shared across interleaved runs; writing to
+    them used to silently bleed state between runs — now it raises."""
+
+    def test_advection_instances_frozen(self):
+        for impl in IMPLEMENTATIONS.values():
+            with pytest.raises(AttributeError, match="shared singletons"):
+                impl.scratch = object()
+
+    def test_spmv_instances_frozen(self):
+        from repro.workloads import get_workload
+
+        for impl in get_workload("spmv").implementations.values():
+            with pytest.raises(AttributeError, match="shared singletons"):
+                impl.scratch = object()
+
+    def test_interleaved_runs_are_bit_identical(self):
+        """A run's results must not depend on what ran before it on the
+        same singletons (scheduler pool / serve daemon interleaving)."""
+        from repro.core.config import RunConfig
+        from repro.core.runner import run
+        from repro.machines import JAGUARPF, YONA
+
+        adv = RunConfig(machine=YONA, implementation="hybrid_overlap",
+                        cores=12, threads_per_task=6, steps=2)
+        spmv = RunConfig(machine=JAGUARPF, implementation="nonblocking",
+                         cores=24, threads_per_task=6, steps=2,
+                         workload="spmv",
+                         workload_params=(("rows", 1 << 15),))
+        first = run(adv)
+        run(spmv)  # interleave a different workload on shared machinery
+        second = run(adv)
+        assert second.elapsed_s == first.elapsed_s
+        assert second.phases == first.phases
+        assert second.comm_stats == first.comm_stats
+
+
 class TestFig2Loc:
     """Fig. 2's stated and derived Fortran line counts."""
 

@@ -323,6 +323,113 @@ class TestShardedLayout:
         assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
 
 
+class TestHalfMigratedEntries:
+    """A key present in BOTH layouts is one entry, not two.
+
+    A crash between the shard copy and the flat unlink of the v1
+    migration leaves the same key in both places.  The walk used to
+    report it twice (``len``/``stats``) and ``prune`` removed only one
+    copy of a stale pair; now entries are deduplicated by key — the
+    shard copy is authoritative — and prune retires a stale key's files
+    in both layouts at once.
+    """
+
+    def _duplicate_into_flat(self, cache, cfg):
+        """Forge the half-migrated state: shard copy + flat copy."""
+        key = config_key(cfg)
+        sharded = cache._path(key)
+        flat = os.path.join(cache.directory, f"{key}.json")
+        with open(sharded) as src, open(flat, "w") as dst:
+            dst.write(src.read())
+        return key, sharded, flat
+
+    def test_duplicated_key_counts_once(self, cfg, cache):
+        run(cfg)
+        self._duplicate_into_flat(cache, cfg)
+        assert len(cache) == 1  # was 2: both layout walks reported it
+
+    def test_prune_keeps_current_version_but_drops_the_flat_copy(
+        self, cfg, cache
+    ):
+        run(cfg)
+        key, sharded, flat = self._duplicate_into_flat(cache, cfg)
+        assert cache.prune() == 0  # current version: nothing stale
+        assert os.path.exists(sharded)
+        assert not os.path.exists(flat)  # housekeeping: duplicate gone
+        run_cache.reset_stats()
+        run(cfg)
+        assert cache.stats()["hits"] == 1
+
+    def test_prune_removes_both_copies_of_a_stale_key(self, cfg, cache):
+        run(cfg)
+        key, sharded, flat = self._duplicate_into_flat(cache, cfg)
+        for path in (sharded, flat):
+            with open(path) as fh:
+                payload = json.load(fh)
+            payload["model_version"] = "pr0-ancient"
+            with open(path, "w") as fh:
+                json.dump(payload, fh)
+        assert cache.prune() == 1  # one key retired, not two
+        assert not os.path.exists(sharded)  # was: only one copy removed
+        assert not os.path.exists(flat)
+        assert len(cache) == 0
+
+
+class TestWorkloadKeys:
+    """The workload axis vs the cache key.
+
+    At the default workload the key must equal the pre-workload-layer
+    key bit for bit (``_KEY_OMIT_DEFAULTS``): the four pinned digests
+    below were computed on the pre-refactor tree.
+    """
+
+    # (config kwargs beyond machine, expected sha256) — machines by name.
+    PINS = [
+        (dict(machine="jaguarpf", implementation="bulk", cores=1536,
+              threads_per_task=6),
+         "0a81d49b9427fde1af567a036720b763ed1911e1731700e275ca587e832cef35"),
+        (dict(machine="yona", implementation="hybrid_overlap", cores=12,
+              threads_per_task=6, box_thickness=3),
+         "762b633fc45d660d804c12a3b1c675e3964b0baa8454c0f679d96783f02ee51a"),
+        (dict(machine="jaguarpf", implementation="nonblocking", cores=384,
+              threads_per_task=1, seed=11),
+         "f600e096d8cb30406e097b6626a7d4dde3ba23a8601a87c2ac3dbdeaf9020252"),
+        (dict(machine="a100-sxm", implementation="gpu_streams", cores=64,
+              threads_per_task=16),
+         "5977cf28ed1a8d7b34235f2cfb1e06bfc7674aa27bcee87cfdc623a300e6f8f1"),
+    ]
+
+    @pytest.mark.parametrize("kwargs,expect", PINS)
+    def test_pre_workload_keys_unchanged(self, kwargs, expect):
+        from repro.machines import get_machine
+
+        kwargs = dict(kwargs, machine=get_machine(kwargs["machine"]))
+        assert config_key(RunConfig(**kwargs)) == expect
+
+    def test_explicit_default_workload_hashes_identically(self, cfg):
+        assert config_key(cfg) == config_key(
+            cfg.with_(workload="advection", workload_params=())
+        )
+
+    def test_non_default_workload_enters_the_key(self, cfg):
+        spmv = cfg.with_(workload="spmv")
+        assert config_key(spmv) != config_key(cfg)
+        assert config_key(spmv) != config_key(
+            spmv.with_(workload_params=(("rows", 1 << 16),))
+        )
+
+    def test_spmv_runs_round_trip(self, cache):
+        cfg = RunConfig(machine=JAGUARPF, implementation="nonblocking",
+                        cores=24, threads_per_task=6, steps=2,
+                        workload="spmv",
+                        workload_params=(("rows", 1 << 15),))
+        cold = run(cfg)
+        warm = run(cfg)
+        assert cache.stats()["hits"] == 1
+        assert warm.elapsed_s == cold.elapsed_s
+        assert warm.phases == cold.phases
+
+
 class TestKeyMemoization:
     def test_key_memoized_on_the_instance(self, cfg):
         k1 = config_key(cfg)

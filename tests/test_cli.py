@@ -17,11 +17,23 @@ class TestParser:
         assert args.machine == "yona"
         assert args.threads == 1
 
-    def test_bad_impl_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["run", "--machine", "yona", "--impl", "nope", "--cores", "12"]
-            )
+    def test_bad_impl_rejected(self, capsys):
+        # --impl is validated against the workload's registry at run time
+        # (the static argparse choices could not span per-workload axes),
+        # so a bad key exits 2 with a message naming both axes.
+        rc = main(["run", "--machine", "yona", "--impl", "nope", "--cores", "12"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        text = captured.out + captured.err
+        assert "nope" in text and "advection" in text
+
+    def test_bad_workload_rejected(self, capsys):
+        rc = main(["run", "--machine", "yona", "--impl", "bulk",
+                   "--cores", "12", "--workload", "spvm"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        text = captured.out + captured.err
+        assert "spvm" in text and "spmv" in text  # near-miss suggestion
 
 
 class TestCommands:

@@ -1,0 +1,270 @@
+"""SpMV workload tests: pattern determinism, functional exactness,
+the SS V-E overlap ordering, and trace invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.runner import run
+from repro.machines import A100_SXM, JAGUARPF, YONA
+from repro.obs.invariants import assert_invariants
+from repro.workloads import get_workload
+from repro.workloads.spmv import (
+    DEFAULT_SPMV_PARAMS,
+    SpmvProblem,
+    gather_tag,
+    initial_x,
+    spmv_params,
+)
+
+SMALL = (("rows", 1 << 12), ("band", 8), ("extras", 2))
+#: the fast-experiment problem size: enough interior work that overlap
+#: has something to hide the gather under (the SS V-E regime).
+MEDIUM = (("rows", 1 << 17),)
+
+
+def _cfg(machine, impl, cores, threads, **kw):
+    kw.setdefault("workload_params", SMALL)
+    return RunConfig(machine=machine, implementation=impl, cores=cores,
+                     threads_per_task=threads, steps=2, workload="spmv", **kw)
+
+
+class TestProblem:
+    """The matrix pattern is a pure function of (params, row) alone."""
+
+    def test_pattern_identical_across_task_counts(self):
+        # A rank's stream is band-entries-then-extras for *its block*, so
+        # streams are compared in the canonical per-row order: a stable
+        # sort by global row preserves each row's internal order (band
+        # ascending, then extras in draw order) in both streams.
+        def canonical(rws, cols, vals):
+            order = np.argsort(rws, kind="stable")
+            return rws[order], cols[order], vals[order]
+
+        rows, band, extras, pseed = 4096, 8, 2, 1
+        one = SpmvProblem(rows, band, extras, pseed, 1)
+        rws1, cols1, vals1 = canonical(*one.triplets(0))
+        for ntasks in (2, 3, 7):
+            parts = SpmvProblem(rows, band, extras, pseed, ntasks)
+            rws, cols, vals = [], [], []
+            for r in range(ntasks):
+                row0, _ = parts.block(r)
+                a, b, c = parts.triplets(r)
+                rws.append(a + row0)
+                cols.append(b)
+                vals.append(c)
+            got = canonical(
+                np.concatenate(rws), np.concatenate(cols), np.concatenate(vals)
+            )
+            assert np.array_equal(got[0], rws1)
+            assert np.array_equal(got[1], cols1)
+            # bitwise, not approx: the value stream is keyed globally
+            assert np.array_equal(got[2], vals1)
+
+    def test_nnz_split_is_consistent(self):
+        pr = SpmvProblem(4096, 8, 2, 1, 4)
+        total = 0
+        for r in range(4):
+            c = pr.coupling(r)
+            assert c.nnz_interior + c.nnz_boundary == c.nnz
+            assert c.nnz_interior >= 0 and c.nnz_boundary >= 0
+            total += c.nnz
+        assert total == pr.nnz_total
+
+    def test_interior_dominates_at_scale(self):
+        # The point of the workload: the non-local matrix part is a small
+        # slice, so there is compute to hide the gather under.
+        pr = SpmvProblem(1 << 16, 48, 4, 1, 8)
+        c = pr.coupling(3)
+        assert c.nnz_interior > 10 * c.nnz_boundary
+
+    def test_gather_plan_covers_exactly_the_remote_columns(self):
+        pr = SpmvProblem(4096, 8, 2, 1, 4)
+        for r in range(4):
+            c = pr.coupling(r)
+            row0, nrows = pr.block(r)
+            _, cols, _ = pr.triplets(r)
+            remote = np.unique(cols[(cols < row0) | (cols >= row0 + nrows)])
+            planned = np.concatenate(
+                [c.gather_cols[p] for p in c.peers]
+            ) if c.peers else np.empty(0, dtype=np.int64)
+            assert np.array_equal(np.sort(planned), remote)
+            owners = pr.owner_of(planned)
+            for p, cs in c.gather_cols.items():
+                lo, n = pr.block(p)
+                assert ((cs >= lo) & (cs < lo + n)).all()
+            assert (owners != r).all()
+
+    def test_pair_tags_are_symmetric_and_disjoint(self):
+        n = 7
+        tags = set()
+        for a in range(n):
+            for b in range(a + 1, n):
+                assert gather_tag(a, b, n) == gather_tag(b, a, n)
+                tags.add(gather_tag(a, b, n))
+        assert len(tags) == n * (n - 1) // 2  # no pair collisions
+
+    def test_initial_x_is_partition_independent(self):
+        full = initial_x(1, 0, 1000)
+        assert np.array_equal(
+            np.concatenate([initial_x(1, 0, 400), initial_x(1, 400, 1000)]),
+            full,
+        )
+
+
+class TestParams:
+    def test_defaults_applied(self):
+        cfg = _cfg(JAGUARPF, "bulk", 12, 6, workload_params=())
+        assert spmv_params(cfg) == tuple(
+            DEFAULT_SPMV_PARAMS[k] for k in ("rows", "band", "extras", "pseed")
+        )
+
+    def test_unknown_param_rejected(self):
+        cfg = _cfg(JAGUARPF, "bulk", 12, 6,
+                   workload_params=(("cols", 7),))
+        with pytest.raises(ValueError, match="unknown spmv workload_params"):
+            spmv_params(cfg)
+
+    def test_stencil_axes_rejected(self):
+        with pytest.raises(ValueError, match="no box_thickness axis"):
+            run(_cfg(YONA, "hybrid_overlap", 12, 6, box_thickness=2))
+
+    def test_too_many_tasks_rejected(self):
+        cfg = _cfg(JAGUARPF, "bulk", 384, 1,
+                   workload_params=(("rows", 100),))
+        with pytest.raises(ValueError, match="non-empty row blocks"):
+            run(cfg)
+
+    def test_gpu_variant_rejects_functional(self):
+        with pytest.raises(ValueError, match="functional verification"):
+            run(_cfg(YONA, "hybrid_overlap", 12, 6, functional=True,
+                     network="full"))
+
+
+class TestDeterminism:
+    def test_repeat_runs_bit_identical(self):
+        cfg = _cfg(JAGUARPF, "nonblocking", 24, 6)
+        a, b = run(cfg), run(cfg)
+        assert a.elapsed_s == b.elapsed_s
+        assert a.phases == b.phases
+        assert a.comm_stats == b.comm_stats
+
+    def test_scheduler_workers_bit_identical(self):
+        """jobs=2 worker processes reproduce the serial results exactly."""
+        from repro.sched import scheduled
+
+        cfgs = [
+            _cfg(JAGUARPF, impl, cores, 6)
+            for impl in ("bulk", "nonblocking")
+            for cores in (24, 48)
+        ]
+        serial = [run(c) for c in cfgs]
+        with scheduled(2) as sched:
+            parallel = sched.map(cfgs)
+        assert [r.elapsed_s for r in parallel] == \
+            [r.elapsed_s for r in serial]
+        assert [r.phases for r in parallel] == [r.phases for r in serial]
+
+    def test_noise_seed_enters_spmv_runs(self):
+        from repro.perturb import NoiseSpec
+
+        base = _cfg(JAGUARPF, "bulk", 24, 6)
+        noise = NoiseSpec.preset("medium")
+        a = run(base.with_(seed=1, noise=noise))
+        b = run(base.with_(seed=2, noise=noise))
+        a2 = run(base.with_(seed=1, noise=noise))
+        assert a.elapsed_s != b.elapsed_s  # seeds perturb
+        assert a.elapsed_s == a2.elapsed_s  # reproducibly
+
+
+class TestFunctional:
+    def _functional(self, impl, cores, threads):
+        cfg = _cfg(JAGUARPF, impl, cores, threads, functional=True,
+                   network="full")
+        return run(cfg)
+
+    def test_exact_vs_global_oracle(self):
+        r = self._functional("bulk", 24, 6)
+        assert r.norms["l2"] == 0.0
+        assert r.norms["linf"] == 0.0
+
+    def test_iterate_bitwise_identical_across_partitions(self):
+        fields = [
+            self._functional("bulk", cores, 6).global_field
+            for cores in (12, 24, 48)
+        ]
+        assert np.array_equal(fields[0], fields[1])
+        assert np.array_equal(fields[0], fields[2])
+
+    def test_variants_agree_bitwise(self):
+        bulk = self._functional("bulk", 24, 6).global_field
+        nonb = self._functional("nonblocking", 24, 6).global_field
+        assert np.array_equal(bulk, nonb)
+
+
+class TestOverlapOrdering:
+    """The SS V-E analysis on the SpMV workload: the GPU task mode hides
+    the most communication, the naive nonblocking variant some, and
+    vector mode none by construction."""
+
+    @pytest.fixture(scope="class")
+    def fractions(self):
+        out = {}
+        for impl in ("bulk", "nonblocking", "hybrid_overlap"):
+            r = run(_cfg(YONA, impl, 48, 6, trace=True,
+                         workload_params=MEDIUM))
+            assert_invariants(r.tracer)
+            out[impl] = r.overlap.overlap_fraction
+        return out
+
+    def test_ordering_pinned(self, fractions):
+        assert fractions["hybrid_overlap"] > fractions["nonblocking"]
+        assert fractions["nonblocking"] > fractions["bulk"]
+
+    def test_vector_mode_hides_nothing(self, fractions):
+        assert fractions["bulk"] == 0.0
+
+
+class TestTraceInvariants:
+    @pytest.mark.parametrize("machine,impl,cores,threads", [
+        (JAGUARPF, "bulk", 24, 6),
+        (JAGUARPF, "nonblocking", 24, 6),
+        (YONA, "hybrid_overlap", 24, 6),
+        (A100_SXM, "hybrid_overlap", 256, 16),
+    ])
+    def test_traced_runs_pass(self, machine, impl, cores, threads):
+        r = run(_cfg(machine, impl, cores, threads, trace=True))
+        assert_invariants(r.tracer)
+
+    def test_full_backend_traced_run_passes(self):
+        r = run(_cfg(JAGUARPF, "nonblocking", 24, 6, trace=True,
+                     network="full"))
+        assert_invariants(r.tracer)
+
+    def test_trace_meta_names_the_workload(self):
+        r = run(_cfg(JAGUARPF, "bulk", 24, 6, trace=True))
+        assert r.tracer.meta["workload"] == "spmv"
+        assert r.tracer.meta["workload_params"] == dict(SMALL)
+        adv = RunConfig(machine=JAGUARPF, implementation="bulk", cores=24,
+                        threads_per_task=6, steps=2, trace=True)
+        t = run(adv).tracer
+        # default workload leaves the pre-PR meta untouched (golden traces)
+        assert "workload" not in t.meta
+
+
+class TestAccounting:
+    def test_gflops_uses_the_workload_flops(self):
+        cfg = _cfg(JAGUARPF, "bulk", 24, 6)
+        r = run(cfg)
+        wl = get_workload("spmv")
+        expect = wl.total_flops(cfg) / r.elapsed_s / 1e9
+        assert r.gflops == pytest.approx(expect)
+
+    def test_gpu_task_mode_wins_on_the_gpu_machine(self):
+        gf = {
+            impl: run(_cfg(A100_SXM, impl, 256, 16,
+                           workload_params=MEDIUM)).gflops
+            for impl in ("bulk", "nonblocking", "hybrid_overlap")
+        }
+        assert gf["hybrid_overlap"] > gf["bulk"]
+        assert gf["hybrid_overlap"] > gf["nonblocking"]

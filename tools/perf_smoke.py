@@ -3,7 +3,7 @@
 
 Run from the repository root::
 
-    python tools/perf_smoke.py [--out BENCH_PR9.json] [--check]
+    python tools/perf_smoke.py [--out BENCH_PR10.json] [--check]
 
 Measures, on the current machine:
 
@@ -61,9 +61,15 @@ Measures, on the current machine:
   cost of the model machinery (one ``_progress_tax`` truthiness guard
   per compute charge, one ``background_fraction`` dispatch per wire
   message) is bounded analytically from the traced event counts and a
-  micro-benchmark of both call sites, ceiling 2%.
+  micro-benchmark of both call sites, ceiling 2%,
+* the workload layer's contracts: a config naming the default workload
+  explicitly must run and hash bit-identically to one that never
+  mentions it, four cache keys computed on the pre-workload tree must
+  still resolve, the SpMV §V-E overlap ordering (task mode > naive
+  nonblocking > vector mode at 0) must hold, and the per-run dispatch
+  the layer adds is priced and bounded at 2%.
 
-Results are written as JSON (default ``BENCH_PR9.json``) so each PR can
+Results are written as JSON (default ``BENCH_PR10.json``) so each PR can
 record its perf point and the trajectory stays auditable. The committed
 numbers come from the reference container; regenerate locally before
 comparing machines.
@@ -141,6 +147,9 @@ FLOOR_SERVE_WARM_QPS = 10_000
 #: progress models: the manual-poll default may cost at most 2% of a
 #: pre-progress-model run (analytic bound on the guard + dispatch sites)
 CEIL_PROGRESS_OFF_OVERHEAD = 0.02
+#: Ceiling on the workload layer's cost to a default-workload run: one
+#: get_workload + implementation lookup per run, priced analytically.
+CEIL_WORKLOAD_DISPATCH_OVERHEAD = 0.02
 
 
 def usable_cores() -> int:
@@ -545,6 +554,113 @@ def time_progress_models() -> dict:
     }
 
 
+def time_workloads() -> dict:
+    """Workload-layer contracts: default identity, key pins, SpMV ordering.
+
+    The pluggable-workload refactor must cost nothing at the default:
+    a config with ``workload``/``workload_params`` set explicitly to
+    their defaults must run bit-identically to (and hash identically
+    with) one that never mentions them, and four cache keys computed on
+    the pre-workload tree must still resolve byte-for-byte (a warm
+    cache survives the refactor). The per-run dispatch the layer adds —
+    one ``get_workload`` plus one ``workload.implementation`` lookup —
+    is priced by micro-benchmark and bounded against a small run's
+    wall-clock, gated at 2%.
+
+    On the new workload itself, the §V-E contract: the SpMV GPU task
+    mode must hide a larger fraction of its gather than the naive
+    nonblocking variant, which must hide more than vector mode (0 by
+    construction), and the fast ``spmv_overlap`` experiment must
+    regenerate end to end.
+    """
+    from repro.cache import config_key
+    from repro.core.config import RunConfig
+    from repro.core.runner import run
+    from repro.experiments import run_experiment
+    from repro.machines import get_machine
+    from repro.workloads import get_workload
+
+    def cfg(**kw) -> RunConfig:
+        return RunConfig(
+            machine=get_machine("yona"), implementation="hybrid_overlap",
+            cores=12, threads_per_task=6, box_thickness=3, **kw,
+        )
+
+    base = run(cfg())
+    explicit = run(cfg(workload="advection", workload_params=()))
+    identical = (
+        explicit.elapsed_s == base.elapsed_s
+        and explicit.phases == base.phases
+        and explicit.comm_stats == base.comm_stats
+        and config_key(cfg()) == config_key(
+            cfg(workload="advection", workload_params=())
+        )
+    )
+
+    # Cache keys computed on the pre-workload tree (see tests/test_cache.py).
+    pins = [
+        (RunConfig(machine=get_machine("jaguarpf"), implementation="bulk",
+                   cores=1536, threads_per_task=6),
+         "0a81d49b9427fde1af567a036720b763ed1911e1731700e275ca587e832cef35"),
+        (RunConfig(machine=get_machine("yona"), implementation="hybrid_overlap",
+                   cores=12, threads_per_task=6, box_thickness=3),
+         "762b633fc45d660d804c12a3b1c675e3964b0baa8454c0f679d96783f02ee51a"),
+        (RunConfig(machine=get_machine("jaguarpf"), implementation="nonblocking",
+                   cores=384, threads_per_task=1, seed=11),
+         "f600e096d8cb30406e097b6626a7d4dde3ba23a8601a87c2ac3dbdeaf9020252"),
+        (RunConfig(machine=get_machine("a100-sxm"), implementation="gpu_streams",
+                   cores=64, threads_per_task=16),
+         "5977cf28ed1a8d7b34235f2cfb1e06bfc7674aa27bcee87cfdc623a300e6f8f1"),
+    ]
+    keys_match = all(config_key(c) == want for c, want in pins)
+
+    spmv_params = (("rows", 1 << 17),)
+    fractions = {}
+    for impl in ("bulk", "nonblocking", "hybrid_overlap"):
+        r = run(RunConfig(
+            machine=get_machine("yona"), implementation=impl, cores=48,
+            threads_per_task=6, steps=2, workload="spmv",
+            workload_params=spmv_params, trace=True,
+        ))
+        fractions[impl] = r.overlap.overlap_fraction
+    ordering = (
+        fractions["hybrid_overlap"] > fractions["nonblocking"]
+        > fractions["bulk"] == 0.0
+    )
+
+    t0 = time.perf_counter()
+    result = run_experiment("spmv_overlap", fast=True)
+    spmv_exp_s = time.perf_counter() - t0
+    exp_ok = bool(result.rows) and bool(result.series)
+
+    reps = 20
+    run_s = 1e9
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            run(cfg())
+        run_s = min(run_s, (time.perf_counter() - t0) / reps)
+
+    iters = 200_000
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        get_workload("advection").implementation("hybrid_overlap")
+    dispatch_s = (time.perf_counter() - t0) / iters
+    # Two dispatch sites per run (runner + validate), doubled for margin.
+    dispatch_bound = 4 * dispatch_s / run_s
+    return {
+        "default_workload_bit_identical": identical,
+        "prior_cache_keys_match": keys_match,
+        "spmv_overlap_fractions": {k: round(v, 4) for k, v in fractions.items()},
+        "spmv_overlap_ordering_holds": ordering,
+        "spmv_experiment_fast_seconds": round(spmv_exp_s, 2),
+        "spmv_experiment_ok": exp_ok,
+        "dispatch_cost_ns": round(dispatch_s * 1e9, 2),
+        "disabled_overhead_bound": round(dispatch_bound, 5),
+        "acceptance_ceiling_dispatch_overhead": CEIL_WORKLOAD_DISPATCH_OVERHEAD,
+    }
+
+
 def time_fabric() -> dict:
     """Sweep-fabric hot paths: warm parent lookups and group commit.
 
@@ -767,7 +883,7 @@ def time_fig9() -> float:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--out", default="BENCH_PR9.json", metavar="PATH")
+    ap.add_argument("--out", default="BENCH_PR10.json", metavar="PATH")
     ap.add_argument("--size", type=int, default=256, help="grid points per dim")
     ap.add_argument("--steps", type=int, default=3)
     ap.add_argument("--check", action="store_true",
@@ -863,8 +979,19 @@ def main(argv=None) -> int:
         f"disabled-guard bound {100 * progress['disabled_overhead_bound']:.2f}%"
     )
 
+    workloads = time_workloads()
+    print(
+        f"workloads: default-identical="
+        f"{workloads['default_workload_bit_identical']}, "
+        f"prior-keys-match={workloads['prior_cache_keys_match']}, "
+        f"spmv ordering={workloads['spmv_overlap_ordering_holds']} "
+        f"(fractions {workloads['spmv_overlap_fractions']}), "
+        f"fast experiment {workloads['spmv_experiment_fast_seconds']:.2f} s, "
+        f"dispatch bound {100 * workloads['disabled_overhead_bound']:.2f}%"
+    )
+
     payload = {
-        "pr": 9,
+        "pr": 10,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -888,6 +1015,7 @@ def main(argv=None) -> int:
         "tracing": trace,
         "perturbation": perturb,
         "progress_models": progress,
+        "workloads": workloads,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -978,6 +1106,22 @@ def main(argv=None) -> int:
             f"disabled progress-model bound "
             f"{100 * progress['disabled_overhead_bound']:.2f}% > "
             f"{100 * CEIL_PROGRESS_OFF_OVERHEAD:.0f}%"
+        )
+    if not workloads["default_workload_bit_identical"]:
+        failures.append("explicit default workload differs from the default path")
+    if not workloads["prior_cache_keys_match"]:
+        failures.append("a pre-workload-layer cache key no longer resolves")
+    if not workloads["spmv_overlap_ordering_holds"]:
+        failures.append(
+            f"spmv overlap ordering broken: {workloads['spmv_overlap_fractions']}"
+        )
+    if not workloads["spmv_experiment_ok"]:
+        failures.append("spmv_overlap fast experiment produced no rows/series")
+    if workloads["disabled_overhead_bound"] > CEIL_WORKLOAD_DISPATCH_OVERHEAD:
+        failures.append(
+            f"workload dispatch bound "
+            f"{100 * workloads['disabled_overhead_bound']:.2f}% > "
+            f"{100 * CEIL_WORKLOAD_DISPATCH_OVERHEAD:.0f}%"
         )
     if failures:
         for f in failures:
